@@ -1,0 +1,510 @@
+(* gcs-cli: run gradient clock synchronization simulations from the shell.
+
+   Subcommands:
+     run      - one simulation, printed summary (optionally the gradient profile)
+     compare  - all algorithms side by side on one topology
+     attack   - the lower-bound adversaries (fan-lynch | linear | ring-bias)
+     bounds   - print the analytic bounds for a given instance *)
+
+open Cmdliner
+module Graph = Gcs_graph.Graph
+module Topology = Gcs_graph.Topology
+module Shortest_path = Gcs_graph.Shortest_path
+module Drift = Gcs_clock.Drift
+module Lc = Gcs_clock.Logical_clock
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Bounds = Gcs_core.Bounds
+module Fan_lynch = Gcs_adversary.Fan_lynch
+module Linear = Gcs_adversary.Linear
+module Bias = Gcs_adversary.Bias
+module Table = Gcs_util.Table
+module Prng = Gcs_util.Prng
+
+(* Shared argument converters *)
+
+let topology_conv =
+  let parse s = Topology.spec_of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf t = Format.pp_print_string ppf (Topology.spec_name t) in
+  Arg.conv (parse, print)
+
+let algo_conv =
+  let parse s = Algorithm.kind_of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf k = Format.pp_print_string ppf (Algorithm.kind_name k) in
+  Arg.conv (parse, print)
+
+let drift_conv =
+  let parse s = Drift.pattern_of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf _ = Format.pp_print_string ppf "<drift>" in
+  Arg.conv (parse, print)
+
+(* Shared options *)
+
+let topology_arg =
+  let doc =
+    "Topology: line:N, ring:N, grid:RxC, torus:RxC, complete:N, star:N, \
+     btree:DEPTH, hypercube:DIM, gnp:N:P, geometric:N:R."
+  in
+  Arg.(
+    value
+    & opt topology_conv (Topology.Ring 16)
+    & info [ "t"; "topology" ] ~docv:"TOPOLOGY" ~doc)
+
+let algo_arg =
+  let doc = "Algorithm: gradient, tree, max, free-run." in
+  Arg.(
+    value
+    & opt algo_conv Algorithm.Gradient_sync
+    & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let drift_arg =
+  let doc =
+    "Per-node drift pattern: perfect, fast, slow, mid, random, \
+     walk:STEP:SIGMA, square:PERIOD, sin:PERIOD."
+  in
+  Arg.(
+    value
+    & opt drift_conv Drift.Random_constant
+    & info [ "drift" ] ~docv:"PATTERN" ~doc)
+
+let horizon_arg =
+  Arg.(
+    value & opt float 400.
+    & info [ "horizon" ] ~docv:"TIME" ~doc:"Simulated real-time length.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Run seed.")
+
+let rho_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "rho" ] ~docv:"RHO" ~doc:"Hardware drift bound (rates in [1, 1+rho]).")
+
+let mu_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "mu" ] ~docv:"MU" ~doc:"Gradient-algorithm speedup parameter.")
+
+let d_min_arg =
+  Arg.(value & opt float 0.5 & info [ "d-min" ] ~docv:"D" ~doc:"Minimum hop delay.")
+
+let d_max_arg =
+  Arg.(value & opt float 1.5 & info [ "d-max" ] ~docv:"D" ~doc:"Maximum hop delay.")
+
+let period_arg =
+  Arg.(
+    value & opt float 1.
+    & info [ "period" ] ~docv:"P" ~doc:"Beacon/probe period (hardware time).")
+
+let kappa_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "kappa" ] ~docv:"K" ~doc:"Skew quantum (default derived from the spec).")
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ] ~doc:"Also print the empirical gradient profile f(k).")
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss" ] ~docv:"P" ~doc:"I.i.d. message-loss probability in [0, 1].")
+
+let stabilize_flag =
+  Arg.(
+    value & flag
+    & info [ "stabilize" ]
+        ~doc:"Wrap the algorithm with the self-stabilization monitor.")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fault" ] ~docv:"X"
+        ~doc:"Corrupt node 0's initial clock by X (transient-fault injection).")
+
+let check_flag =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Validate the run against the model's output requirements.")
+
+let trials_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "trials" ] ~docv:"N"
+        ~doc:"Replicate over N seeds and report mean ± 95% CI.")
+
+let spec_term =
+  let make rho mu d_min d_max period kappa =
+    try Ok (Spec.make ~rho ~mu ~d_min ~d_max ~beacon_period:period ?kappa ())
+    with Invalid_argument msg -> Error msg
+  in
+  Term.(
+    const make $ rho_arg $ mu_arg $ d_min_arg $ d_max_arg $ period_arg
+    $ kappa_arg)
+
+let build_graph spec_t seed =
+  Topology.build spec_t ~rng:(Prng.create ~seed:(seed lxor 0x5eed))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 2
+
+let print_summary ~graph ~spec (r : Runner.result) =
+  let d = Shortest_path.diameter graph in
+  let s = r.Runner.summary in
+  Printf.printf "nodes %d, edges %d, diameter %d, u = %g, kappa = %.4f\n"
+    (Graph.n graph) (Graph.m graph) d (Spec.uncertainty spec) spec.Spec.kappa;
+  Printf.printf "max local skew    : %.4f\n" s.Metrics.max_local;
+  Printf.printf "mean local skew   : %.4f\n" s.Metrics.mean_local;
+  Printf.printf "p99 local skew    : %.4f\n" s.Metrics.p99_local;
+  Printf.printf "max global skew   : %.4f\n" s.Metrics.max_global;
+  Printf.printf "final local skew  : %.4f\n" s.Metrics.final_local;
+  Printf.printf "final global skew : %.4f\n" s.Metrics.final_global;
+  Printf.printf "messages / events : %d / %d\n" r.Runner.messages r.Runner.events;
+  if r.Runner.jumps.Lc.count > 0 then
+    Printf.printf
+      "clock jumps       : %d (max %.4f) — violates the bounded-rate model\n"
+      r.Runner.jumps.Lc.count r.Runner.jumps.Lc.max_magnitude;
+  Printf.printf "gradient envelope : %.4f (analytic local bound)\n"
+    (Bounds.gradient_local_upper spec ~diameter:d)
+
+let run_cmd =
+  let action spec_result topo algo drift horizon seed profile loss stabilize
+      fault check =
+    let spec = or_die spec_result in
+    let graph = build_graph topo seed in
+    let loss_law =
+      if loss <= 0. then Runner.No_loss else Runner.Uniform_loss loss
+    in
+    let override, stats =
+      if stabilize then begin
+        let wrapped, stats =
+          Gcs_core.Stabilize.wrap ~inner:(Gcs_core.Registry.get algo) ()
+        in
+        (Some wrapped, Some stats)
+      end
+      else (None, None)
+    in
+    let initial_value_of_node v =
+      match fault with Some x when v = 0 -> x | Some _ | None -> 0.
+    in
+    let cfg =
+      Runner.config ~spec ~algo ~drift_of_node:(fun _ -> drift) ~horizon ~seed
+        ~loss:loss_law ?override ~initial_value_of_node graph
+    in
+    let r = Runner.run cfg in
+    Printf.printf "algorithm: %s%s on %s\n" (Algorithm.kind_name algo)
+      (if stabilize then " (stabilized)" else "")
+      (Topology.spec_name topo);
+    print_summary ~graph ~spec r;
+    if r.Runner.dropped > 0 then
+      Printf.printf "messages dropped  : %d\n" r.Runner.dropped;
+    (match stats with
+    | Some st ->
+        Printf.printf "monitor           : %d rounds, %d resets, last estimate %.4f\n"
+          st.Gcs_core.Stabilize.rounds_completed st.Gcs_core.Stabilize.resets
+          st.Gcs_core.Stabilize.last_estimate
+    | None -> ());
+    if check then begin
+      match Gcs_core.Invariant.check_result r ~algo with
+      | [] -> Printf.printf "model check       : OK (no violations)\n"
+      | violations ->
+          Printf.printf "model check       : %d violation(s)\n"
+            (List.length violations);
+          List.iteri
+            (fun i v ->
+              if i < 5 then
+                Printf.printf "  %s\n" (Gcs_core.Invariant.to_string v))
+            violations;
+          exit 1
+    end;
+    if profile then begin
+      let p =
+        Metrics.max_gradient_profile graph r.Runner.samples
+          ~after:cfg.Runner.warmup
+      in
+      Table.print ~title:"Gradient profile f(k)"
+        ~columns:[ Table.column ~align:Table.Left "k"; Table.column "max skew" ]
+        ~rows:
+          (Array.to_list
+             (Array.mapi
+                (fun i x -> [ string_of_int (i + 1); Table.fmt_float ~digits:4 x ])
+                p))
+    end
+  in
+  let term =
+    Term.(
+      const action $ spec_term $ topology_arg $ algo_arg $ drift_arg
+      $ horizon_arg $ seed_arg $ profile_flag $ loss_arg $ stabilize_flag
+      $ fault_arg $ check_flag)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one synchronization simulation.") term
+
+let compare_cmd =
+  let action spec_result topo drift horizon seed trials =
+    let spec = or_die spec_result in
+    let graph = build_graph topo seed in
+    let seeds =
+      if trials <= 1 then [ seed ]
+      else List.init trials (fun i -> seed + (7919 * i))
+    in
+    let rows =
+      List.map
+        (fun algo ->
+          let run_one seed =
+            Runner.run
+              (Runner.config ~spec ~algo ~drift_of_node:(fun _ -> drift)
+                 ~horizon ~seed graph)
+          in
+          let summarize f =
+            Gcs_core.Replicate.measure ~seeds (fun seed ->
+                f (run_one seed))
+          in
+          let local =
+            summarize (fun r -> r.Runner.summary.Metrics.max_local)
+          in
+          let global =
+            summarize (fun r -> r.Runner.summary.Metrics.max_global)
+          in
+          let one = run_one seed in
+          let cell s =
+            if trials <= 1 then
+              Table.fmt_float ~digits:4 s.Gcs_core.Replicate.mean
+            else Gcs_core.Replicate.to_string ~digits:4 s
+          in
+          [
+            Algorithm.kind_name algo;
+            cell local;
+            cell global;
+            string_of_int one.Runner.jumps.Lc.count;
+            string_of_int one.Runner.messages;
+          ])
+        Algorithm.all_kinds
+    in
+    Table.print
+      ~title:(Printf.sprintf "Algorithms on %s" (Topology.spec_name topo))
+      ~columns:
+        [
+          Table.column ~align:Table.Left "algorithm";
+          Table.column "max local";
+          Table.column "max global";
+          Table.column "jumps";
+          Table.column "messages";
+        ]
+      ~rows
+  in
+  let term =
+    Term.(
+      const action $ spec_term $ topology_arg $ drift_arg $ horizon_arg
+      $ seed_arg $ trials_arg)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare all algorithms on one topology.") term
+
+let attack_cmd =
+  let kind_conv =
+    Arg.enum
+      [
+        ("fan-lynch", `Fan_lynch);
+        ("linear", `Linear);
+        ("ring-bias", `Bias);
+        ("churn", `Churn);
+      ]
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt kind_conv `Fan_lynch
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Adversary: fan-lynch, linear, ring-bias.")
+  in
+  let n_arg =
+    Arg.(value & opt int 33 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let action spec_result algo kind n seed =
+    let spec = or_die spec_result in
+    match kind with
+    | `Fan_lynch ->
+        let cfg = Fan_lynch.default_config ~spec ~algo ~seed ~n () in
+        let r = Fan_lynch.attack cfg in
+        Printf.printf "fan-lynch attack on line:%d against %s\n" n
+          (Algorithm.kind_name algo);
+        Printf.printf "phases        : %d (horizon %.1f)\n" r.Fan_lynch.phases
+          r.Fan_lynch.horizon;
+        Printf.printf "forced local  : %.4f\n" r.Fan_lynch.forced_local;
+        Printf.printf "forced global : %.4f\n" r.Fan_lynch.forced_global;
+        Printf.printf "theorem line  : %.4f (c u logD / loglogD)\n"
+          r.Fan_lynch.lower_bound
+    | `Linear ->
+        let r = Linear.attack ~spec ~algo ~seed ~n () in
+        Printf.printf "linear attack on line:%d against %s\n" n
+          (Algorithm.kind_name algo);
+        Printf.printf "forced global : %.4f\n" r.Linear.forced_global;
+        Printf.printf "forced local  : %.4f\n" r.Linear.forced_local;
+        Printf.printf "bound u*D/4   : %.4f\n" r.Linear.lower_bound
+    | `Bias ->
+        let r = Bias.attack_ring ~spec ~algo ~seed ~n () in
+        Printf.printf "ring-bias attack on ring:%d against %s\n" n
+          (Algorithm.kind_name algo);
+        Printf.printf "forced local  : %.4f\n" r.Bias.forced_local;
+        Printf.printf "forced global : %.4f\n" r.Bias.forced_global
+    | `Churn ->
+        let graph = Topology.ring n in
+        let cfg =
+          Gcs_adversary.Churn.default_config ~spec ~algo ~seed ~graph ()
+        in
+        let r = Gcs_adversary.Churn.run cfg in
+        Printf.printf "churn (duty %.2f) on ring:%d against %s\n"
+          cfg.Gcs_adversary.Churn.duty n (Algorithm.kind_name algo);
+        Printf.printf "realized loss : %.1f%%\n"
+          (100. *. r.Gcs_adversary.Churn.downtime_fraction);
+        Printf.printf "forced local  : %.4f\n" r.Gcs_adversary.Churn.forced_local;
+        Printf.printf "forced global : %.4f\n" r.Gcs_adversary.Churn.forced_global
+  in
+  let term =
+    Term.(const action $ spec_term $ algo_arg $ kind_arg $ n_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "attack" ~doc:"Run a lower-bound adversary.") term
+
+let bounds_cmd =
+  let d_arg =
+    Arg.(value & opt int 32 & info [ "diameter" ] ~docv:"D" ~doc:"Network diameter.")
+  in
+  let action spec_result d =
+    let spec = or_die spec_result in
+    let u = Spec.uncertainty spec in
+    Printf.printf "instance: u = %g, rho = %g, mu = %g, kappa = %.4f, D = %d\n"
+      u spec.Spec.rho spec.Spec.mu spec.Spec.kappa d;
+    Printf.printf "fan-lynch lower bound   : %.4f\n"
+      (Bounds.fan_lynch_lower ~u ~diameter:d);
+    Printf.printf "gradient local envelope : %.4f\n"
+      (Bounds.gradient_local_upper spec ~diameter:d);
+    Printf.printf "gradient global envelope: %.4f\n"
+      (Bounds.gradient_global_upper spec ~diameter:d);
+    Printf.printf "max-sync global envelope: %.4f\n"
+      (Bounds.max_sync_global_upper spec ~diameter:d);
+    Printf.printf "sigma (log base)        : %.2f\n" (Spec.sigma spec)
+  in
+  let term = Term.(const action $ spec_term $ d_arg) in
+  Cmd.v (Cmd.info "bounds" ~doc:"Print analytic bounds for an instance.") term
+
+let external_cmd =
+  let anchors_conv =
+    Arg.enum [ ("none", `None); ("one", `One); ("sparse", `Sparse); ("all", `All) ]
+  in
+  let anchors_arg =
+    Arg.(
+      value
+      & opt anchors_conv `One
+      & info [ "anchors" ] ~docv:"WHO"
+          ~doc:"Which nodes hold a reference: none, one, sparse (every 8th), all.")
+  in
+  let bias_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "ref-bias" ] ~docv:"B" ~doc:"Constant reference error.")
+  in
+  let wander_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "ref-wander" ] ~docv:"W" ~doc:"Reference error wander amplitude.")
+  in
+  let action spec_result topo horizon seed anchors bias wander =
+    let spec = or_die spec_result in
+    let graph = build_graph topo seed in
+    let reference =
+      Gcs_core.External_sync.noisy_reference ~bias ~wander
+        ~period:(horizon /. 10.) ~phase:0.7
+    in
+    let anchor_fn =
+      match anchors with
+      | `None -> fun _ -> None
+      | `One -> fun v -> if v = 0 then Some reference else None
+      | `Sparse -> fun v -> if v mod 8 = 0 then Some reference else None
+      | `All -> fun _ -> Some reference
+    in
+    let algo = Gcs_core.External_sync.algorithm ~anchors:anchor_fn in
+    let cfg =
+      Runner.config ~spec ~algo:Algorithm.Gradient_sync ~override:algo
+        ~horizon ~seed graph
+    in
+    let r = Runner.run cfg in
+    let rt =
+      Array.fold_left
+        (fun acc (s : Metrics.sample) ->
+          if s.Metrics.time >= horizon /. 2. then
+            Float.max acc
+              (Metrics.real_time_skew ~time:s.Metrics.time s.Metrics.values)
+          else acc)
+        0. r.Runner.samples
+    in
+    Printf.printf "external synchronization on %s\n" (Topology.spec_name topo);
+    Printf.printf "real-time skew (post-convergence) : %.4f\n" rt;
+    Printf.printf "max local skew                    : %.4f\n"
+      r.Runner.summary.Metrics.max_local;
+    Printf.printf "max global skew                   : %.4f\n"
+      r.Runner.summary.Metrics.max_global
+  in
+  let term =
+    Term.(
+      const action $ spec_term $ topology_arg $ horizon_arg $ seed_arg
+      $ anchors_arg $ bias_arg $ wander_arg)
+  in
+  Cmd.v
+    (Cmd.info "external" ~doc:"Run external synchronization against a reference.")
+    term
+
+let trace_cmd =
+  let tail_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "tail" ] ~docv:"N" ~doc:"How many trailing events to print.")
+  in
+  let action spec_result topo algo horizon seed tail =
+    let spec = or_die spec_result in
+    let graph = build_graph topo seed in
+    let cfg = Runner.config ~spec ~algo ~horizon ~seed graph in
+    let live = Runner.prepare cfg in
+    let trace = Gcs_sim.Trace.create ~capacity:(max tail 1) () in
+    Gcs_sim.Trace.attach trace live.Runner.engine;
+    let r = Runner.complete live in
+    Printf.printf "run: %s on %s, horizon %g\n" (Algorithm.kind_name algo)
+      (Topology.spec_name topo) horizon;
+    Printf.printf
+      "observations: %d sends, %d delivers, %d drops, %d timers, %d rate changes\n"
+      (Gcs_sim.Trace.count_sends trace)
+      (Gcs_sim.Trace.count_delivers trace)
+      (Gcs_sim.Trace.count_drops trace)
+      (Gcs_sim.Trace.count_timers trace)
+      (Gcs_sim.Trace.count_rate_changes trace);
+    Printf.printf "final skews: local %.4f, global %.4f\n"
+      r.Runner.summary.Metrics.final_local r.Runner.summary.Metrics.final_global;
+    Printf.printf "\nlast %d events:\n" (Gcs_sim.Trace.length trace);
+    List.iter
+      (fun e -> print_endline (Gcs_sim.Trace.entry_to_string e))
+      (Gcs_sim.Trace.entries trace)
+  in
+  let term =
+    Term.(
+      const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
+      $ seed_arg $ tail_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a simulation and print its event trace tail.")
+    term
+
+let () =
+  let info =
+    Cmd.info "gcs-cli" ~version:"1.0.0"
+      ~doc:"Gradient clock synchronization (Fan & Lynch, PODC 2004) simulator"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; compare_cmd; attack_cmd; bounds_cmd; external_cmd; trace_cmd ]))

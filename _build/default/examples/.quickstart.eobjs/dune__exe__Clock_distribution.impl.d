@@ -1,0 +1,1 @@
+examples/clock_distribution.ml: Gcs_core Gcs_graph Gcs_util List Printf

@@ -1,0 +1,1 @@
+examples/datacenter.ml: Array Float Gcs_adversary Gcs_clock Gcs_core Gcs_graph Printf

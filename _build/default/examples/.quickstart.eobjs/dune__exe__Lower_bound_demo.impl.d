@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Gcs_adversary Gcs_core Gcs_util List Printf

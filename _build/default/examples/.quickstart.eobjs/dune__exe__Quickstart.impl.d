@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Gcs_core Gcs_graph Gcs_util Printf

@@ -1,0 +1,1 @@
+examples/wireless_network.ml: Array Float Gcs_core Gcs_graph Gcs_sim Gcs_util List Printf

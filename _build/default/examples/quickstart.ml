@@ -1,0 +1,48 @@
+(* Quickstart: synchronize a 16-node ring with the gradient algorithm and
+   print the skews an operator would care about.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Topology = Gcs_graph.Topology
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Bounds = Gcs_core.Bounds
+module Shortest_path = Gcs_graph.Shortest_path
+module Table = Gcs_util.Table
+
+let () =
+  let graph = Topology.ring 16 in
+  let spec = Spec.make () in
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync ~horizon:400. ~seed:7
+      graph
+  in
+  let result = Runner.run cfg in
+  let s = result.Runner.summary in
+  let diameter = Shortest_path.diameter graph in
+  Printf.printf "Gradient clock synchronization on a 16-node ring\n";
+  Printf.printf "------------------------------------------------\n";
+  Printf.printf "diameter                 : %d\n" diameter;
+  Printf.printf "delay uncertainty u      : %g\n" (Spec.uncertainty spec);
+  Printf.printf "drift bound rho          : %g\n" spec.Spec.rho;
+  Printf.printf "skew quantum kappa       : %.3f\n" spec.Spec.kappa;
+  Printf.printf "messages sent            : %d\n" result.Runner.messages;
+  Printf.printf "max local skew           : %.3f\n" s.Metrics.max_local;
+  Printf.printf "max global skew          : %.3f\n" s.Metrics.max_global;
+  Printf.printf "analytic local envelope  : %.3f\n"
+    (Bounds.gradient_local_upper spec ~diameter);
+  Printf.printf "\nEmpirical gradient profile (max skew by hop distance):\n";
+  let profile =
+    Metrics.max_gradient_profile graph result.Runner.samples
+      ~after:cfg.Runner.warmup
+  in
+  Table.print ~title:"f(distance)"
+    ~columns:[ Table.column ~align:Table.Left "distance"; Table.column "max skew" ]
+    ~rows:
+      (Array.to_list
+         (Array.mapi
+            (fun i skew ->
+              [ string_of_int (i + 1); Table.fmt_float skew ])
+            profile))

@@ -1,0 +1,81 @@
+(* Wireless base-station synchronization.
+
+   Base stations in a cellular deployment synchronize over the air to align
+   transmission slots; what matters is the skew between *interfering*
+   (nearby) stations, not stations at opposite ends of the deployment — the
+   textbook case for gradient clock synchronization. We model the
+   deployment as a random geometric graph (stations connect within radio
+   range) with heavy delay jitter, run the gradient algorithm, and show
+   that skew degrades gracefully with hop distance. A second run adds
+   mobile relays: per-message delays track the current distance between
+   endpoints (random-waypoint motion).
+
+   Run with: dune exec examples/wireless_network.exe *)
+
+module Topology = Gcs_graph.Topology
+module Graph = Gcs_graph.Graph
+module Shortest_path = Gcs_graph.Shortest_path
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Prng = Gcs_util.Prng
+module Table = Gcs_util.Table
+
+let () =
+  let rng = Prng.create ~seed:2024 in
+  let graph, _positions = Topology.random_geometric ~n:60 ~radius:0.22 ~rng in
+  let diameter = Shortest_path.diameter graph in
+  (* Radio environment: wide delay band (multipath, MAC contention),
+     mid-grade oscillators. *)
+  let spec =
+    Spec.make ~rho:5e-3 ~mu:0.08 ~d_min:0.2 ~d_max:1.8 ~beacon_period:1. ()
+  in
+  Printf.printf
+    "Wireless deployment: %d stations, %d links, diameter %d, u = %g\n"
+    (Graph.n graph) (Graph.m graph) diameter (Spec.uncertainty spec);
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync ~horizon:2500.
+      ~sample_period:2. ~seed:5 graph
+  in
+  let result = Runner.run cfg in
+  let s = result.Runner.summary in
+  Printf.printf "max local skew  : %.3f (slot guard-band the system needs)\n"
+    s.Metrics.max_local;
+  Printf.printf "max global skew : %.3f\n" s.Metrics.max_global;
+  let profile =
+    Metrics.max_gradient_profile graph result.Runner.samples
+      ~after:cfg.Runner.warmup
+  in
+  Table.print ~title:"Skew gradient across the deployment"
+    ~columns:
+      [ Table.column ~align:Table.Left "hop distance"; Table.column "max skew" ]
+    ~rows:
+      (List.filteri
+         (fun i _ -> i < diameter)
+         (Array.to_list
+            (Array.mapi
+               (fun i skew -> [ string_of_int (i + 1); Table.fmt_float skew ])
+               profile)));
+  (* The headline property: neighbors are far better synchronized than the
+     global envelope suggests. *)
+  let tighter = s.Metrics.max_global /. Float.max s.Metrics.max_local 1e-9 in
+  Printf.printf
+    "\nNeighbors are %.1fx better synchronized than the global skew.\n" tighter;
+
+  (* Mobile variant: the same deployment with delays tracking motion. *)
+  let cfg_mobile =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync
+      ~delay_kind:Runner.Controlled_delays ~horizon:2500. ~sample_period:2.
+      ~seed:5 graph
+  in
+  let live = Runner.prepare cfg_mobile in
+  let mobility =
+    Gcs_sim.Mobility.random_waypoint ~n:(Graph.n graph) ~speed:0.05
+      ~horizon:2500. ~rng:(Prng.create ~seed:77)
+  in
+  live.Runner.chooser :=
+    Some (Gcs_sim.Mobility.delay_chooser mobility ~bounds:spec.Spec.delay);
+  let mobile = Runner.complete live in
+  Printf.printf "with mobile relays: max local skew %.3f (static: %.3f)\n"
+    mobile.Runner.summary.Metrics.max_local s.Metrics.max_local

@@ -1,0 +1,1 @@
+lib/adversary/bias.ml: Float Gcs_clock Gcs_core Gcs_graph Gcs_sim

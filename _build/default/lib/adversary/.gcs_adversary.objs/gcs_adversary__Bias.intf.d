@@ -1,0 +1,1 @@
+lib/adversary/bias.mli: Gcs_core Gcs_graph

@@ -1,0 +1,1 @@
+lib/adversary/churn.ml: Array Float Gcs_core Gcs_graph Gcs_util List

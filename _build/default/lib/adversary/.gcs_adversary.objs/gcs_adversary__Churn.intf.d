@@ -1,0 +1,1 @@
+lib/adversary/churn.mli: Gcs_core Gcs_graph Gcs_util

@@ -1,0 +1,1 @@
+lib/adversary/crash.ml: Array Float Gcs_clock Gcs_core Gcs_graph List

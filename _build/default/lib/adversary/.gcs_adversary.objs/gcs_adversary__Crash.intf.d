@@ -1,0 +1,1 @@
+lib/adversary/crash.mli: Gcs_clock Gcs_core Gcs_graph

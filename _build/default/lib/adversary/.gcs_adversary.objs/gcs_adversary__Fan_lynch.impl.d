@@ -1,0 +1,1 @@
+lib/adversary/fan_lynch.ml: Array Float Gcs_clock Gcs_core Gcs_graph Gcs_sim Gcs_util List

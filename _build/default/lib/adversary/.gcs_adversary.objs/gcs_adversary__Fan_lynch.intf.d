@@ -1,0 +1,1 @@
+lib/adversary/fan_lynch.mli: Gcs_core

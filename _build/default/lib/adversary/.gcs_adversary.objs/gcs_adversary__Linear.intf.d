@@ -1,0 +1,1 @@
+lib/adversary/linear.mli: Gcs_core

@@ -1,0 +1,1 @@
+lib/adversary/search.mli: Gcs_core

@@ -1,0 +1,54 @@
+module Delay_model = Gcs_sim.Delay_model
+module Topology = Gcs_graph.Topology
+module Graph = Gcs_graph.Graph
+module Shortest_path = Gcs_graph.Shortest_path
+module Drift = Gcs_clock.Drift
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+
+type orientation = src:int -> dst:int -> bool
+
+let ring_orientation ~n ~src ~dst = (src + 1) mod n = dst
+
+type report = {
+  result : Runner.result;
+  forced_local : float;
+  forced_global : float;
+}
+
+let attack ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync) ?horizon
+    ?(seed = 42) ~graph ~orientation () =
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None -> 60. *. float_of_int (max 4 (Shortest_path.diameter graph))
+  in
+  let run_cfg =
+    Runner.config ~spec ~algo ~delay_kind:Runner.Controlled_delays ~horizon
+      ~sample_period:(Float.max 0.5 (horizon /. 1000.))
+      ~warmup:0. ~seed graph
+  in
+  let live = Runner.prepare run_cfg in
+  let b = spec.Spec.delay in
+  live.Runner.chooser :=
+    Some
+      (fun ~edge:_ ~src ~dst ~now:_ ->
+        if orientation ~src ~dst then b.Delay_model.d_max
+        else b.Delay_model.d_min);
+  let result = Runner.complete live in
+  let tail =
+    Metrics.summarize graph result.Runner.samples ~after:(0.75 *. horizon)
+  in
+  {
+    result;
+    forced_local = tail.Metrics.max_local;
+    forced_global = tail.Metrics.max_global;
+  }
+
+let attack_ring ?spec ?algo ?horizon ?seed ~n () =
+  if n < 3 then invalid_arg "Bias.attack_ring: n must be >= 3";
+  attack ?spec ?algo ?horizon ?seed ~graph:(Topology.ring n)
+    ~orientation:(fun ~src ~dst -> ring_orientation ~n ~src ~dst)
+    ()

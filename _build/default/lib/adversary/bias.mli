@@ -1,0 +1,51 @@
+(** The directional delay-bias adversary.
+
+    The cheapest attack in the Fan-Lynch arsenal: pick a consistent
+    orientation of the edges and deliver every message [d_max] along the
+    orientation and [d_min] against it. Each hop's offset estimate is then
+    biased by u/2 in the same direction, invisibly to any algorithm
+    (two-way exchanges are fooled equally, since request and reply see
+    opposite directions).
+
+    On a ring this is devastating for tree-based synchronization: both
+    branches of the BFS tree inherit opposite biases, so the skew across
+    the edge closing the cycle grows as Theta(u * D) — while the gradient
+    algorithm, which balances *perceived* offsets around the whole
+    neighborhood, keeps every edge within O(kappa). This is experiment E3's
+    separation mechanism. *)
+
+type orientation = src:int -> dst:int -> bool
+(** [true] when the message travels "with" the orientation (gets [d_max]). *)
+
+val ring_orientation : n:int -> orientation
+(** Clockwise = with the orientation. *)
+
+type report = {
+  result : Gcs_core.Runner.result;
+  forced_local : float;  (** max local skew over the final quarter *)
+  forced_global : float;
+}
+
+val attack :
+  ?spec:Gcs_core.Spec.t ->
+  ?algo:Gcs_core.Algorithm.kind ->
+  ?horizon:float ->
+  ?seed:int ->
+  graph:Gcs_graph.Graph.t ->
+  orientation:orientation ->
+  unit ->
+  report
+(** Run with the bias installed for the whole horizon; hardware clocks drift
+    at per-node random constant rates (the benign default), so the bias is
+    the only adversarial ingredient. [horizon] defaults to 60 times the
+    graph diameter. *)
+
+val attack_ring :
+  ?spec:Gcs_core.Spec.t ->
+  ?algo:Gcs_core.Algorithm.kind ->
+  ?horizon:float ->
+  ?seed:int ->
+  n:int ->
+  unit ->
+  report
+(** [attack] on a ring of [n] nodes with {!ring_orientation}. *)

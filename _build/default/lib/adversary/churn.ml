@@ -1,0 +1,93 @@
+module Graph = Gcs_graph.Graph
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Prng = Gcs_util.Prng
+
+type config = {
+  spec : Spec.t;
+  graph : Graph.t;
+  algo : Algorithm.kind;
+  duty : float;
+  mean_down : float;
+  horizon : float;
+  seed : int;
+}
+
+type report = {
+  result : Runner.result;
+  forced_local : float;
+  forced_global : float;
+  downtime_fraction : float;
+}
+
+let default_config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
+    ?(duty = 0.2) ?(mean_down = 10.) ?(horizon = 600.) ?(seed = 42) ~graph () =
+  if duty < 0. || duty >= 1. then
+    invalid_arg "Churn.default_config: duty must be in [0, 1)";
+  if mean_down <= 0. then
+    invalid_arg "Churn.default_config: mean_down must be > 0";
+  { spec; graph; algo; duty; mean_down; horizon; seed }
+
+let windows ~duty ~mean_down ~horizon ~rng =
+  if duty <= 0. then [||]
+  else begin
+    let mean_up = mean_down *. (1. -. duty) /. duty in
+    let acc = ref [] in
+    let t = ref (Prng.exponential rng ~rate:(1. /. mean_up)) in
+    while !t < horizon do
+      let down = Prng.exponential rng ~rate:(1. /. mean_down) in
+      let stop = Float.min horizon (!t +. down) in
+      acc := (!t, stop) :: !acc;
+      t := stop +. Prng.exponential rng ~rate:(1. /. mean_up)
+    done;
+    Array.of_list (List.rev !acc)
+  end
+
+let down_at windows now =
+  (* Windows are sorted and disjoint; binary search the last start <= now. *)
+  let n = Array.length windows in
+  if n = 0 then false
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) and found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst windows.(mid) <= now then begin
+        found := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    !found >= 0 && now < snd windows.(!found)
+  end
+
+let run cfg =
+  let rng = Prng.create ~seed:(cfg.seed lxor 0xC0FFEE) in
+  let per_edge =
+    Array.init (Graph.m cfg.graph) (fun _ ->
+        windows ~duty:cfg.duty ~mean_down:cfg.mean_down ~horizon:cfg.horizon
+          ~rng:(Prng.split rng))
+  in
+  let loss ~edge ~src:_ ~dst:_ ~now =
+    if down_at per_edge.(edge) now then 1. else 0.
+  in
+  let run_cfg =
+    Runner.config ~spec:cfg.spec ~algo:cfg.algo ~loss:(Runner.Custom_loss loss)
+      ~horizon:cfg.horizon ~warmup:0. ~seed:cfg.seed cfg.graph
+  in
+  let result = Runner.run run_cfg in
+  let tail =
+    Metrics.summarize cfg.graph result.Runner.samples
+      ~after:(0.5 *. cfg.horizon)
+  in
+  let downtime_fraction =
+    if result.Runner.messages = 0 then 0.
+    else float_of_int result.Runner.dropped /. float_of_int result.Runner.messages
+  in
+  {
+    result;
+    forced_local = tail.Metrics.max_local;
+    forced_global = tail.Metrics.max_global;
+    downtime_fraction;
+  }

@@ -1,0 +1,51 @@
+(** Link churn: edges go down for random intervals and come back.
+
+    The GCS literature (dynamic-graph gradient synchronization) asks how the
+    algorithms behave when the communication graph is only intermittently
+    available. We model a down link as a message-loss probability of 1 over
+    a time window; beacon-based algorithms carry soft state, so they coast
+    on stale estimates through an outage and re-converge afterwards.
+
+    Windows are sampled per edge as an alternating renewal process:
+    exponentially distributed up and down durations tuned so that each link
+    is down a [duty] fraction of the time. *)
+
+type config = {
+  spec : Gcs_core.Spec.t;
+  graph : Gcs_graph.Graph.t;
+  algo : Gcs_core.Algorithm.kind;
+  duty : float;  (** long-run fraction of time each link is down, in [0, 1) *)
+  mean_down : float;  (** mean duration of one outage *)
+  horizon : float;
+  seed : int;
+}
+
+type report = {
+  result : Gcs_core.Runner.result;
+  forced_local : float;  (** max local skew over the final half *)
+  forced_global : float;
+  downtime_fraction : float;  (** realized fraction of dropped messages *)
+}
+
+val default_config :
+  ?spec:Gcs_core.Spec.t ->
+  ?algo:Gcs_core.Algorithm.kind ->
+  ?duty:float ->
+  ?mean_down:float ->
+  ?horizon:float ->
+  ?seed:int ->
+  graph:Gcs_graph.Graph.t ->
+  unit ->
+  config
+(** Defaults: duty 0.2, mean outage 10 time units, horizon 600. *)
+
+val windows :
+  duty:float ->
+  mean_down:float ->
+  horizon:float ->
+  rng:Gcs_util.Prng.t ->
+  (float * float) array
+(** Sample one edge's down-windows (sorted, disjoint [start, stop) pairs).
+    Exposed for tests. *)
+
+val run : config -> report

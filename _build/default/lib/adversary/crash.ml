@@ -1,0 +1,56 @@
+module Graph = Gcs_graph.Graph
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+
+type config = {
+  spec : Spec.t;
+  graph : Graph.t;
+  algo : Algorithm.kind;
+  crashes : (int * float) list;
+  drift_of_node : int -> Gcs_clock.Drift.pattern;
+  horizon : float;
+  seed : int;
+}
+
+type report = {
+  result : Runner.result;
+  alive : int -> bool;
+  live_local : float;
+  live_global : float;
+}
+
+let default_config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
+    ?(drift_of_node = fun _ -> Gcs_clock.Drift.Random_constant)
+    ?(horizon = 600.) ?(seed = 42) ~crashes ~graph () =
+  { spec; graph; algo; crashes; drift_of_node; horizon; seed }
+
+let run cfg =
+  let n = Graph.n cfg.graph in
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= n then invalid_arg "Crash.run: node out of range")
+    cfg.crashes;
+  let crash_time = Array.make n infinity in
+  List.iter
+    (fun (v, t) -> crash_time.(v) <- Float.min crash_time.(v) t)
+    cfg.crashes;
+  let loss ~edge:_ ~src ~dst:_ ~now = if now >= crash_time.(src) then 1. else 0. in
+  let run_cfg =
+    Runner.config ~spec:cfg.spec ~algo:cfg.algo
+      ~drift_of_node:cfg.drift_of_node ~loss:(Runner.Custom_loss loss)
+      ~horizon:cfg.horizon ~warmup:0. ~seed:cfg.seed cfg.graph
+  in
+  let result = Runner.run run_cfg in
+  let alive v = not (Float.is_finite crash_time.(v)) in
+  let tail =
+    Metrics.summarize ~alive cfg.graph result.Runner.samples
+      ~after:(0.75 *. cfg.horizon)
+  in
+  {
+    result;
+    alive;
+    live_local = tail.Metrics.max_local;
+    live_global = tail.Metrics.max_global;
+  }

@@ -1,0 +1,51 @@
+(** Crash faults: nodes that fall silent.
+
+    A crashed node stops sending (its outgoing messages are dropped at the
+    source) but its clock keeps freewheeling — the usual fail-silent
+    model. What matters is the *live* part of the network: do the
+    surviving nodes keep their mutual skew bounded once the crashed node's
+    stale estimates age out of their triggers?
+
+    The estimate staleness limit ([Spec.staleness_limit]) is the mechanism
+    under test: without expiry, a live neighbor keeps extrapolating the
+    crashed node's clock, concludes it is falling ever further behind, and
+    the fast-trigger's blocking clause freezes the neighbor out of
+    synchronization permanently. With expiry, the phantom disappears after
+    a few silent periods and the survivors re-converge. Experiment E16
+    shows both behaviours. *)
+
+type config = {
+  spec : Gcs_core.Spec.t;
+  graph : Gcs_graph.Graph.t;
+  algo : Gcs_core.Algorithm.kind;
+  crashes : (int * float) list;  (** (node, crash time) pairs *)
+  drift_of_node : int -> Gcs_clock.Drift.pattern;
+      (** the phantom-estimate problem only bites when drift forces the
+          survivors to actually use the fast trigger *)
+  horizon : float;
+  seed : int;
+}
+
+type report = {
+  result : Gcs_core.Runner.result;
+  alive : int -> bool;  (** nodes that never crash *)
+  live_local : float;
+      (** max local skew among live-live edges over the final quarter *)
+  live_global : float;  (** max global skew among live nodes, final quarter *)
+}
+
+val default_config :
+  ?spec:Gcs_core.Spec.t ->
+  ?algo:Gcs_core.Algorithm.kind ->
+  ?drift_of_node:(int -> Gcs_clock.Drift.pattern) ->
+  ?horizon:float ->
+  ?seed:int ->
+  crashes:(int * float) list ->
+  graph:Gcs_graph.Graph.t ->
+  unit ->
+  config
+
+val run : config -> report
+(** Raises [Invalid_argument] if a crash names a node outside the graph.
+    The caller is responsible for the live subgraph staying connected if
+    the live skews are to be meaningful. *)

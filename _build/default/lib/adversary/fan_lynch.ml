@@ -1,0 +1,162 @@
+module Engine = Gcs_sim.Engine
+module Delay_model = Gcs_sim.Delay_model
+module Topology = Gcs_graph.Topology
+module Drift = Gcs_clock.Drift
+module Logical_clock = Gcs_clock.Logical_clock
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Bounds = Gcs_core.Bounds
+module Message = Gcs_core.Message
+module Prng = Gcs_util.Prng
+
+type config = {
+  spec : Spec.t;
+  n : int;
+  algo : Algorithm.kind;
+  shrink : int;
+  phase_crossings : float;
+  tail : float;
+  seed : int;
+}
+
+and report = {
+  config : config;
+  result : Runner.result;
+  forced_local : float;
+  forced_global : float;
+  phases : int;
+  horizon : float;
+  lower_bound : float;
+}
+
+let default_config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
+    ?shrink ?(phase_crossings = 6.) ?(tail = 0.25) ?(seed = 42) ~n () =
+  if n < 2 then invalid_arg "Fan_lynch.default_config: n must be >= 2";
+  let shrink =
+    match shrink with
+    | Some s ->
+        if s < 2 then invalid_arg "Fan_lynch: shrink must be >= 2";
+        s
+    | None ->
+        max 2 (int_of_float (Float.ceil (Gcs_util.Stats.log2 (float_of_int n))))
+  in
+  { spec; n; algo; shrink; phase_crossings; tail; seed }
+
+(* One phase per interval scale, plus the final single-edge scale. *)
+let plan_phases cfg =
+  let rec go len acc =
+    if len <= 1 then List.rev (1 :: acc)
+    else go (max 1 (len / cfg.shrink)) (len :: acc)
+  in
+  go (cfg.n - 1) []
+
+let phase_duration cfg len =
+  let d_max = cfg.spec.Spec.delay.Delay_model.d_max in
+  cfg.phase_crossings *. float_of_int len *. d_max
+  |> Float.max (4. *. cfg.spec.Spec.beacon_period)
+
+let total_horizon cfg =
+  let body =
+    List.fold_left (fun acc len -> acc +. phase_duration cfg len) 0.
+      (plan_phases cfg)
+  in
+  body /. (1. -. cfg.tail)
+
+(* Mutable attack state shared between the delay chooser and the phase
+   controller. [lo, hi] is the current attack interval (node indices on the
+   line); [forward] is the direction in which skew is being amplified:
+   [true] means the low end is the fast side. *)
+type state = {
+  mutable lo : int;
+  mutable hi : int;
+  mutable forward : bool;
+  mutable phases_run : int;
+}
+
+let inside st v = v >= st.lo && v <= st.hi
+
+let fast_side st v =
+  let midpoint = (st.lo + st.hi) / 2 in
+  if st.forward then v <= midpoint else v > midpoint
+
+(* Delay choice: beacons leaving the fast half travel slowly (d_max), hiding
+   the sender's lead; beacons leaving the slow half travel fast (d_min),
+   making the trailer look current. Everything else takes the midpoint. *)
+let choose_delay st (b : Delay_model.bounds) ~src ~dst =
+  let mid = 0.5 *. (b.Delay_model.d_min +. b.Delay_model.d_max) in
+  if not (inside st src && inside st dst) then mid
+  else if fast_side st src && not (fast_side st dst) then b.Delay_model.d_max
+  else if (not (fast_side st src)) && fast_side st dst then b.Delay_model.d_min
+  else mid
+
+(* Rate assignment for the current phase: fast half at 1 + rho, slow half
+   and all outsiders at 1. *)
+let apply_rates st (live : Runner.live) ~rho =
+  let n = Array.length live.Runner.logical in
+  for v = 0 to n - 1 do
+    let rate = if inside st v && fast_side st v then 1. +. rho else 1. in
+    Engine.set_node_rate live.Runner.engine ~node:v ~rate
+  done
+
+(* Pick the sub-interval of length [len] whose endpoints currently carry the
+   largest absolute logical skew; set the push direction to amplify it. *)
+let refocus st (live : Runner.live) ~len =
+  let sample = Runner.snapshot live in
+  let values = sample.Metrics.values in
+  let best = ref (st.lo, true, neg_infinity) in
+  for lo = st.lo to st.hi - len do
+    let signed = values.(lo) -. values.(lo + len) in
+    if Float.abs signed > (fun (_, _, b) -> b) !best then
+      best := (lo, signed >= 0., Float.abs signed)
+  done;
+  let lo, forward, _ = !best in
+  st.lo <- lo;
+  st.hi <- lo + len;
+  st.forward <- forward
+
+let attack cfg =
+  let graph = Topology.line cfg.n in
+  let horizon = total_horizon cfg in
+  let run_cfg =
+    Runner.config ~spec:cfg.spec ~algo:cfg.algo
+      ~drift_of_node:(fun _ -> Drift.Constant 1.)
+      ~delay_kind:Runner.Controlled_delays ~horizon
+      ~sample_period:(Float.max 0.25 (horizon /. 2000.))
+      ~warmup:0. ~seed:cfg.seed graph
+  in
+  let live = Runner.prepare run_cfg in
+  let st = { lo = 0; hi = cfg.n - 1; forward = true; phases_run = 0 } in
+  let bounds = cfg.spec.Spec.delay in
+  live.Runner.chooser :=
+    Some (fun ~edge:_ ~src ~dst ~now:_ -> choose_delay st bounds ~src ~dst);
+  let phases = plan_phases cfg in
+  (* Schedule phase transitions as control events. *)
+  let rec schedule at = function
+    | [] -> ()
+    | len :: rest ->
+        Engine.schedule_control live.Runner.engine ~at (fun () ->
+            if st.phases_run > 0 then refocus st live ~len;
+            st.phases_run <- st.phases_run + 1;
+            apply_rates st live ~rho:cfg.spec.Spec.rho);
+        schedule (at +. phase_duration cfg len) rest
+  in
+  schedule 0. phases;
+  let result = Runner.complete live in
+  let tail_start = horizon *. (1. -. cfg.tail) in
+  let tail_summary =
+    Metrics.summarize graph result.Runner.samples ~after:tail_start
+  in
+  {
+    config = cfg;
+    result;
+    forced_local = tail_summary.Metrics.max_local;
+    forced_global = tail_summary.Metrics.max_global;
+    phases = st.phases_run;
+    horizon;
+    lower_bound =
+      Bounds.fan_lynch_lower
+        ~u:(Spec.uncertainty cfg.spec)
+        ~diameter:(cfg.n - 1);
+  }

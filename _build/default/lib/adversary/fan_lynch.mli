@@ -1,0 +1,70 @@
+(** The Fan-Lynch lower-bound adversary, made executable.
+
+    The PODC 2004 proof shows every GCS algorithm admits executions with
+    local skew Omega(u * log D / log log D) on a line of diameter D. The
+    proof's adversary has exactly two levers, both of which our simulator
+    exposes to controllers: per-node hardware drift within [1, 1 + rho]
+    (via [Engine.set_node_rate]) and per-message delays within
+    [d_min, d_max] (via the runner's controlled-delay chooser). It is
+    omniscient — it reads true logical clock values — but cannot touch
+    algorithm state.
+
+    The executable strategy follows the proof's phase structure:
+
+    - maintain an attack interval of the line, initially the whole line;
+    - during a phase, run the interval's leading half at maximum drift and
+      the trailing half at minimum, while skewing message delays so that
+      beacons *from* the fast half travel at [d_max] and beacons from the
+      slow half at [d_min] — each observer then mis-estimates its
+      neighbor's clock by u/2 in the direction that hides the buildup;
+    - a phase lasts long enough for information to cross the interval a
+      few times (the "bounded increase" window in which the algorithm
+      cannot shed interval-internal skew);
+    - at the end of a phase, pick the sub-interval (shrunk by roughly a
+      log D factor, as in the proof) currently carrying the largest signed
+      skew and recurse into it, pushing in the direction that amplifies it;
+    - once the interval is a single edge, keep pressing until the horizon.
+
+    The report compares the skew the attack forces against the theorem's
+    c * u * log D / log log D line. *)
+
+type config = {
+  spec : Gcs_core.Spec.t;
+  n : int;  (** line length (diameter is n - 1) *)
+  algo : Gcs_core.Algorithm.kind;
+  shrink : int;
+      (** interval shrink factor per phase; the proof's choice is about
+          log2 D, the default *)
+  phase_crossings : float;
+      (** phase length in units of the time needed to cross the current
+          interval at [d_max] *)
+  tail : float;  (** fraction of the horizon reserved for the final edge *)
+  seed : int;
+}
+
+and report = {
+  config : config;
+  result : Gcs_core.Runner.result;
+  forced_local : float;
+      (** max local skew over the attack tail (the theorem's quantity) *)
+  forced_global : float;
+  phases : int;
+  horizon : float;
+  lower_bound : float;  (** {!Bounds.fan_lynch_lower} for this instance *)
+}
+
+val default_config :
+  ?spec:Gcs_core.Spec.t ->
+  ?algo:Gcs_core.Algorithm.kind ->
+  ?shrink:int ->
+  ?phase_crossings:float ->
+  ?tail:float ->
+  ?seed:int ->
+  n:int ->
+  unit ->
+  config
+(** [shrink] defaults to [max 2 (ceil (log2 n))], [phase_crossings] to 6,
+    [tail] to 0.25, [algo] to [Gradient_sync]. *)
+
+val attack : config -> report
+(** Run the full attack and measure what it forced. *)

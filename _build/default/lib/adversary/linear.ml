@@ -1,0 +1,58 @@
+module Engine = Gcs_sim.Engine
+module Delay_model = Gcs_sim.Delay_model
+module Topology = Gcs_graph.Topology
+module Drift = Gcs_clock.Drift
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+
+type report = {
+  result : Runner.result;
+  forced_global : float;
+  forced_local : float;
+  lower_bound : float;
+}
+
+let attack ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync) ?horizon
+    ?(seed = 42) ~n () =
+  if n < 2 then invalid_arg "Linear.attack: n must be >= 2";
+  let u = Spec.uncertainty spec in
+  let d = float_of_int (n - 1) in
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None ->
+        (* Enough time for drift at rate rho to build the hideable u * D of
+           skew, capped to keep large instances affordable. *)
+        if spec.Spec.rho = 0. then 200.
+        else Float.min 20_000. (u *. d /. spec.Spec.rho)
+  in
+  let graph = Topology.line n in
+  let midpoint = (n - 1) / 2 in
+  let fast v = v <= midpoint in
+  let run_cfg =
+    Runner.config ~spec ~algo
+      ~drift_of_node:(fun v ->
+        if fast v then Drift.Extreme_high else Drift.Extreme_low)
+      ~delay_kind:Runner.Controlled_delays ~horizon
+      ~sample_period:(Float.max 0.5 (horizon /. 1000.))
+      ~warmup:0. ~seed graph
+  in
+  let live = Runner.prepare run_cfg in
+  let b = spec.Spec.delay in
+  let mid_delay = 0.5 *. (b.Delay_model.d_min +. b.Delay_model.d_max) in
+  live.Runner.chooser :=
+    Some
+      (fun ~edge:_ ~src ~dst ~now:_ ->
+        if fast src && not (fast dst) then b.Delay_model.d_max
+        else if (not (fast src)) && fast dst then b.Delay_model.d_min
+        else mid_delay);
+  let result = Runner.complete live in
+  let tail = Metrics.summarize graph result.Runner.samples ~after:(0.75 *. horizon) in
+  {
+    result;
+    forced_global = tail.Metrics.max_global;
+    forced_local = tail.Metrics.max_local;
+    lower_bound = u *. d /. 4.;
+  }

@@ -1,0 +1,27 @@
+(** The linear global-skew adversary (the Biaz-Welch-style context bound).
+
+    The Fan-Lynch paper motivates GCS with the fact that *global* skew must
+    grow linearly in the diameter: delay uncertainty hides up to u of offset
+    per hop, so across a line of diameter D an adversary can keep
+    Omega(u * D) of skew invisible to any algorithm. This controller runs
+    the single-phase version of the attack — one half fast, one half slow,
+    delays skewed to hide it — for the whole horizon and reports the global
+    skew it forced next to the u * D / 4 reference line. *)
+
+type report = {
+  result : Gcs_core.Runner.result;
+  forced_global : float;  (** max global skew over the final quarter *)
+  forced_local : float;
+  lower_bound : float;  (** u * D / 4 *)
+}
+
+val attack :
+  ?spec:Gcs_core.Spec.t ->
+  ?algo:Gcs_core.Algorithm.kind ->
+  ?horizon:float ->
+  ?seed:int ->
+  n:int ->
+  unit ->
+  report
+(** Attack a line of [n] nodes; [horizon] defaults to enough time for the
+    drift gap to saturate the hideable skew (u * D / rho, capped). *)

@@ -1,0 +1,148 @@
+module Engine = Gcs_sim.Engine
+module Delay_model = Gcs_sim.Delay_model
+module Topology = Gcs_graph.Topology
+module Drift = Gcs_clock.Drift
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+
+type move = {
+  fast_side : [ `Left | `Right | `None ];
+  bias : [ `Forward | `Backward | `Neutral ];
+}
+
+let all_moves =
+  List.concat_map
+    (fun fast_side ->
+      List.map
+        (fun bias -> { fast_side; bias })
+        [ `Forward; `Backward; `Neutral ])
+    [ `Left; `Right; `None ]
+
+type config = {
+  spec : Spec.t;
+  n : int;
+  algo : Algorithm.kind;
+  segments : int;
+  segment_len : float;
+  beam : int;
+  seed : int;
+}
+
+type outcome = {
+  forced_local : float;
+  forced_global : float;
+  plan : move list;
+  evaluations : int;
+}
+
+let default_config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
+    ?(segments = 6) ?segment_len ?(beam = 12) ?(seed = 42) ~n () =
+  if n < 2 then invalid_arg "Search.default_config: n must be >= 2";
+  if segments < 1 then invalid_arg "Search.default_config: segments >= 1";
+  if beam < 1 then invalid_arg "Search.default_config: beam >= 1";
+  let segment_len =
+    match segment_len with
+    | Some l -> l
+    | None ->
+        4. *. float_of_int n *. spec.Spec.delay.Delay_model.d_max
+        |> Float.max (4. *. spec.Spec.beacon_period)
+  in
+  { spec; n; algo; segments; segment_len; beam; seed }
+
+(* Play a move sequence deterministically and return (local, global) skew
+   maxima over the final segment. *)
+let evaluate cfg plan =
+  let graph = Topology.line cfg.n in
+  let horizon = float_of_int (List.length plan) *. cfg.segment_len in
+  let run_cfg =
+    Runner.config ~spec:cfg.spec ~algo:cfg.algo
+      ~drift_of_node:(fun _ -> Drift.Constant 1.)
+      ~delay_kind:Runner.Controlled_delays ~horizon
+      ~sample_period:(Float.max 0.5 (cfg.segment_len /. 50.))
+      ~warmup:0. ~seed:cfg.seed graph
+  in
+  let live = Runner.prepare run_cfg in
+  let b = cfg.spec.Spec.delay in
+  let mid = 0.5 *. (b.Delay_model.d_min +. b.Delay_model.d_max) in
+  let current = ref { fast_side = `None; bias = `Neutral } in
+  live.Runner.chooser :=
+    Some
+      (fun ~edge:_ ~src ~dst ~now:_ ->
+        let forward = dst > src in
+        match (!current).bias with
+        | `Neutral -> mid
+        | `Forward -> if forward then b.Delay_model.d_max else b.Delay_model.d_min
+        | `Backward -> if forward then b.Delay_model.d_min else b.Delay_model.d_max);
+  let midpoint = (cfg.n - 1) / 2 in
+  let apply_move move =
+    current := move;
+    for v = 0 to cfg.n - 1 do
+      let fast =
+        match move.fast_side with
+        | `None -> false
+        | `Left -> v <= midpoint
+        | `Right -> v > midpoint
+      in
+      Engine.set_node_rate live.Runner.engine ~node:v
+        ~rate:(if fast then Spec.vartheta cfg.spec else 1.)
+    done
+  in
+  List.iteri
+    (fun i move ->
+      Engine.schedule_control live.Runner.engine
+        ~at:(float_of_int i *. cfg.segment_len)
+        (fun () -> apply_move move))
+    plan;
+  let result = Runner.complete live in
+  let tail_start = horizon -. cfg.segment_len in
+  let tail =
+    Metrics.summarize graph result.Runner.samples ~after:tail_start
+  in
+  (tail.Metrics.max_local, tail.Metrics.max_global)
+
+let search cfg =
+  let evaluations = ref 0 in
+  let score plan =
+    incr evaluations;
+    evaluate cfg plan
+  in
+  (* Beam search over prefixes, scored by the skew at the prefix's end. *)
+  let initial = [ (0., 0., []) ] in
+  let expand beam_entries =
+    let candidates =
+      List.concat_map
+        (fun (_, _, prefix) ->
+          List.map
+            (fun move ->
+              let plan = prefix @ [ move ] in
+              let local, global = score plan in
+              (local, global, plan))
+            all_moves)
+        beam_entries
+    in
+    let sorted =
+      List.sort
+        (fun (l1, _, _) (l2, _, _) -> Float.compare l2 l1)
+        candidates
+    in
+    let rec take k = function
+      | [] -> []
+      | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+    in
+    take (min cfg.beam (List.length sorted)) sorted
+  in
+  let rec go depth beam_entries =
+    if depth >= cfg.segments then beam_entries
+    else go (depth + 1) (expand beam_entries)
+  in
+  match go 0 initial with
+  | (local, global, plan) :: _ ->
+      {
+        forced_local = local;
+        forced_global = global;
+        plan;
+        evaluations = !evaluations;
+      }
+  | [] -> { forced_local = 0.; forced_global = 0.; plan = []; evaluations = 0 }

@@ -1,0 +1,64 @@
+(** Automated worst-case search over the adversary's decision space.
+
+    The hand-crafted attacks ([Fan_lynch], [Linear], [Bias]) encode the
+    strategies from the proofs. This module instead *searches* for bad
+    executions: time is cut into segments, in each segment the adversary
+    picks one of a small set of moves (which half of the line runs fast,
+    and how message delays are biased), and a beam search over move
+    sequences maximizes the local skew the algorithm ends up with.
+
+    Because the engine cannot snapshot mid-run, every candidate prefix is
+    re-simulated from time zero — determinism makes that exact. The search
+    is exhaustive when the beam is wide enough ([beam >= moves^segments]),
+    and a beam-limited heuristic otherwise.
+
+    This serves two purposes: it validates the hand-crafted adversaries
+    (the searched optimum should not be dramatically stronger — if it
+    were, the crafted attack missed something), and it attacks *new*
+    algorithms for which no proof-derived strategy exists. *)
+
+type move = {
+  fast_side : [ `Left | `Right | `None ];
+      (** which half of the line runs at maximum drift this segment *)
+  bias : [ `Forward | `Backward | `Neutral ];
+      (** delay bias direction: [`Forward] delivers left-to-right messages
+          at [d_max] and right-to-left at [d_min] *)
+}
+
+val all_moves : move list
+(** The nine-element move alphabet. *)
+
+type config = {
+  spec : Gcs_core.Spec.t;
+  n : int;  (** line length *)
+  algo : Gcs_core.Algorithm.kind;
+  segments : int;  (** number of decision points *)
+  segment_len : float;  (** real-time length of each segment *)
+  beam : int;  (** beam width; [max_int] makes the search exhaustive *)
+  seed : int;
+}
+
+type outcome = {
+  forced_local : float;  (** best max-local-skew found (final segment) *)
+  forced_global : float;
+  plan : move list;  (** the move sequence achieving it *)
+  evaluations : int;  (** simulations executed *)
+}
+
+val default_config :
+  ?spec:Gcs_core.Spec.t ->
+  ?algo:Gcs_core.Algorithm.kind ->
+  ?segments:int ->
+  ?segment_len:float ->
+  ?beam:int ->
+  ?seed:int ->
+  n:int ->
+  unit ->
+  config
+(** Defaults: 6 segments of [4 * n * d_max] each, beam 12. *)
+
+val evaluate : config -> move list -> float * float
+(** [(max local, max global)] over the final segment of the execution that
+    plays the given move sequence. Exposed for tests. *)
+
+val search : config -> outcome

@@ -1,0 +1,1 @@
+lib/clock/drift.ml: Float Gcs_util Hardware_clock List Printf String

@@ -1,0 +1,1 @@
+lib/clock/drift.mli: Gcs_util Hardware_clock

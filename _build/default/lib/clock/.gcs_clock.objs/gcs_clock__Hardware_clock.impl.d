@@ -1,0 +1,1 @@
+lib/clock/hardware_clock.ml: Array List

@@ -1,0 +1,1 @@
+lib/clock/logical_clock.ml: Float Hardware_clock

@@ -1,0 +1,1 @@
+lib/clock/logical_clock.mli: Hardware_clock

@@ -1,0 +1,1 @@
+lib/core/algorithm.ml: Gcs_clock Gcs_graph Gcs_sim Message Printf Spec

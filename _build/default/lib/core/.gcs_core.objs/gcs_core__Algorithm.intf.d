@@ -1,0 +1,1 @@
+lib/core/algorithm.mli: Gcs_clock Gcs_graph Gcs_sim Message Spec

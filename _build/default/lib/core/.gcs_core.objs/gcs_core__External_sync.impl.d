@@ -1,0 +1,1 @@
+lib/core/external_sync.ml: Algorithm Array Float Gcs_clock Gcs_sim Gcs_util Gradient_sync Message Offset_estimator Spec

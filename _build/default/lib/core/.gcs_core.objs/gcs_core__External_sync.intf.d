@@ -1,0 +1,1 @@
+lib/core/external_sync.mli: Algorithm

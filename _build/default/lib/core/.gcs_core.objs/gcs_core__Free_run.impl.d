@@ -1,0 +1,1 @@
+lib/core/free_run.ml: Algorithm Gcs_sim

@@ -1,0 +1,1 @@
+lib/core/gradient_hetero.ml: Algorithm Array Gcs_clock Gcs_graph Gcs_sim Gcs_util Message Offset_estimator Spec

@@ -1,0 +1,1 @@
+lib/core/gradient_hetero.mli: Algorithm Gcs_sim

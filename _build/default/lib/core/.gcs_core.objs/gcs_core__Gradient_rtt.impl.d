@@ -1,0 +1,1 @@
+lib/core/gradient_rtt.ml: Algorithm Array Gcs_clock Gcs_sim Gcs_util Gradient_sync Message Offset_estimator Spec

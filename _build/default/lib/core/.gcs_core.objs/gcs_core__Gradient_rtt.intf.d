@@ -1,0 +1,1 @@
+lib/core/gradient_rtt.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/core/gradient_sync.ml: Algorithm Array Float Gcs_clock Gcs_sim Gcs_util Message Offset_estimator Spec

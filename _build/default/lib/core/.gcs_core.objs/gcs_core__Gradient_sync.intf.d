@@ -1,0 +1,1 @@
+lib/core/gradient_sync.mli: Algorithm

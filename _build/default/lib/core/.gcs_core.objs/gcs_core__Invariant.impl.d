@@ -1,0 +1,1 @@
+lib/core/invariant.ml: Algorithm Array Bounds Float Gcs_graph List Metrics Printf Runner Spec

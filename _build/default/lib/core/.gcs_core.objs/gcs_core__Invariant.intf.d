@@ -1,0 +1,1 @@
+lib/core/invariant.mli: Algorithm Gcs_graph Metrics Runner Spec

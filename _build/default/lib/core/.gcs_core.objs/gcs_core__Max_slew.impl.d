@@ -1,0 +1,1 @@
+lib/core/max_slew.ml: Algorithm Array Gcs_clock Gcs_sim Gcs_util Message Offset_estimator Spec

@@ -1,0 +1,1 @@
+lib/core/max_sync.mli: Algorithm

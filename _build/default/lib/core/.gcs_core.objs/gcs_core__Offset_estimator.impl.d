@@ -1,0 +1,1 @@
+lib/core/offset_estimator.ml:

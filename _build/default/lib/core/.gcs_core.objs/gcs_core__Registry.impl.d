@@ -1,0 +1,1 @@
+lib/core/registry.ml: Algorithm Free_run Gradient_sync List Max_slew Max_sync Tree_sync

@@ -1,0 +1,1 @@
+lib/core/replicate.ml: Array Gcs_util List Printf

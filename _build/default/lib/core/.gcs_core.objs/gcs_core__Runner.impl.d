@@ -1,0 +1,1 @@
+lib/core/runner.ml: Algorithm Array Float Gcs_clock Gcs_graph Gcs_sim Gcs_util List Message Metrics Registry Spec

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Algorithm Gcs_clock Gcs_graph Gcs_sim Message Metrics Spec

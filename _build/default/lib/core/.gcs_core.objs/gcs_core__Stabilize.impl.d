@@ -1,0 +1,1 @@
+lib/core/stabilize.ml: Algorithm Array Bounds Float Gcs_clock Gcs_graph Gcs_sim Message Spec

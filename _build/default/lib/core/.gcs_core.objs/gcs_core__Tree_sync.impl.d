@@ -1,0 +1,1 @@
+lib/core/tree_sync.ml: Algorithm Array Float Gcs_clock Gcs_graph Gcs_sim Gcs_util Message Spec

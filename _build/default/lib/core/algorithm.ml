@@ -1,0 +1,33 @@
+type ctx = {
+  spec : Spec.t;
+  graph : Gcs_graph.Graph.t;
+  logical : Gcs_clock.Logical_clock.t array;
+  now : unit -> float;
+}
+
+type t = {
+  name : string;
+  prepare : ctx -> int -> Message.t Gcs_sim.Engine.handlers;
+}
+
+type kind = Free_run | Max_sync | Max_slew_sync | Tree_sync | Gradient_sync
+
+let kind_name = function
+  | Free_run -> "free-run"
+  | Max_sync -> "max"
+  | Max_slew_sync -> "max-slew"
+  | Tree_sync -> "tree"
+  | Gradient_sync -> "gradient"
+
+let kind_of_string = function
+  | "free-run" | "free" | "none" -> Ok Free_run
+  | "max" -> Ok Max_sync
+  | "max-slew" | "maxslew" -> Ok Max_slew_sync
+  | "tree" | "ntp" -> Ok Tree_sync
+  | "gradient" | "gcs" -> Ok Gradient_sync
+  | s -> Error (Printf.sprintf "unknown algorithm %S" s)
+
+let all_kinds = [ Free_run; Max_sync; Max_slew_sync; Tree_sync; Gradient_sync ]
+
+let timer_beacon = 0
+let timer_recheck = 1

@@ -1,0 +1,41 @@
+(** The common shape of a synchronization algorithm.
+
+    An algorithm receives a static context — the problem spec, the graph
+    (used only for *static* precomputation such as the BFS tree a deployed
+    system would configure at installation time), and the array of logical
+    clocks — and yields per-node engine handlers. The handlers for node [v]
+    may touch only [logical.(v)] and the information reaching them through
+    the engine API; the shared context mirrors what a real deployment
+    distributes out of band. *)
+
+type ctx = {
+  spec : Spec.t;
+  graph : Gcs_graph.Graph.t;
+  logical : Gcs_clock.Logical_clock.t array;
+  now : unit -> float;
+      (** Real time of the current event, supplied by the runner. Algorithms
+          use it only to evaluate their own logical clock (which is a
+          function of their hardware clock); they never compare it across
+          nodes. *)
+}
+
+type t = {
+  name : string;
+  prepare : ctx -> int -> Message.t Gcs_sim.Engine.handlers;
+      (** [prepare ctx] performs per-run static precomputation (e.g. the BFS
+          tree) and returns the node factory; the runner applies it once and
+          reuses the closure for every node. *)
+}
+
+(** Which of the built-in algorithms to run. *)
+type kind = Free_run | Max_sync | Max_slew_sync | Tree_sync | Gradient_sync
+
+val kind_name : kind -> string
+val kind_of_string : string -> (kind, string) result
+val all_kinds : kind list
+
+val timer_beacon : int
+(** Timer tag used by all algorithms for their periodic beacon/probe. *)
+
+val timer_recheck : int
+(** Timer tag used for trigger re-evaluation between beacons. *)

@@ -1,0 +1,33 @@
+let fan_lynch_lower ~u ~diameter =
+  if diameter < 2 then 0.
+  else begin
+    let d = float_of_int diameter in
+    let loglog = Float.max 1. (log (log d)) in
+    u /. 4. *. (log d /. loglog)
+  end
+
+let log_base base x = log x /. log base
+
+let gradient_local_upper (spec : Spec.t) ~diameter =
+  let sigma = Spec.sigma spec in
+  let d = float_of_int (max diameter 1) in
+  let levels =
+    if Float.is_finite sigma && sigma > 1. then
+      Float.ceil (Float.max 0. (log_base sigma d))
+    else 0.
+  in
+  spec.kappa *. ((2. *. levels) +. 6.)
+
+let gradient_global_upper (spec : Spec.t) ~diameter =
+  let u = Spec.uncertainty spec in
+  ((spec.kappa +. u) *. float_of_int diameter) +. (2. *. spec.kappa)
+
+let max_sync_global_upper (spec : Spec.t) ~diameter =
+  let u = Spec.uncertainty spec in
+  let d = float_of_int diameter in
+  let per_hop_staleness =
+    spec.rho *. (spec.beacon_period +. spec.delay.Gcs_sim.Delay_model.d_max)
+  in
+  (d *. u) +. (per_hop_staleness *. (d +. 1.)) +. spec.kappa
+
+let free_run_global (spec : Spec.t) ~horizon = spec.rho *. horizon

@@ -1,0 +1,30 @@
+(** Analytic skew bounds, for printing next to measurements.
+
+    [fan_lynch_lower] is the PODC 2004 main theorem made concrete (up to its
+    constant); the others are the standard upper bounds for the implemented
+    algorithms, used as generous correctness envelopes in tests and as
+    reference lines in experiment output. *)
+
+val fan_lynch_lower : u:float -> diameter:int -> float
+(** c * u * log D / log log D with c = 1/4 (the commonly quoted constant);
+    0 for D < 2. The log log is floored at 1 so small diameters are
+    well-defined. *)
+
+val gradient_local_upper : Spec.t -> diameter:int -> float
+(** Local skew envelope of [Gradient_sync]:
+    kappa * (2 * ceil(log_sigma D) + 6) with sigma = mu / rho (one level per
+    sigma-factor of diameter, doubled for the trigger quantization, plus
+    slack for estimate staleness). *)
+
+val gradient_global_upper : Spec.t -> diameter:int -> float
+(** Global skew envelope of [Gradient_sync]: (kappa + u) * D + slack. *)
+
+val max_sync_global_upper : Spec.t -> diameter:int -> float
+(** Global skew envelope of [Max_sync]:
+    D * u + rho * (beacon_period + d_max) * (D + 1) + slack — a fresh
+    maximum reaches everyone within D hops, losing u per hop, and drift
+    accrues for at most a beacon period per hop. *)
+
+val free_run_global : Spec.t -> horizon:float -> float
+(** Exact worst-case drift accumulation without synchronization:
+    rho * horizon. *)

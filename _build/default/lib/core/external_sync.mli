@@ -1,0 +1,48 @@
+(** External synchronization: anchoring the network to a time reference.
+
+    Some applications need logical clocks that track *real* time (UTC), not
+    just each other. The standard device in the GCS literature is a virtual
+    reference node: every node with access to an external reference (a GPS
+    receiver, say) behaves as if it had one extra neighbor whose logical
+    clock is the true time, with the reference's error playing the role of
+    that edge's offset-estimation error.
+
+    This module implements the gradient algorithm extended with such
+    virtual edges, using the standard zeta-slowdown construction: every
+    node's *default* multiplier is [1 - mu/2] (deliberately below real
+    time), and the fast trigger lifts it to [1 + mu]. The virtual
+    reference, whose clock advances at exactly rate 1, is therefore never
+    the slowest participant: anchored nodes that fall behind it race via
+    the ordinary fast trigger, their neighbors race after them, and the
+    whole network tracks true time. Conversely a node ahead of the
+    reference has a "neighbor behind", which blocks its fast trigger and
+    lets the reference catch up. Without the slowdown a single anchor is
+    provably powerless — the network would drift ahead at the pace of its
+    fastest hardware clock and the model forbids ever running slower.
+
+    The real-time skew T(t) = max_v |L_v(t) - t| is then bounded for the
+    whole network: anchored nodes track the reference, everyone else tracks
+    them through the usual gradient machinery. Without anchors T(t) is
+    unbounded — the model gives internal algorithms no access to true
+    time. *)
+
+type reference
+(** An external time source as seen by one node: can be queried for an
+    estimate of true time whose (unknown) error varies slowly. *)
+
+val perfect_reference : reference
+(** Always returns the exact true time. *)
+
+val noisy_reference :
+  bias:float -> wander:float -> period:float -> phase:float -> reference
+(** Estimate error [bias + wander * sin(2 pi (t / period) + phase)]: a
+    constant offset plus bounded, slowly varying wander — the standard
+    shape for a disciplined receiver. *)
+
+val query : reference -> now:float -> float
+(** The reference's estimate of true time at real time [now]. *)
+
+val algorithm : anchors:(int -> reference option) -> Algorithm.t
+(** The gradient algorithm with virtual reference edges at every node for
+    which [anchors] returns a reference. Run it through
+    [Runner.config ~override]. *)

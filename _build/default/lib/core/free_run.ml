@@ -1,0 +1,11 @@
+let algorithm =
+  {
+    Algorithm.name = "free-run";
+    prepare =
+      (fun _ctx _v ->
+        {
+          Gcs_sim.Engine.on_init = (fun _api -> ());
+          on_message = (fun _api ~port:_ _msg -> ());
+          on_timer = (fun _api ~tag:_ -> ());
+        });
+  }

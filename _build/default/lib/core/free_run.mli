@@ -1,0 +1,6 @@
+(** The no-synchronization baseline: every logical clock simply follows its
+    hardware clock (multiplier 1, no messages). Its skew is the raw drift
+    accumulation [rho * t], the floor any algorithm must beat; it also
+    exercises the metric plumbing in tests. *)
+
+val algorithm : Algorithm.t

@@ -1,0 +1,24 @@
+(** The gradient algorithm over two-way (round-trip) offset estimation.
+
+    The base [Gradient_sync] estimates neighbor clocks from one-way beacons
+    by *assuming* the in-flight time equals the delay band's midpoint. That
+    assumption is exactly what the directional-bias adversary exploits, and
+    it also breaks when an edge's typical delay simply is not the midpoint
+    (asymmetric routes, unequal turnaround) — a calibration error the node
+    cannot see.
+
+    This variant estimates offsets the NTP way instead: probe, echo, and
+    take the midpoint of the measured round trip. The estimate needs no
+    knowledge of the delay distribution at all — only that the two
+    directions of one exchange are similar. Under symmetric delays of
+    *unknown* mean it is unbiased where one-way estimation carries a
+    per-edge constant error; under deliberately asymmetric delays both
+    estimators are fooled equally (that asymmetry is the provably
+    unremovable u/2).
+
+    Experiment E15 measures the difference on edges with randomly skewed
+    mean delays. Costs: two messages per neighbor per period instead of
+    one shared broadcast, and error grows with the round trip rather than
+    the one-way delay. *)
+
+val algorithm : Algorithm.t

@@ -1,0 +1,126 @@
+module Graph = Gcs_graph.Graph
+module Shortest_path = Gcs_graph.Shortest_path
+
+type violation = { time : float; node : int; what : string }
+
+let eps = 1e-6
+
+let check_rate_envelope (samples : Metrics.sample array) ~lo ~hi =
+  let violations = ref [] in
+  for i = 1 to Array.length samples - 1 do
+    let prev = samples.(i - 1) and cur = samples.(i) in
+    let dt = cur.Metrics.time -. prev.Metrics.time in
+    if dt > 0. then
+      Array.iteri
+        (fun v x ->
+          let rate = (x -. prev.Metrics.values.(v)) /. dt in
+          if rate < lo -. eps || rate > hi +. eps then
+            violations :=
+              {
+                time = cur.Metrics.time;
+                node = v;
+                what =
+                  Printf.sprintf "rate %.6f outside [%.6f, %.6f]" rate lo hi;
+              }
+              :: !violations)
+        cur.Metrics.values
+  done;
+  List.rev !violations
+
+let check_monotonic (samples : Metrics.sample array) =
+  let violations = ref [] in
+  for i = 1 to Array.length samples - 1 do
+    let prev = samples.(i - 1) and cur = samples.(i) in
+    Array.iteri
+      (fun v x ->
+        if x < prev.Metrics.values.(v) -. eps then
+          violations :=
+            {
+              time = cur.Metrics.time;
+              node = v;
+              what =
+                Printf.sprintf "clock went backwards: %.6f -> %.6f"
+                  prev.Metrics.values.(v) x;
+            }
+            :: !violations)
+      cur.Metrics.values
+  done;
+  List.rev !violations
+
+let check_skew_bound graph (samples : Metrics.sample array) ~after ~bound
+    metric =
+  let violations = ref [] in
+  Array.iter
+    (fun (s : Metrics.sample) ->
+      if s.Metrics.time >= after then begin
+        let value, name =
+          match metric with
+          | `Local -> (Metrics.local_skew graph s.Metrics.values, "local")
+          | `Global -> (Metrics.global_skew s.Metrics.values, "global")
+        in
+        if value > bound +. eps then
+          violations :=
+            {
+              time = s.Metrics.time;
+              node = -1;
+              what =
+                Printf.sprintf "%s skew %.6f exceeds bound %.6f" name value
+                  bound;
+            }
+            :: !violations
+      end)
+    samples;
+  List.rev !violations
+
+type envelope = { rate_lo : float; rate_hi : float; jumps_allowed : bool }
+
+let expected_envelope (spec : Spec.t) = function
+  | Algorithm.Free_run ->
+      { rate_lo = 1.; rate_hi = Spec.vartheta spec; jumps_allowed = false }
+  | Algorithm.Gradient_sync | Algorithm.Max_slew_sync ->
+      {
+        rate_lo = 1.;
+        rate_hi = (1. +. spec.Spec.mu) *. Spec.vartheta spec;
+        jumps_allowed = false;
+      }
+  | Algorithm.Tree_sync ->
+      {
+        rate_lo = Float.max 0.5 (1. -. (spec.Spec.mu /. 2.));
+        rate_hi = (1. +. spec.Spec.mu) *. Spec.vartheta spec;
+        jumps_allowed = false;
+      }
+  | Algorithm.Max_sync ->
+      {
+        rate_lo = 1.;
+        rate_hi = (1. +. spec.Spec.mu) *. Spec.vartheta spec;
+        jumps_allowed = true;
+      }
+
+let check_result (r : Runner.result) ~algo =
+  let env = expected_envelope r.Runner.spec algo in
+  let monotonic = check_monotonic r.Runner.samples in
+  let rates =
+    if env.jumps_allowed then []
+    else check_rate_envelope r.Runner.samples ~lo:env.rate_lo ~hi:env.rate_hi
+  in
+  let skew =
+    match algo with
+    | Algorithm.Gradient_sync ->
+        let d = Shortest_path.diameter r.Runner.graph in
+        check_skew_bound r.Runner.graph r.Runner.samples
+          ~after:(match r.Runner.samples with
+                 | [||] -> 0.
+                 | s ->
+                     let last = s.(Array.length s - 1).Metrics.time in
+                     last /. 4.)
+          ~bound:(Bounds.gradient_local_upper r.Runner.spec ~diameter:d)
+          `Local
+    | Algorithm.Free_run | Algorithm.Max_sync | Algorithm.Max_slew_sync
+    | Algorithm.Tree_sync ->
+        []
+  in
+  monotonic @ rates @ skew
+
+let to_string { time; node; what } =
+  if node < 0 then Printf.sprintf "[t=%.3f] %s" time what
+  else Printf.sprintf "[t=%.3f, node %d] %s" time node what

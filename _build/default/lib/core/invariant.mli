@@ -1,0 +1,56 @@
+(** Execution conformance checking against the model's output requirements.
+
+    The GCS model requires logical clocks to (i) advance within a rate
+    envelope [alpha, beta] and (ii) never run backwards; the metrics layer
+    additionally guarantees local skew <= global skew by construction.
+    This module checks those requirements over a recorded run, so tests
+    (and the CLI's [--check] flag) can validate any algorithm — including
+    future ones — against the rules instead of re-deriving ad hoc loops.
+
+    Checks work on the sampled trajectory: between two samples dt apart,
+    the discrete rate (L(t+dt) - L(t)) / dt must lie in the envelope. A
+    forward jump shows up as a rate spike, which is exactly how jump-based
+    algorithms fail the envelope check — by design ([expected_envelope]
+    encodes which algorithms are exempt and how). *)
+
+type violation = {
+  time : float;  (** sample time at which the violation was detected *)
+  node : int;  (** offending node, or [-1] for whole-system checks *)
+  what : string;  (** human-readable description *)
+}
+
+val check_rate_envelope :
+  Metrics.sample array -> lo:float -> hi:float -> violation list
+(** Discrete per-node rates between consecutive samples within
+    [lo - eps, hi + eps]. *)
+
+val check_monotonic : Metrics.sample array -> violation list
+(** No logical clock ever decreases between samples. *)
+
+val check_skew_bound :
+  Gcs_graph.Graph.t ->
+  Metrics.sample array ->
+  after:float ->
+  bound:float ->
+  [ `Local | `Global ] ->
+  violation list
+(** The chosen skew metric stays [<= bound] at every sample past [after]. *)
+
+type envelope = {
+  rate_lo : float;
+  rate_hi : float;
+  jumps_allowed : bool;  (** skip the envelope check (jump-based algorithms) *)
+}
+
+val expected_envelope : Spec.t -> Algorithm.kind -> envelope
+(** The rate envelope each built-in algorithm promises: [1, vartheta] for
+    [Free_run], [1, (1+mu) vartheta] for the gradient family and max-slew,
+    [1 - mu/2, (1+mu) vartheta] for [Tree_sync] (bidirectional slew), and
+    jumps-allowed for [Max_sync]. *)
+
+val check_result : Runner.result -> algo:Algorithm.kind -> violation list
+(** All applicable checks for a finished run: monotonicity always, the rate
+    envelope unless the algorithm is jump-based, and the gradient local
+    envelope when the algorithm is [Gradient_sync]. *)
+
+val to_string : violation -> string

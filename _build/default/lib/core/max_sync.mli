@@ -1,0 +1,14 @@
+(** Max-based synchronization (Srikanth-Toueg style).
+
+    Nodes periodically broadcast their logical clock; a receiver jumps
+    forward to [received + d_min] whenever that exceeds its own value
+    (a safe lower bound on the sender's current clock, since logical rates
+    are at least 1 and the message was in flight at least [d_min]).
+
+    This is the classic *global*-skew algorithm: the fastest clock drags
+    everyone along, giving global skew O(D * (u + rho * P)). Its local skew
+    is as bad as its global skew — a fresh maximum propagates as a
+    wavefront, creating a cliff between updated and non-updated neighbors —
+    which is precisely the behaviour the GCS problem statement indicts. *)
+
+val algorithm : Algorithm.t

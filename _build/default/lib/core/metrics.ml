@@ -1,0 +1,102 @@
+module Graph = Gcs_graph.Graph
+module Shortest_path = Gcs_graph.Shortest_path
+
+type sample = { time : float; values : float array }
+
+let global_skew values =
+  let lo = Array.fold_left Float.min infinity values in
+  let hi = Array.fold_left Float.max neg_infinity values in
+  hi -. lo
+
+let local_skew g values =
+  Array.fold_left
+    (fun acc (u, v) -> Float.max acc (Float.abs (values.(u) -. values.(v))))
+    0. (Graph.edges g)
+
+let local_skew_edges g values =
+  Array.map
+    (fun (u, v) -> Float.abs (values.(u) -. values.(v)))
+    (Graph.edges g)
+
+let real_time_skew ~time values =
+  Array.fold_left (fun acc v -> Float.max acc (Float.abs (v -. time))) 0. values
+
+let gradient_profile ~dist values =
+  let n = Array.length values in
+  let diameter =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun a d -> max a d) acc row)
+      0 dist
+  in
+  let profile = Array.make diameter 0. in
+  for v = 0 to n - 1 do
+    for w = v + 1 to n - 1 do
+      let d = dist.(v).(w) in
+      if d >= 1 then
+        profile.(d - 1) <-
+          Float.max profile.(d - 1) (Float.abs (values.(v) -. values.(w)))
+    done
+  done;
+  profile
+
+let global_skew_alive ~alive values =
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iteri
+    (fun v x ->
+      if alive v then begin
+        if x < !lo then lo := x;
+        if x > !hi then hi := x
+      end)
+    values;
+  if !hi < !lo then 0. else !hi -. !lo
+
+let local_skew_alive g ~alive values =
+  Array.fold_left
+    (fun acc (u, v) ->
+      if alive u && alive v then
+        Float.max acc (Float.abs (values.(u) -. values.(v)))
+      else acc)
+    0. (Graph.edges g)
+
+type summary = {
+  max_global : float;
+  max_local : float;
+  mean_local : float;
+  p99_local : float;
+  final_global : float;
+  final_local : float;
+  samples_used : int;
+}
+
+let qualifying samples ~after =
+  let q = Array.of_list (List.filter (fun s -> s.time >= after)
+                           (Array.to_list samples)) in
+  if Array.length q = 0 then
+    invalid_arg "Metrics.summarize: no samples after warm-up";
+  q
+
+let summarize ?(alive = fun _ -> true) g samples ~after =
+  let q = qualifying samples ~after in
+  let globals = Array.map (fun s -> global_skew_alive ~alive s.values) q in
+  let locals = Array.map (fun s -> local_skew_alive g ~alive s.values) q in
+  let last = q.(Array.length q - 1) in
+  {
+    max_global = Gcs_util.Stats.max globals;
+    max_local = Gcs_util.Stats.max locals;
+    mean_local = Gcs_util.Stats.mean locals;
+    p99_local = Gcs_util.Stats.percentile locals 99.;
+    final_global = global_skew_alive ~alive last.values;
+    final_local = local_skew_alive g ~alive last.values;
+    samples_used = Array.length q;
+  }
+
+let max_gradient_profile g samples ~after =
+  let q = qualifying samples ~after in
+  let dist = Shortest_path.all_pairs g in
+  let acc = ref (gradient_profile ~dist q.(0).values) in
+  Array.iter
+    (fun s ->
+      let p = gradient_profile ~dist s.values in
+      acc := Array.mapi (fun i x -> Float.max x p.(i)) !acc)
+    q;
+  !acc

@@ -1,0 +1,25 @@
+type anchor = { h_anchor : float; remote_at_anchor : float }
+
+type t = { mutable anchor : anchor option }
+
+let create () = { anchor = None }
+
+let update t ~h_local ~remote_value ~elapsed_guess =
+  t.anchor <-
+    Some { h_anchor = h_local; remote_at_anchor = remote_value +. elapsed_guess }
+
+let remote_estimate ?max_age t ~h_local =
+  match t.anchor with
+  | None -> None
+  | Some { h_anchor; remote_at_anchor } -> (
+      match max_age with
+      | Some limit when h_local -. h_anchor > limit -> None
+      | Some _ | None -> Some (remote_at_anchor +. (h_local -. h_anchor)))
+
+let offset ?max_age t ~h_local ~own_value =
+  match remote_estimate ?max_age t ~h_local with
+  | None -> None
+  | Some remote -> Some (own_value -. remote)
+
+let last_beacon t =
+  match t.anchor with None -> None | Some { h_anchor; _ } -> Some h_anchor

@@ -1,0 +1,33 @@
+(** Per-neighbor clock offset estimation from one-way beacons.
+
+    When node [v] receives a beacon from neighbor [w] carrying [L_w] as of
+    the send instant, it assumes the message spent the midpoint of the delay
+    band in flight and that [w]'s logical clock advanced at rate 1
+    meanwhile. Between beacons, the estimate of [L_w] is extrapolated at
+    [v]'s own hardware rate. The resulting estimate o_{v,w} of
+    [L_v - L_w] carries error at most [u / 2] (delay asymmetry) plus drift
+    accumulated since the last beacon — exactly the estimate error the
+    model reasons about; its bound is {!Spec.estimate_error_bound}. *)
+
+type t
+
+val create : unit -> t
+
+val update : t -> h_local:float -> remote_value:float -> elapsed_guess:float -> unit
+(** Record a beacon: at local hardware time [h_local] the remote clock was
+    estimated at [remote_value + elapsed_guess] (the caller supplies the
+    assumed in-flight progress, typically the delay-band midpoint). *)
+
+val remote_estimate : ?max_age:float -> t -> h_local:float -> float option
+(** Estimated current remote logical clock at local hardware time
+    [h_local]; [None] before the first beacon, or when the last beacon is
+    older than [max_age] (staleness expiry: extrapolation error grows with
+    age, and a silent neighbor — crashed node, dead link — must
+    eventually stop influencing the trigger). *)
+
+val offset : ?max_age:float -> t -> h_local:float -> own_value:float -> float option
+(** Estimated [own - remote] offset (the o_{v,w} of the model), with the
+    same expiry semantics. *)
+
+val last_beacon : t -> float option
+(** Local hardware time of the most recent beacon. *)

@@ -1,0 +1,8 @@
+let get = function
+  | Algorithm.Free_run -> Free_run.algorithm
+  | Algorithm.Max_sync -> Max_sync.algorithm
+  | Algorithm.Max_slew_sync -> Max_slew.algorithm
+  | Algorithm.Tree_sync -> Tree_sync.algorithm
+  | Algorithm.Gradient_sync -> Gradient_sync.algorithm
+
+let all = List.map (fun k -> (k, get k)) Algorithm.all_kinds

@@ -1,0 +1,4 @@
+(** Lookup from algorithm kind to implementation. *)
+
+val get : Algorithm.kind -> Algorithm.t
+val all : (Algorithm.kind * Algorithm.t) list

@@ -1,0 +1,183 @@
+module Engine = Gcs_sim.Engine
+module Delay_model = Gcs_sim.Delay_model
+module Graph = Gcs_graph.Graph
+module Drift = Gcs_clock.Drift
+module Hardware_clock = Gcs_clock.Hardware_clock
+module Logical_clock = Gcs_clock.Logical_clock
+module Prng = Gcs_util.Prng
+
+type delay_kind =
+  | Uniform_delays
+  | Fixed_delays
+  | Midpoint_delays
+  | Controlled_delays
+  | Per_edge_delays of (int -> Delay_model.bounds)
+
+type loss_law =
+  | No_loss
+  | Uniform_loss of float
+  | Custom_loss of (edge:int -> src:int -> dst:int -> now:float -> float)
+
+type config = {
+  spec : Spec.t;
+  graph : Graph.t;
+  algo : Algorithm.kind;
+  drift_of_node : int -> Drift.pattern;
+  delay_kind : delay_kind;
+  loss : loss_law;
+  horizon : float;
+  sample_period : float;
+  warmup : float;
+  seed : int;
+  initial_value_of_node : int -> float;
+  override : Algorithm.t option;
+}
+
+let config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
+    ?(drift_of_node = fun _ -> Drift.Random_constant)
+    ?(delay_kind = Uniform_delays) ?(loss = No_loss) ?(horizon = 200.)
+    ?(sample_period = 1.) ?warmup ?(seed = 42)
+    ?(initial_value_of_node = fun _ -> 0.) ?override graph =
+  let warmup = match warmup with Some w -> w | None -> horizon /. 4. in
+  if horizon <= 0. then invalid_arg "Runner.config: horizon must be > 0";
+  if sample_period <= 0. then
+    invalid_arg "Runner.config: sample_period must be > 0";
+  (match loss with
+  | Uniform_loss p when p < 0. || p > 1. ->
+      invalid_arg "Runner.config: loss probability out of [0, 1]"
+  | No_loss | Uniform_loss _ | Custom_loss _ -> ());
+  {
+    spec;
+    graph;
+    algo;
+    drift_of_node;
+    delay_kind;
+    loss;
+    horizon;
+    sample_period;
+    warmup;
+    seed;
+    initial_value_of_node;
+    override;
+  }
+
+type live = {
+  cfg : config;
+  engine : Message.t Engine.t;
+  logical : Logical_clock.t array;
+  chooser : Delay_model.chooser option ref;
+  samples_rev : Metrics.sample list ref;
+}
+
+type result = {
+  graph : Graph.t;
+  spec : Spec.t;
+  samples : Metrics.sample array;
+  summary : Metrics.summary;
+  events : int;
+  messages : int;
+  dropped : int;
+  jumps : Logical_clock.jump_stats;
+}
+
+let snapshot_values live =
+  let now = Engine.now live.engine in
+  Array.map (fun lc -> Logical_clock.value lc ~now) live.logical
+
+let snapshot live =
+  { Metrics.time = Engine.now live.engine; values = snapshot_values live }
+
+let prepare (cfg : config) =
+  (match Spec.validate cfg.spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner.prepare: " ^ msg));
+  let n = Graph.n cfg.graph in
+  let t0 = 0. in
+  let rng = Prng.create ~seed:cfg.seed in
+  let drift_rng = Prng.split rng in
+  let engine_rng = Prng.split rng in
+  let band = Drift.band ~rho:cfg.spec.rho in
+  let clocks =
+    Array.init n (fun v ->
+        Drift.make_clock (cfg.drift_of_node v) ~band ~t0 ~horizon:cfg.horizon
+          ~rng:drift_rng)
+  in
+  let logical =
+    Array.init n (fun v ->
+        Logical_clock.create ~hardware:clocks.(v) ~now:t0
+          ~value:(cfg.initial_value_of_node v) ~mult:1.)
+  in
+  let chooser = ref None in
+  let delays =
+    let b = cfg.spec.delay in
+    let base =
+      match cfg.delay_kind with
+      | Uniform_delays -> Delay_model.uniform b
+      | Fixed_delays -> Delay_model.fixed b
+      | Midpoint_delays -> Delay_model.midpoint b
+      | Controlled_delays ->
+          Delay_model.controlled b ~default:(Delay_model.uniform b) chooser
+      | Per_edge_delays edge_bounds -> Delay_model.per_edge edge_bounds
+    in
+    match cfg.loss with
+    | No_loss -> base
+    | Uniform_loss p ->
+        Delay_model.with_loss (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> p) base
+    | Custom_loss f -> Delay_model.with_loss f base
+  in
+  let engine_cell = ref None in
+  let now () =
+    match !engine_cell with Some e -> Engine.now e | None -> t0
+  in
+  let ctx = { Algorithm.spec = cfg.spec; graph = cfg.graph; logical; now } in
+  let implementation =
+    match cfg.override with Some a -> a | None -> Registry.get cfg.algo
+  in
+  let make_node = implementation.Algorithm.prepare ctx in
+  let engine =
+    Engine.create ~graph:cfg.graph ~clocks ~delays ~rng:engine_rng ~make_node
+      ~t0
+  in
+  engine_cell := Some engine;
+  let live = { cfg; engine; logical; chooser; samples_rev = ref [] } in
+  let rec probe at =
+    Engine.schedule_control engine ~at (fun () ->
+        live.samples_rev := snapshot live :: !(live.samples_rev);
+        let next = at +. cfg.sample_period in
+        if next <= cfg.horizon +. 1e-9 then probe next)
+  in
+  probe t0;
+  live
+
+let aggregate_jumps logical =
+  Array.fold_left
+    (fun acc lc ->
+      let s = Logical_clock.jump_stats lc in
+      {
+        Logical_clock.count = acc.Logical_clock.count + s.Logical_clock.count;
+        total_magnitude =
+          acc.Logical_clock.total_magnitude +. s.Logical_clock.total_magnitude;
+        max_magnitude =
+          Float.max acc.Logical_clock.max_magnitude
+            s.Logical_clock.max_magnitude;
+      })
+    { Logical_clock.count = 0; total_magnitude = 0.; max_magnitude = 0. }
+    logical
+
+let complete live =
+  let cfg = live.cfg in
+  Engine.run_until live.engine cfg.horizon;
+  let samples = Array.of_list (List.rev !(live.samples_rev)) in
+  let summary = Metrics.summarize cfg.graph samples ~after:cfg.warmup in
+  {
+    graph = cfg.graph;
+    spec = cfg.spec;
+    samples;
+    summary;
+    events = Engine.events_processed live.engine;
+    messages = Engine.messages_sent live.engine;
+    dropped = Engine.messages_dropped live.engine;
+    jumps = aggregate_jumps live.logical;
+  }
+
+let run cfg = complete (prepare cfg)

@@ -1,0 +1,102 @@
+(** Assemble a full simulation: topology + clocks + delays + algorithm.
+
+    [run] is the one-call entry point used by examples and benchmarks.
+    [prepare] / [complete] split the same pipeline so that a controller
+    (the lower-bound adversary, a failure injector, a custom probe) can
+    attach to the live engine between construction and execution. *)
+
+type delay_kind =
+  | Uniform_delays  (** i.i.d. uniform in the delay band (benign default) *)
+  | Fixed_delays  (** always d_max: zero jitter, maximal latency *)
+  | Midpoint_delays  (** always the band midpoint: zero effective error *)
+  | Controlled_delays
+      (** uniform until a chooser is installed in [live.chooser] *)
+  | Per_edge_delays of (int -> Gcs_sim.Delay_model.bounds)
+      (** heterogeneous networks: uniform draw within each edge's own
+          bounds (pair with [Gradient_hetero]) *)
+
+(** Message-loss law applied on top of the delay model. Beacon-based
+    synchronization is soft state, so algorithms degrade gracefully rather
+    than wedging when messages vanish. *)
+type loss_law =
+  | No_loss
+  | Uniform_loss of float  (** i.i.d. drop probability per message *)
+  | Custom_loss of (edge:int -> src:int -> dst:int -> now:float -> float)
+      (** per-edge, per-direction, time-dependent; probability 1 during an
+          interval models a down link (churn), probability 1 for all
+          messages out of a node models a crashed/silenced node *)
+
+type config = {
+  spec : Spec.t;
+  graph : Gcs_graph.Graph.t;
+  algo : Algorithm.kind;
+  drift_of_node : int -> Gcs_clock.Drift.pattern;
+  delay_kind : delay_kind;
+  loss : loss_law;
+  horizon : float;  (** real-time length of the run *)
+  sample_period : float;  (** metric sampling interval *)
+  warmup : float;  (** samples before this time are excluded from summaries *)
+  seed : int;
+  initial_value_of_node : int -> float;
+      (** initial logical clock values (the model allows adversarial
+          initialization; default 0 everywhere) *)
+  override : Algorithm.t option;
+      (** when set, run this implementation instead of the one [algo] names
+          (used for wrapped algorithms, e.g. {!Stabilize.wrap}) *)
+}
+
+val config :
+  ?spec:Spec.t ->
+  ?algo:Algorithm.kind ->
+  ?drift_of_node:(int -> Gcs_clock.Drift.pattern) ->
+  ?delay_kind:delay_kind ->
+  ?loss:loss_law ->
+  ?horizon:float ->
+  ?sample_period:float ->
+  ?warmup:float ->
+  ?seed:int ->
+  ?initial_value_of_node:(int -> float) ->
+  ?override:Algorithm.t ->
+  Gcs_graph.Graph.t ->
+  config
+(** Defaults: default spec, [Gradient_sync], random-constant drift per node,
+    uniform delays, horizon 200, sampling every 1, warm-up 1/4 of the
+    horizon, seed 42, all clocks starting at 0. *)
+
+type live = {
+  cfg : config;
+  engine : Message.t Gcs_sim.Engine.t;
+  logical : Gcs_clock.Logical_clock.t array;
+  chooser : Gcs_sim.Delay_model.chooser option ref;
+      (** Adversarial delay hook; only honoured under [Controlled_delays]. *)
+  samples_rev : Metrics.sample list ref;
+      (** Collected samples, newest first; consumed by [complete]. *)
+}
+
+type result = {
+  graph : Gcs_graph.Graph.t;
+  spec : Spec.t;
+  samples : Metrics.sample array;
+  summary : Metrics.summary;
+  events : int;
+  messages : int;
+  dropped : int;  (** messages lost to the loss law *)
+  jumps : Gcs_clock.Logical_clock.jump_stats;
+      (** aggregate clock discontinuities across all nodes; non-zero only
+          for jump-based algorithms, which thereby step outside the
+          model's bounded-rate output requirement *)
+}
+
+val prepare : config -> live
+(** Build the engine with the algorithm installed and the metric probe
+    armed, without running anything. *)
+
+val complete : live -> result
+(** Run to the horizon and package metrics. *)
+
+val run : config -> result
+(** [complete (prepare cfg)]. *)
+
+val snapshot : live -> Metrics.sample
+(** Current true logical clock values (observer access; usable from control
+    closures while the run is live). *)

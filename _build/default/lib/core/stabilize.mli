@@ -1,0 +1,55 @@
+(** Self-stabilization by detect-and-reset: a tree monitor wrapped around
+    any synchronization algorithm.
+
+    A gradient algorithm recovers on its own from *bounded* bad states, but
+    only at its slew speed mu — a clock that is wrong by 10^6 would need
+    10^6 / mu time. The standard remedy in the GCS literature is a
+    detection mechanism for excessive global skew plus a coordinated reset.
+
+    This wrapper runs, alongside the wrapped algorithm:
+
+    - a *monitor*: every monitor period the root starts a round that floods
+      down the BFS spanning tree, each hop extending the estimate of the
+      root's current logical clock; a convergecast carries the min/max
+      offset to the root back up, so the root learns the global skew up to
+      an error of O(depth * (u / 2 + drift)) — the same order as the time
+      the information needs to travel, which is the best possible;
+    - a *reset*: when the estimate exceeds the threshold, the root floods a
+      reset order; every node jumps its logical clock to its estimate of
+      the root's. Stabilization time is O(tree depth * d_max) rather than
+      O(initial skew / mu).
+
+    Rounds are loss-tolerant: every node arms a report deadline scaled to
+    its subtree height, so a lost report degrades the round to a partial
+    (under-estimating) view instead of wedging it; detection then simply
+    falls to a later round that reaches the faulty region.
+
+    Resets are clock discontinuities, exactly like [Max_sync] jumps: the
+    price of self-stabilization is a bounded number of rate violations
+    while recovering from transient faults. The jump statistics on the
+    runner result make that cost visible. *)
+
+type stats = {
+  mutable rounds_completed : int;  (** monitor rounds the root finished *)
+  mutable resets : int;  (** reset orders issued *)
+  mutable last_estimate : float;  (** most recent global-skew estimate *)
+}
+
+val wrap :
+  ?monitor_period:float ->
+  ?threshold:float ->
+  inner:Algorithm.t ->
+  unit ->
+  Algorithm.t * stats
+(** [wrap ~inner ()] layers the monitor over [inner]. The monitor owns the
+    [Flood]/[Report]/[Reset] message variants and timer tags >= 100; the
+    inner algorithm sees everything else untouched.
+
+    [monitor_period] defaults to several tree traversals' worth of time;
+    [threshold] defaults to twice the gradient algorithm's global-skew
+    envelope for the instance (so it never fires during in-spec operation).
+    The returned [stats] record accumulates over every run prepared from
+    this wrapped algorithm. *)
+
+val default_threshold : Spec.t -> diameter:int -> float
+(** The detection threshold used when none is supplied. *)

@@ -1,0 +1,15 @@
+(** Tree-based synchronization (the NTP/PTP shape).
+
+    A BFS tree rooted at node 0 is fixed at deployment time. Every non-root
+    node periodically runs a two-way probe exchange with its parent (the
+    NTP midpoint estimator: offset error at most [u / 2] per exchange plus
+    drift over the round trip) and steers its logical clock bang-bang with a
+    deadband: run fast ([1 + mu]) when behind the parent estimate by more
+    than the estimate-error bound, slow (rate 1) otherwise.
+
+    Skew across *tree* edges stays small, but a non-tree edge closes a long
+    tree path, so the local skew on such an edge is proportional to tree
+    depth — e.g. Theta(D) on a ring. This is the deployed-practice baseline
+    whose failure mode motivates gradient clock synchronization. *)
+
+val algorithm : Algorithm.t

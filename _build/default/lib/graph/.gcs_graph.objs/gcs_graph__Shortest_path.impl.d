@@ -1,0 +1,1 @@
+lib/graph/shortest_path.ml: Array Float Gcs_util Graph Queue

@@ -1,0 +1,1 @@
+lib/graph/spanning_tree.ml: Array Graph List Queue

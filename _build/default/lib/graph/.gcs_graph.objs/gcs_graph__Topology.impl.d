@@ -1,0 +1,1 @@
+lib/graph/topology.ml: Array Gcs_util Graph List Printf Seq String

@@ -1,0 +1,48 @@
+(** Undirected simple graphs with indexed edges and port numbering.
+
+    Nodes are integers [0 .. n-1]. Each undirected edge has a unique id in
+    [0 .. m-1]. A node sees its incident edges through local *ports*
+    (positions in its adjacency list); algorithms in the synchronization
+    layer address neighbors only by port, matching the message-passing model
+    in which nodes need not know global identities. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds a graph on [n] nodes. Raises
+    [Invalid_argument] on self-loops, duplicate edges, or endpoints outside
+    [0, n). *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of undirected edges. *)
+
+val edges : t -> (int * int) array
+(** Edge endpoints indexed by edge id, with [fst < snd]. *)
+
+val edge_endpoints : t -> int -> int * int
+(** Endpoints of an edge id. *)
+
+val degree : t -> int -> int
+
+val neighbors : t -> int -> (int * int) array
+(** [neighbors g v] is the array of [(neighbor, edge_id)] pairs, indexed by
+    port. The returned array must not be mutated. *)
+
+val neighbor_at_port : t -> int -> int -> int
+(** [neighbor_at_port g v p] is the node at port [p] of node [v]. *)
+
+val edge_at_port : t -> int -> int -> int
+(** [edge_at_port g v p] is the edge id at port [p] of node [v]. *)
+
+val port_of_neighbor : t -> int -> int -> int
+(** [port_of_neighbor g v w] is the port of [v] that leads to [w].
+    Raises [Not_found] if [w] is not adjacent to [v]. *)
+
+val mem_edge : t -> int -> int -> bool
+val is_connected : t -> bool
+
+val fold_edges : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold_edges f g acc] folds [f edge_id u v] over all edges. *)

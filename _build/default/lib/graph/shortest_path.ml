@@ -1,0 +1,113 @@
+module Heap = Gcs_util.Heap
+
+let bfs g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun (w, _) ->
+        if dist.(w) = max_int then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.push w queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  dist
+
+let all_pairs g = Array.init (Graph.n g) (fun v -> bfs g ~src:v)
+
+let eccentricity g v =
+  let dist = bfs g ~src:v in
+  Array.fold_left
+    (fun acc d ->
+      if d = max_int then invalid_arg "Shortest_path: disconnected graph"
+      else max acc d)
+    0 dist
+
+let diameter g =
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    best := max !best (eccentricity g v)
+  done;
+  !best
+
+let dijkstra g ~weights ~src =
+  Array.iter
+    (fun w ->
+      if w < 0. then invalid_arg "Shortest_path.dijkstra: negative weight")
+    weights;
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let heap = Heap.create () in
+  dist.(src) <- 0.;
+  Heap.push heap ~prio:0. src;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+        if d <= dist.(v) then
+          Array.iter
+            (fun (w, e) ->
+              let nd = d +. weights.(e) in
+              if nd < dist.(w) then begin
+                dist.(w) <- nd;
+                Heap.push heap ~prio:nd w
+              end)
+            (Graph.neighbors g v);
+        loop ()
+  in
+  loop ();
+  dist
+
+let weighted_diameter g ~weights =
+  let best = ref 0. in
+  for v = 0 to Graph.n g - 1 do
+    let dist = dijkstra g ~weights ~src:v in
+    Array.iter
+      (fun d -> if Float.is_finite d then best := Float.max !best d)
+      dist
+  done;
+  !best
+
+let bellman_ford ~n ~arcs ~src =
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < n do
+    changed := false;
+    incr rounds;
+    Array.iter
+      (fun (u, v, w) ->
+        if Float.is_finite dist.(u) && dist.(u) +. w < dist.(v) then begin
+          dist.(v) <- dist.(u) +. w;
+          changed := true
+        end)
+      arcs
+  done;
+  if !changed then Error () else Ok dist
+
+let floyd_warshall g ~weights =
+  let n = Graph.n g in
+  let dist = Array.make_matrix n n infinity in
+  for v = 0 to n - 1 do
+    dist.(v).(v) <- 0.
+  done;
+  Array.iteri
+    (fun id (u, v) ->
+      dist.(u).(v) <- Float.min dist.(u).(v) weights.(id);
+      dist.(v).(u) <- Float.min dist.(v).(u) weights.(id))
+    (Graph.edges g);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let via = dist.(i).(k) +. dist.(k).(j) in
+        if via < dist.(i).(j) then dist.(i).(j) <- via
+      done
+    done
+  done;
+  dist

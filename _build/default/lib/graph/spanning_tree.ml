@@ -1,0 +1,56 @@
+type t = {
+  root : int;
+  parent : int array;
+  depth : int array;
+  children : int array array;
+  order : int array;
+}
+
+let bfs_tree g ~root =
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n (-1) in
+  let order = Array.make n (-1) in
+  let queue = Queue.create () in
+  parent.(root) <- root;
+  depth.(root) <- 0;
+  Queue.push root queue;
+  let next = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!next) <- v;
+    incr next;
+    Array.iter
+      (fun (w, _) ->
+        if depth.(w) < 0 then begin
+          depth.(w) <- depth.(v) + 1;
+          parent.(w) <- v;
+          Queue.push w queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  if !next <> n then invalid_arg "Spanning_tree.bfs_tree: disconnected graph";
+  let child_count = Array.make n 0 in
+  Array.iteri
+    (fun v p -> if v <> p then child_count.(p) <- child_count.(p) + 1)
+    parent;
+  let children = Array.init n (fun v -> Array.make child_count.(v) (-1)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun v p ->
+      if v <> p then begin
+        children.(p).(fill.(p)) <- v;
+        fill.(p) <- fill.(p) + 1
+      end)
+    parent;
+  { root; parent; depth; children; order }
+
+let height t = Array.fold_left max 0 t.depth
+
+let is_tree_edge t u v = t.parent.(u) = v || t.parent.(v) = u
+
+let path_to_root t v =
+  let rec go v acc =
+    if t.parent.(v) = v then List.rev (v :: acc) else go t.parent.(v) (v :: acc)
+  in
+  go v []

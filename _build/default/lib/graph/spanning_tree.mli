@@ -1,0 +1,23 @@
+(** BFS spanning trees.
+
+    [Tree_sync] (the NTP/PTP-style baseline) synchronizes along a BFS tree;
+    the self-stabilization literature uses the same structure for
+    convergecast. *)
+
+type t = {
+  root : int;
+  parent : int array;  (** [parent.(root) = root] *)
+  depth : int array;  (** hop depth from the root *)
+  children : int array array;
+  order : int array;  (** nodes in BFS (top-down) order, [order.(0) = root] *)
+}
+
+val bfs_tree : Graph.t -> root:int -> t
+(** Raises [Invalid_argument] if the graph is disconnected. *)
+
+val height : t -> int
+val is_tree_edge : t -> int -> int -> bool
+(** Whether the undirected pair is a parent/child link of the tree. *)
+
+val path_to_root : t -> int -> int list
+(** Node list from a node up to (and including) the root. *)

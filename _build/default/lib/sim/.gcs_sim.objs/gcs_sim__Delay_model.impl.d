@@ -1,0 +1,1 @@
+lib/sim/delay_model.ml: Float Gcs_util

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Delay_model Float Gcs_clock Gcs_graph Gcs_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Delay_model Gcs_clock Gcs_graph Gcs_util

@@ -1,0 +1,1 @@
+lib/sim/mobility.ml: Array Delay_model Float Gcs_util List

@@ -1,0 +1,1 @@
+lib/sim/mobility.mli: Delay_model Gcs_util

@@ -1,0 +1,83 @@
+module Prng = Gcs_util.Prng
+
+type bounds = { d_min : float; d_max : float }
+
+let bounds ~d_min ~d_max =
+  if d_min < 0. || d_max < d_min then
+    invalid_arg "Delay_model.bounds: need 0 <= d_min <= d_max";
+  { d_min; d_max }
+
+let uncertainty b = b.d_max -. b.d_min
+
+type chooser = edge:int -> src:int -> dst:int -> now:float -> float
+
+type t = {
+  edge_bounds : int -> bounds;
+  draw_fn :
+    edge:int -> src:int -> dst:int -> now:float -> rng:Prng.t -> float;
+  drop_fn : edge:int -> src:int -> dst:int -> now:float -> float;
+}
+
+let edge_bounds t e = t.edge_bounds e
+
+let no_drop ~edge:_ ~src:_ ~dst:_ ~now:_ = 0.
+
+let drop_probability t ~edge ~src ~dst ~now = t.drop_fn ~edge ~src ~dst ~now
+
+let with_loss drop_fn t =
+  {
+    t with
+    drop_fn =
+      (fun ~edge ~src ~dst ~now ->
+        Float.min 1. (Float.max 0. (drop_fn ~edge ~src ~dst ~now)));
+  }
+
+let clamp b d = Float.min b.d_max (Float.max b.d_min d)
+
+let draw t ~edge ~src ~dst ~now ~rng =
+  clamp (t.edge_bounds edge) (t.draw_fn ~edge ~src ~dst ~now ~rng)
+
+let fixed b =
+  {
+    edge_bounds = (fun _ -> b);
+    draw_fn = (fun ~edge:_ ~src:_ ~dst:_ ~now:_ ~rng:_ -> b.d_max);
+    drop_fn = no_drop;
+  }
+
+let midpoint b =
+  let d = 0.5 *. (b.d_min +. b.d_max) in
+  {
+    edge_bounds = (fun _ -> b);
+    draw_fn = (fun ~edge:_ ~src:_ ~dst:_ ~now:_ ~rng:_ -> d);
+    drop_fn = no_drop;
+  }
+
+let uniform b =
+  {
+    edge_bounds = (fun _ -> b);
+    draw_fn =
+      (fun ~edge:_ ~src:_ ~dst:_ ~now:_ ~rng ->
+        Prng.uniform rng ~lo:b.d_min ~hi:b.d_max);
+    drop_fn = no_drop;
+  }
+
+let per_edge f =
+  {
+    edge_bounds = f;
+    draw_fn =
+      (fun ~edge ~src:_ ~dst:_ ~now:_ ~rng ->
+        let b = f edge in
+        Prng.uniform rng ~lo:b.d_min ~hi:b.d_max);
+    drop_fn = no_drop;
+  }
+
+let controlled b ~default chooser =
+  {
+    edge_bounds = (fun _ -> b);
+    draw_fn =
+      (fun ~edge ~src ~dst ~now ~rng ->
+        match !chooser with
+        | Some choose -> choose ~edge ~src ~dst ~now
+        | None -> default.draw_fn ~edge ~src ~dst ~now ~rng);
+    drop_fn = no_drop;
+  }

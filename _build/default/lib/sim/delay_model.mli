@@ -1,0 +1,58 @@
+(** Per-edge message delay models.
+
+    The model of the paper lets an adversary pick each message's delay
+    anywhere inside known per-hop bounds [d_min, d_max]; the width
+    [u = d_max - d_min] is the per-hop *uncertainty* that lower-bounds how
+    well neighbors can estimate each other's clocks. Benign experiments use
+    random delays inside the band; the lower-bound adversary substitutes a
+    controlled chooser. *)
+
+type bounds = { d_min : float; d_max : float }
+
+val bounds : d_min:float -> d_max:float -> bounds
+(** Validates [0 <= d_min <= d_max]. *)
+
+val uncertainty : bounds -> float
+(** [d_max - d_min]. *)
+
+type t
+
+val edge_bounds : t -> int -> bounds
+(** Delay bounds of an edge id. *)
+
+val draw :
+  t -> edge:int -> src:int -> dst:int -> now:float -> rng:Gcs_util.Prng.t -> float
+(** Draw a delay for one message. The result is always within the edge's
+    bounds (the engine additionally asserts this). *)
+
+val fixed : bounds -> t
+(** Every message takes exactly [d_max] (worst-case constant delay). *)
+
+val midpoint : bounds -> t
+(** Every message takes [(d_min + d_max) / 2]; zero effective uncertainty,
+    useful as a best-case baseline. *)
+
+val uniform : bounds -> t
+(** Uniform draw in [d_min, d_max] for every edge. *)
+
+val per_edge : (int -> bounds) -> t
+(** Uniform draw with per-edge bounds. *)
+
+type chooser = edge:int -> src:int -> dst:int -> now:float -> float
+(** An adversarial delay chooser; results are clamped into the bounds. *)
+
+val controlled : bounds -> default:t -> chooser option ref -> t
+(** Delegates to the chooser when one is installed, otherwise to [default].
+    The adversary installs/uninstalls choosers as phases change. *)
+
+val drop_probability :
+  t -> edge:int -> src:int -> dst:int -> now:float -> float
+(** Probability that a message sent right now from [src] to [dst] on this
+    edge is lost; [0.] for all base models. The engine consults this on
+    every send. *)
+
+val with_loss : (edge:int -> src:int -> dst:int -> now:float -> float) -> t -> t
+(** Attach a loss law (clamped into [0, 1]) to a model. Time-dependent laws
+    model link churn (an edge that is "down" over an interval is a drop
+    probability of 1 there); source-dependent laws model crashed/silenced
+    nodes. *)

@@ -1,0 +1,229 @@
+module Prng = Gcs_util.Prng
+module Heap = Gcs_util.Heap
+module Graph = Gcs_graph.Graph
+module Hardware_clock = Gcs_clock.Hardware_clock
+
+type 'msg api = {
+  node : int;
+  ports : int;
+  hardware : unit -> float;
+  send : port:int -> 'msg -> unit;
+  set_timer : h:float -> tag:int -> unit;
+  rng : Prng.t;
+}
+
+type 'msg handlers = {
+  on_init : 'msg api -> unit;
+  on_message : 'msg api -> port:int -> 'msg -> unit;
+  on_timer : 'msg api -> tag:int -> unit;
+}
+
+type 'msg event =
+  | Deliver of { dst : int; port : int; msg : 'msg }
+  | Timer_fire of { node : int; timer_id : int }
+  | Control of (unit -> unit)
+
+type pending_timer = { h_target : float; tag : int }
+
+type observation =
+  | Obs_send of { src : int; dst : int; edge : int; delay : float }
+  | Obs_drop of { src : int; dst : int; edge : int }
+  | Obs_deliver of { dst : int; port : int }
+  | Obs_timer of { node : int; tag : int }
+  | Obs_rate_change of { node : int; rate : float }
+
+type 'msg t = {
+  graph : Graph.t;
+  clocks : Hardware_clock.t array;
+  delays : Delay_model.t;
+  heap : 'msg event Heap.t;
+  handlers : 'msg handlers array;
+  mutable apis : 'msg api array;
+  (* Pending timers per node, keyed by a global timer id. Rescheduling a
+     node's timers after a rate change re-keys them, which implicitly
+     invalidates the heap entries carrying the old ids. *)
+  timers : (int, pending_timer) Hashtbl.t array;
+  link_rngs : Prng.t array; (* one per edge, for delay draws *)
+  mutable now : float;
+  mutable next_timer_id : int;
+  mutable started : bool;
+  mutable events_processed : int;
+  mutable messages_sent : int;
+  mutable messages_delivered : int;
+  mutable messages_dropped : int;
+  mutable observer : (float -> observation -> unit) option;
+}
+
+let observe t obs =
+  match t.observer with Some f -> f t.now obs | None -> ()
+
+let push_timer_event t ~node ~timer_id ~h_target =
+  let clock = t.clocks.(node) in
+  let h_now = Hardware_clock.value clock ~now:t.now in
+  let fire_at =
+    (* A deadline already reached (or predating the clock) fires now. *)
+    if h_target <= h_now then t.now
+    else Float.max t.now (Hardware_clock.inverse clock ~h:h_target)
+  in
+  Heap.push t.heap ~prio:fire_at (Timer_fire { node; timer_id })
+
+let make_api t v =
+  let g = t.graph in
+  {
+    node = v;
+    ports = Graph.degree g v;
+    hardware = (fun () -> Hardware_clock.value t.clocks.(v) ~now:t.now);
+    send =
+      (fun ~port msg ->
+        let edge = Graph.edge_at_port g v port in
+        let dst = Graph.neighbor_at_port g v port in
+        let dst_port = Graph.port_of_neighbor g dst v in
+        t.messages_sent <- t.messages_sent + 1;
+        let drop_p =
+          Delay_model.drop_probability t.delays ~edge ~src:v ~dst ~now:t.now
+        in
+        let dropped =
+          drop_p > 0. && Prng.float t.link_rngs.(edge) 1.0 < drop_p
+        in
+        if dropped then begin
+          t.messages_dropped <- t.messages_dropped + 1;
+          observe t (Obs_drop { src = v; dst; edge })
+        end
+        else begin
+          let delay =
+            Delay_model.draw t.delays ~edge ~src:v ~dst ~now:t.now
+              ~rng:t.link_rngs.(edge)
+          in
+          let b = Delay_model.edge_bounds t.delays edge in
+          assert (delay >= b.Delay_model.d_min && delay <= b.Delay_model.d_max);
+          observe t (Obs_send { src = v; dst; edge; delay });
+          Heap.push t.heap ~prio:(t.now +. delay)
+            (Deliver { dst; port = dst_port; msg })
+        end);
+    set_timer =
+      (fun ~h ~tag ->
+        let timer_id = t.next_timer_id in
+        t.next_timer_id <- timer_id + 1;
+        Hashtbl.replace t.timers.(v) timer_id { h_target = h; tag };
+        push_timer_event t ~node:v ~timer_id ~h_target:h);
+    rng = Prng.split (Prng.create ~seed:0) (* replaced in [create] *);
+  }
+
+let create ~graph ~clocks ~delays ~rng ~make_node ~t0 =
+  let n = Graph.n graph in
+  if Array.length clocks <> n then
+    invalid_arg "Engine.create: one hardware clock per node required";
+  Array.iter
+    (fun c ->
+      if Hardware_clock.start_time c > t0 then
+        invalid_arg "Engine.create: clock starts after t0")
+    clocks;
+  let node_rngs = Prng.split_n rng n in
+  let link_rngs = Prng.split_n rng (Graph.m graph) in
+  let t =
+    {
+      graph;
+      clocks;
+      delays;
+      heap = Heap.create ();
+      handlers = Array.init n make_node;
+      apis = [||];
+      timers = Array.init n (fun _ -> Hashtbl.create 8);
+      link_rngs;
+      now = t0;
+      next_timer_id = 0;
+      started = false;
+      events_processed = 0;
+      messages_sent = 0;
+      messages_delivered = 0;
+      messages_dropped = 0;
+      observer = None;
+    }
+  in
+  t.apis <-
+    Array.init n (fun v -> { (make_api t v) with rng = node_rngs.(v) });
+  t
+
+let now t = t.now
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Array.iteri (fun v h -> h.on_init t.apis.(v)) t.handlers
+  end
+
+let dispatch t event =
+  t.events_processed <- t.events_processed + 1;
+  match event with
+  | Deliver { dst; port; msg } ->
+      t.messages_delivered <- t.messages_delivered + 1;
+      observe t (Obs_deliver { dst; port });
+      t.handlers.(dst).on_message t.apis.(dst) ~port msg
+  | Timer_fire { node; timer_id } -> (
+      match Hashtbl.find_opt t.timers.(node) timer_id with
+      | None -> () (* rescheduled or already fired under an old id *)
+      | Some { h_target; tag } ->
+          let h_now = Hardware_clock.value t.clocks.(node) ~now:t.now in
+          if h_now +. 1e-9 >= h_target then begin
+            Hashtbl.remove t.timers.(node) timer_id;
+            observe t (Obs_timer { node; tag });
+            t.handlers.(node).on_timer t.apis.(node) ~tag
+          end
+          else
+            (* The clock slowed after this entry was pushed; re-aim. *)
+            push_timer_event t ~node ~timer_id ~h_target)
+  | Control f -> f ()
+
+let step t =
+  start t;
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (time, event) ->
+      assert (time +. 1e-9 >= t.now);
+      t.now <- Float.max t.now time;
+      dispatch t event;
+      true
+
+let run_until t horizon =
+  start t;
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.heap with
+    | Some (time, _) when time <= horizon ->
+        (match Heap.pop t.heap with
+        | Some (time, event) ->
+            t.now <- Float.max t.now time;
+            dispatch t event
+        | None -> assert false)
+    | Some _ | None -> continue := false
+  done;
+  t.now <- Float.max t.now horizon
+
+let schedule_control t ~at f =
+  Heap.push t.heap ~prio:(Float.max at t.now) (Control f)
+
+let set_node_rate t ~node ~rate =
+  let clock = t.clocks.(node) in
+  Hardware_clock.set_rate clock ~now:t.now ~rate;
+  observe t (Obs_rate_change { node; rate });
+  (* Re-key every pending timer so stale heap entries become no-ops and
+     fresh entries reflect the new rate. *)
+  let pending = Hashtbl.fold (fun _ p acc -> p :: acc) t.timers.(node) [] in
+  Hashtbl.reset t.timers.(node);
+  List.iter
+    (fun p ->
+      let timer_id = t.next_timer_id in
+      t.next_timer_id <- timer_id + 1;
+      Hashtbl.replace t.timers.(node) timer_id p;
+      push_timer_event t ~node ~timer_id ~h_target:p.h_target)
+    pending
+
+let set_observer t f = t.observer <- Some f
+let clear_observer t = t.observer <- None
+let hardware_clock t v = t.clocks.(v)
+let graph t = t.graph
+let events_processed t = t.events_processed
+let messages_sent t = t.messages_sent
+let messages_delivered t = t.messages_delivered
+let messages_dropped t = t.messages_dropped
+let pending_events t = Heap.size t.heap

@@ -1,0 +1,105 @@
+(** Discrete-event engine for message-passing distributed algorithms.
+
+    Nodes are event-driven state machines. A node's handlers run when a
+    message arrives, when a timer it armed (in its own *hardware* time)
+    fires, or once at startup. Handlers interact with the world only through
+    the {!api} record: they can read their hardware clock, send on local
+    ports, arm timers, and draw from a private RNG — they can never read
+    real time, other nodes' clocks, or the topology, which enforces the
+    knowledge restrictions of the model.
+
+    The engine itself is deterministic: ties in event time are broken by
+    insertion order, and all randomness flows from per-component PRNGs
+    derived from the run seed.
+
+    Adversary/observer hooks ([schedule_control], [set_node_rate],
+    [hardware_clock]) operate *outside* the node API: they model the
+    omniscient adversary and the metrics observer of the paper, both of
+    which see true clock values and control drift and delays but cannot
+    alter algorithm state. [set_node_rate] transparently reschedules the
+    node's pending hardware timers so timer semantics stay exact across rate
+    changes. *)
+
+type 'msg t
+
+type 'msg api = {
+  node : int;  (** this node's id (usable as a name in messages) *)
+  ports : int;  (** number of incident links *)
+  hardware : unit -> float;  (** read the local hardware clock *)
+  send : port:int -> 'msg -> unit;
+  set_timer : h:float -> tag:int -> unit;
+      (** Arm a one-shot timer that fires when the local hardware clock
+          reaches [h]; a value already in the past fires immediately. Any
+          number of timers may be pending; they are distinguished by [tag]
+          (tags need not be unique). *)
+  rng : Gcs_util.Prng.t;  (** node-private deterministic randomness *)
+}
+
+type 'msg handlers = {
+  on_init : 'msg api -> unit;
+  on_message : 'msg api -> port:int -> 'msg -> unit;
+  on_timer : 'msg api -> tag:int -> unit;
+}
+
+val create :
+  graph:Gcs_graph.Graph.t ->
+  clocks:Gcs_clock.Hardware_clock.t array ->
+  delays:Delay_model.t ->
+  rng:Gcs_util.Prng.t ->
+  make_node:(int -> 'msg handlers) ->
+  t0:float ->
+  'msg t
+(** Build an engine. [clocks.(v)] is node [v]'s hardware clock (one per
+    node, all started at or before [t0]). [make_node v] is called once per
+    node, in id order, to produce its handlers; [on_init] runs for every
+    node at time [t0] when [run_until] first executes. *)
+
+val now : _ t -> float
+(** Current simulation time (time of the last processed event, or [t0]). *)
+
+val run_until : 'msg t -> float -> unit
+(** Process every event with timestamp [<=] the horizon; advances [now] to
+    the horizon. *)
+
+val step : 'msg t -> bool
+(** Process a single event; [false] if the queue was empty. *)
+
+(** Engine-level happenings an observer (tracer, debugger, metrics
+    collector) can subscribe to. Observation is invisible to algorithms. *)
+type observation =
+  | Obs_send of { src : int; dst : int; edge : int; delay : float }
+  | Obs_drop of { src : int; dst : int; edge : int }
+  | Obs_deliver of { dst : int; port : int }
+  | Obs_timer of { node : int; tag : int }
+  | Obs_rate_change of { node : int; rate : float }
+
+val set_observer : 'msg t -> (float -> observation -> unit) -> unit
+(** Install the (single) observer; it receives the current simulation time
+    with each observation. *)
+
+val clear_observer : 'msg t -> unit
+
+val schedule_control : 'msg t -> at:float -> (unit -> unit) -> unit
+(** Run a closure at an absolute simulation time — the hook used by
+    adversaries and metric probes. Closures scheduled for the past run at
+    the current time. *)
+
+val set_node_rate : 'msg t -> node:int -> rate:float -> unit
+(** Change a node's hardware clock rate as of [now], rescheduling the node's
+    pending timers to honour their hardware-time deadlines exactly. The
+    caller (drift layer or adversary) is responsible for respecting the
+    drift band. *)
+
+val hardware_clock : _ t -> int -> Gcs_clock.Hardware_clock.t
+(** Observer access to a node's hardware clock. *)
+
+val graph : _ t -> Gcs_graph.Graph.t
+
+val events_processed : _ t -> int
+val messages_sent : _ t -> int
+val messages_delivered : _ t -> int
+
+val messages_dropped : _ t -> int
+(** Messages lost to the delay model's loss law (never delivered). *)
+
+val pending_events : _ t -> int

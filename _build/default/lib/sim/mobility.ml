@@ -1,0 +1,64 @@
+module Prng = Gcs_util.Prng
+
+(* Per node: waypoints as (arrival_time, x, y), sorted by time; position is
+   linear interpolation between consecutive waypoints. *)
+type t = { waypoints : (float * float * float) array array; horizon : float }
+
+let random_waypoint ~n ~speed ~horizon ~rng =
+  if n < 1 then invalid_arg "Mobility.random_waypoint: n must be >= 1";
+  if speed < 0. then invalid_arg "Mobility.random_waypoint: negative speed";
+  if horizon <= 0. then invalid_arg "Mobility.random_waypoint: horizon <= 0";
+  let trajectory _ =
+    let x0 = Prng.float rng 1.0 and y0 = Prng.float rng 1.0 in
+    if speed = 0. then [| (0., x0, y0) |]
+    else begin
+      let acc = ref [ (0., x0, y0) ] in
+      let t = ref 0. and x = ref x0 and y = ref y0 in
+      while !t < horizon do
+        let tx = Prng.float rng 1.0 and ty = Prng.float rng 1.0 in
+        let dist = Float.hypot (tx -. !x) (ty -. !y) in
+        let dt = dist /. speed in
+        t := !t +. Float.max dt 1e-9;
+        x := tx;
+        y := ty;
+        acc := (!t, tx, ty) :: !acc
+      done;
+      Array.of_list (List.rev !acc)
+    end
+  in
+  { waypoints = Array.init n trajectory; horizon }
+
+let position t ~node ~now =
+  let wps = t.waypoints.(node) in
+  let len = Array.length wps in
+  let now = Float.max 0. now in
+  (* Find the last waypoint reached at or before [now]. *)
+  let rec find lo hi =
+    if hi - lo <= 1 then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let tm, _, _ = wps.(mid) in
+      if tm <= now then find mid hi else find lo mid
+    end
+  in
+  let i = find 0 (len - 1) in
+  if i = len - 1 then begin
+    let _, x, y = wps.(i) in
+    (x, y)
+  end
+  else begin
+    let t0, x0, y0 = wps.(i) and t1, x1, y1 = wps.(i + 1) in
+    let frac = if t1 = t0 then 0. else (now -. t0) /. (t1 -. t0) in
+    let frac = Float.min 1. (Float.max 0. frac) in
+    (x0 +. (frac *. (x1 -. x0)), y0 +. (frac *. (y1 -. y0)))
+  end
+
+let distance t ~a ~b ~now =
+  let xa, ya = position t ~node:a ~now in
+  let xb, yb = position t ~node:b ~now in
+  Float.hypot (xa -. xb) (ya -. yb)
+
+let delay_chooser t ~bounds:(b : Delay_model.bounds) ~edge:_ ~src ~dst ~now =
+  let diagonal = sqrt 2. in
+  let frac = Float.min 1. (distance t ~a:src ~b:dst ~now /. diagonal) in
+  b.Delay_model.d_min +. (frac *. (b.Delay_model.d_max -. b.Delay_model.d_min))

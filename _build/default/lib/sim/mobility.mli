@@ -1,0 +1,38 @@
+(** Node mobility: time-varying message delays driven by motion.
+
+    The wireless motivation for gradient clock synchronization lives in
+    networks whose propagation delays change as nodes move. This module
+    provides random-waypoint trajectories over the unit square and a delay
+    chooser that makes each message's delay track the current distance
+    between its endpoints — deterministically, so runs stay replayable.
+
+    The communication graph itself stays fixed (links are provisioned at
+    deployment); only the delays move. The algorithm's spec band must
+    cover the full range the chooser can produce; the chooser clamps to be
+    safe. *)
+
+type t
+
+val random_waypoint :
+  n:int ->
+  speed:float ->
+  horizon:float ->
+  rng:Gcs_util.Prng.t ->
+  t
+(** [n] nodes start at uniform positions and repeatedly pick a uniform
+    target, moving toward it at [speed] units per time unit ([speed = 0.]
+    freezes everyone). Trajectories are precomputed up to [horizon]. *)
+
+val position : t -> node:int -> now:float -> float * float
+(** Position at a time within the horizon (clamped beyond it). *)
+
+val distance : t -> a:int -> b:int -> now:float -> float
+(** Euclidean distance between two nodes at a time. *)
+
+val delay_chooser :
+  t ->
+  bounds:Delay_model.bounds ->
+  Delay_model.chooser
+(** A chooser mapping current distance linearly onto the delay band:
+    distance 0 gives [d_min], the square's diagonal gives [d_max].
+    Install it in a [Runner.Controlled_delays] run. *)

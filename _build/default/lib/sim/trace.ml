@@ -1,0 +1,82 @@
+type entry = { time : float; obs : Engine.observation }
+
+type t = {
+  capacity : int;
+  ring : entry option array;
+  mutable next : int;
+  mutable total : int;
+  mutable sends : int;
+  mutable drops : int;
+  mutable delivers : int;
+  mutable timers : int;
+  mutable rate_changes : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be > 0";
+  {
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    total = 0;
+    sends = 0;
+    drops = 0;
+    delivers = 0;
+    timers = 0;
+    rate_changes = 0;
+  }
+
+let record t time obs =
+  (match obs with
+  | Engine.Obs_send _ -> t.sends <- t.sends + 1
+  | Engine.Obs_drop _ -> t.drops <- t.drops + 1
+  | Engine.Obs_deliver _ -> t.delivers <- t.delivers + 1
+  | Engine.Obs_timer _ -> t.timers <- t.timers + 1
+  | Engine.Obs_rate_change _ -> t.rate_changes <- t.rate_changes + 1);
+  t.ring.(t.next mod t.capacity) <- Some { time; obs };
+  t.next <- t.next + 1;
+  t.total <- t.total + 1
+
+let attach t engine = Engine.set_observer engine (record t)
+
+let entries t =
+  let start = if t.total > t.capacity then t.next else 0 in
+  let count = min t.total t.capacity in
+  List.filter_map
+    (fun i -> t.ring.((start + i) mod t.capacity))
+    (List.init count (fun i -> i))
+
+let length t = min t.total t.capacity
+let total t = t.total
+let count_sends t = t.sends
+let count_drops t = t.drops
+let count_delivers t = t.delivers
+let count_timers t = t.timers
+let count_rate_changes t = t.rate_changes
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0;
+  t.sends <- 0;
+  t.drops <- 0;
+  t.delivers <- 0;
+  t.timers <- 0;
+  t.rate_changes <- 0
+
+let entry_to_string { time; obs } =
+  match obs with
+  | Engine.Obs_send { src; dst; edge; delay } ->
+      Printf.sprintf "%10.4f  send     %d -> %d (edge %d, delay %.4f)" time src
+        dst edge delay
+  | Engine.Obs_drop { src; dst; edge } ->
+      Printf.sprintf "%10.4f  drop     %d -> %d (edge %d)" time src dst edge
+  | Engine.Obs_deliver { dst; port } ->
+      Printf.sprintf "%10.4f  deliver  -> %d (port %d)" time dst port
+  | Engine.Obs_timer { node; tag } ->
+      Printf.sprintf "%10.4f  timer    @ %d (tag %d)" time node tag
+  | Engine.Obs_rate_change { node; rate } ->
+      Printf.sprintf "%10.4f  rate     @ %d -> %.6f" time node rate
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%s@." (entry_to_string e)) (entries t)

@@ -1,0 +1,42 @@
+(** Bounded-memory execution traces over the engine's observer hook.
+
+    A trace keeps the most recent [capacity] observations in a ring buffer
+    plus running counts per observation kind, so long simulations can stay
+    instrumented without unbounded memory. Used by debugging sessions and
+    by tests that assert on message flows. *)
+
+type entry = { time : float; obs : Engine.observation }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 entries. *)
+
+val attach : t -> 'msg Engine.t -> unit
+(** Install this trace as the engine's observer (replacing any other). *)
+
+val record : t -> float -> Engine.observation -> unit
+(** Feed an observation directly (what [attach] wires up). *)
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val length : t -> int
+(** Number of retained entries (at most the capacity). *)
+
+val total : t -> int
+(** Number of observations ever recorded. *)
+
+val count_sends : t -> int
+val count_drops : t -> int
+val count_delivers : t -> int
+val count_timers : t -> int
+val count_rate_changes : t -> int
+(** Running totals per kind (not limited by capacity). *)
+
+val clear : t -> unit
+
+val entry_to_string : entry -> string
+
+val pp : Format.formatter -> t -> unit
+(** Print the retained entries, one per line. *)

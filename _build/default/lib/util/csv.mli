@@ -1,0 +1,17 @@
+(** Minimal CSV writing for experiment artifacts.
+
+    Every experiment in the bench harness can persist its table as a CSV
+    file (under `results/` by default) so the "figures" are regenerable,
+    diffable artifacts rather than only console output. Quoting follows RFC
+    4180 for the characters that need it. *)
+
+val escape_cell : string -> string
+(** Quote a cell if it contains a comma, quote, or newline. *)
+
+val render : header:string list -> rows:string list list -> string
+(** CSV text with a trailing newline. Rows are not padded: callers are
+    expected to pass rows matching the header (the table layer guarantees
+    this). *)
+
+val write : path:string -> header:string list -> rows:string list list -> unit
+(** Write (creating parent directories up to one level if needed). *)

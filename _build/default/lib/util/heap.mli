@@ -1,0 +1,28 @@
+(** Binary min-heap keyed by float priority with an integer tiebreaker.
+
+    This is the core data structure of the discrete-event engine: events are
+    ordered by simulation time, and the monotonically increasing sequence
+    number makes the pop order deterministic when several events share a
+    timestamp (essential for reproducible runs). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val push : 'a t -> prio:float -> 'a -> unit
+(** [push t ~prio x] inserts [x] with priority [prio]. Elements pushed
+    earlier win ties. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum element, or [None] if the heap is empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return without removing. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Drain a copy of the heap in priority order (the heap itself is not
+    modified). Intended for tests and debugging. *)

@@ -1,0 +1,60 @@
+type t = Random.State.t
+
+(* SplitMix64 step, used to derive well-separated child seeds from a parent
+   stream without correlating the two. *)
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let create ~seed =
+  let s = splitmix64 (Int64.of_int seed) in
+  Random.State.make [| Int64.to_int s; seed; Int64.to_int (splitmix64 s) |]
+
+let split t =
+  let a = Random.State.bits t
+  and b = Random.State.bits t in
+  let s = splitmix64 (Int64.of_int ((a lsl 30) lxor b)) in
+  Random.State.make [| Int64.to_int s; a; b |]
+
+let split_n t n = Array.init n (fun _ -> split t)
+let int t bound = Random.State.int t bound
+let float t bound = Random.State.float t bound
+
+let uniform t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. Random.State.float t (hi -. lo)
+
+let bool t = Random.State.bool t
+
+let gaussian t ~mu ~sigma =
+  (* Box-Muller; discard the second variate for simplicity. *)
+  let rec draw () =
+    let u1 = Random.State.float t 1.0 in
+    if u1 <= 0. then draw () else u1
+  in
+  let u1 = draw () in
+  let u2 = Random.State.float t 1.0 in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let exponential t ~rate =
+  assert (rate > 0.);
+  let rec draw () =
+    let u = Random.State.float t 1.0 in
+    if u <= 0. then draw () else u
+  in
+  -.log (draw ()) /. rate
+
+let choice t a =
+  assert (Array.length a > 0);
+  a.(Random.State.int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

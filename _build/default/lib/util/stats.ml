@@ -1,0 +1,80 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  if Array.length xs = 0 then nan else Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  if Array.length xs = 0 then nan else Array.fold_left Float.max xs.(0) xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.
+
+module Running = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then nan else t.mean
+
+  let variance t =
+    if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = sqrt (variance t)
+  let min t = if t.count = 0 then nan else t.min
+  let max t = if t.count = 0 then nan else t.max
+end
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n >= 2);
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. in
+  for i = 0 to n - 1 do
+    sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    sxx := !sxx +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
+  done;
+  let slope = if !sxx = 0. then 0. else !sxy /. !sxx in
+  (slope, my -. (slope *. mx))
+
+let log2 x = log x /. log 2.

@@ -1,0 +1,46 @@
+(** Descriptive statistics over float samples, plus a streaming accumulator.
+
+    Used by the metrics layer to summarize skew time series and by the
+    benchmark harness to aggregate repeated trials. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Returns [nan] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); [0.] for fewer than two
+    samples. *)
+
+val stddev : float array -> float
+
+val min : float array -> float
+(** Minimum; [nan] on empty input. *)
+
+val max : float array -> float
+(** Maximum; [nan] on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], linear interpolation between
+    order statistics. Does not mutate its argument. [nan] on empty input. *)
+
+val median : float array -> float
+
+(** Streaming mean/variance/extrema accumulator (Welford's algorithm),
+    usable when storing a full sample array would be wasteful. *)
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+val linear_fit : float array -> float array -> float * float
+(** [linear_fit xs ys] least-squares fit returning [(slope, intercept)].
+    Requires equal-length arrays of length at least two. *)
+
+val log2 : float -> float

@@ -1,0 +1,1 @@
+test/test_adversarial_random.ml: Gcs_clock Gcs_core Gcs_graph Gcs_sim Gcs_util Hashtbl List QCheck QCheck_alcotest

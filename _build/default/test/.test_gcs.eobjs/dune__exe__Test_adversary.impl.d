@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Float Gcs_adversary Gcs_core Gcs_graph List

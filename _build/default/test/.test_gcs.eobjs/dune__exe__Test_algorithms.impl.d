@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Float Gcs_clock Gcs_core Gcs_graph List Printf

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Gcs_core List Printf

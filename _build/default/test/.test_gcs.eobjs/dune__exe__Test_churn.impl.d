@@ -1,0 +1,1 @@
+test/test_churn.ml: Alcotest Array Float Gcs_adversary Gcs_core Gcs_graph Gcs_util Printf QCheck QCheck_alcotest

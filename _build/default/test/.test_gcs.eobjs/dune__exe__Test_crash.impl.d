@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Array Gcs_adversary Gcs_clock Gcs_core Gcs_graph Printf

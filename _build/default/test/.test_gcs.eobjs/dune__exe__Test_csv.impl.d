@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Filename Gcs_util Sys

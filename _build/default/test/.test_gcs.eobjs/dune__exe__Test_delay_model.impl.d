@@ -1,0 +1,1 @@
+test/test_delay_model.ml: Alcotest Gcs_sim Gcs_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_drift.ml: Alcotest Gcs_clock Gcs_util List QCheck QCheck_alcotest

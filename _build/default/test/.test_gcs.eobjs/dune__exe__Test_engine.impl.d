@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Gcs_clock Gcs_graph Gcs_sim Gcs_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_external_sync.ml: Alcotest Array Float Gcs_clock Gcs_core Gcs_graph Printf

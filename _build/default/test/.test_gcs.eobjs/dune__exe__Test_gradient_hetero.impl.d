@@ -1,0 +1,1 @@
+test/test_gradient_hetero.ml: Alcotest Array Float Gcs_core Gcs_graph Gcs_sim Gen Printf QCheck QCheck_alcotest

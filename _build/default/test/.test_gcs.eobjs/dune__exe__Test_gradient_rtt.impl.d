@@ -1,0 +1,1 @@
+test/test_gradient_rtt.ml: Alcotest Array Gcs_clock Gcs_core Gcs_graph Gcs_sim Gcs_util Printf

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Gcs_graph Gcs_util QCheck QCheck_alcotest

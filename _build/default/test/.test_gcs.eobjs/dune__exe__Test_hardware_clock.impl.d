@@ -1,0 +1,1 @@
+test/test_hardware_clock.ml: Alcotest Float Gcs_clock Gcs_util List Printf QCheck QCheck_alcotest

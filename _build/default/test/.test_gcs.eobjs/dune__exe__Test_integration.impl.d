@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Gcs_adversary Gcs_core Gcs_graph Gcs_sim Gcs_util Printf

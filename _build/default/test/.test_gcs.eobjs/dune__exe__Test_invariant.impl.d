@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Gcs_core Gcs_graph List String

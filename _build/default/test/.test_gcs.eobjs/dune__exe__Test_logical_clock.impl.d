@@ -1,0 +1,1 @@
+test/test_logical_clock.ml: Alcotest Gcs_clock QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_max_slew.ml: Alcotest Array Gcs_clock Gcs_core Gcs_graph Printf

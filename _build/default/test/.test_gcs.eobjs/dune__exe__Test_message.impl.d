@@ -1,0 +1,1 @@
+test/test_message.ml: Alcotest Gcs_core List String

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Float Gcs_core Gcs_graph Gcs_util QCheck QCheck_alcotest

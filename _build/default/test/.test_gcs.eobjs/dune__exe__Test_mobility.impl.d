@@ -1,0 +1,1 @@
+test/test_mobility.ml: Alcotest Float Gcs_core Gcs_graph Gcs_sim Gcs_util List Printf QCheck QCheck_alcotest

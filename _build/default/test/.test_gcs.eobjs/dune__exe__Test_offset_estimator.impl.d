@@ -1,0 +1,1 @@
+test/test_offset_estimator.ml: Alcotest Float Gcs_core QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Gcs_core Gcs_graph Gcs_sim List

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Gcs_adversary Gcs_core List

@@ -1,0 +1,1 @@
+test/test_shortest_path.ml: Alcotest Array Float Gcs_graph Gcs_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_spanning_tree.ml: Alcotest Array Gcs_graph Gcs_util QCheck QCheck_alcotest

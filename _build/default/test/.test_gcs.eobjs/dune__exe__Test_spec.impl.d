@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Float Gcs_core Gcs_sim

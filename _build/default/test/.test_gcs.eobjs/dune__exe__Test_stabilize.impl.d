@@ -1,0 +1,1 @@
+test/test_stabilize.ml: Alcotest Gcs_clock Gcs_core Gcs_graph List

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gcs_util Gen QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Gcs_graph Gcs_util List QCheck QCheck_alcotest

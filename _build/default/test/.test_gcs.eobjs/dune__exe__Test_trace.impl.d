@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Buffer Format Gcs_clock Gcs_graph Gcs_sim Gcs_util List String

@@ -1,0 +1,1 @@
+test/test_triggers.ml: Alcotest Array Gcs_core Gen QCheck QCheck_alcotest

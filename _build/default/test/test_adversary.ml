@@ -1,0 +1,115 @@
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Metrics = Gcs_core.Metrics
+module Bounds = Gcs_core.Bounds
+module Runner = Gcs_core.Runner
+module Topology = Gcs_graph.Topology
+module Fan_lynch = Gcs_adversary.Fan_lynch
+module Linear = Gcs_adversary.Linear
+module Bias = Gcs_adversary.Bias
+
+let spec = Spec.make ()
+
+let test_fan_lynch_config_defaults () =
+  let cfg = Fan_lynch.default_config ~n:64 () in
+  Alcotest.(check int) "shrink = ceil(log2 n)" 6 cfg.Fan_lynch.shrink;
+  Alcotest.(check bool) "phases planned" true (cfg.Fan_lynch.n = 64)
+
+let test_fan_lynch_rejects_bad_input () =
+  (match Fan_lynch.default_config ~n:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted n=1");
+  match Fan_lynch.default_config ~shrink:1 ~n:8 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted shrink=1"
+
+let test_fan_lynch_forces_at_least_theorem_line () =
+  (* The executable adversary must force at least the theorem's bound on
+     every implemented algorithm (it typically forces much more). *)
+  List.iter
+    (fun algo ->
+      let cfg = Fan_lynch.default_config ~spec ~algo ~n:17 ~seed:6 () in
+      let report = Fan_lynch.attack cfg in
+      Alcotest.(check bool)
+        (Algorithm.kind_name algo ^ " above theorem line")
+        true
+        (report.Fan_lynch.forced_local >= report.Fan_lynch.lower_bound))
+    Algorithm.all_kinds
+
+let test_fan_lynch_gradient_stays_under_envelope () =
+  (* Even under attack, the gradient algorithm must respect its analytic
+     local-skew envelope — the attack shows tightness, not violation. *)
+  let cfg =
+    Fan_lynch.default_config ~spec ~algo:Algorithm.Gradient_sync ~n:17 ~seed:6 ()
+  in
+  let report = Fan_lynch.attack cfg in
+  let envelope = Bounds.gradient_local_upper spec ~diameter:16 in
+  Alcotest.(check bool) "under envelope" true
+    (report.Fan_lynch.forced_local <= envelope)
+
+let test_fan_lynch_runs_all_phases () =
+  let cfg = Fan_lynch.default_config ~spec ~n:33 ~seed:1 () in
+  let report = Fan_lynch.attack cfg in
+  Alcotest.(check bool) "multiple phases" true (report.Fan_lynch.phases >= 2)
+
+let test_fan_lynch_deterministic () =
+  let attack () =
+    let cfg = Fan_lynch.default_config ~spec ~n:17 ~seed:8 () in
+    (Fan_lynch.attack cfg).Fan_lynch.forced_local
+  in
+  Alcotest.(check (float 0.)) "replayable" (attack ()) (attack ())
+
+let test_linear_forces_global () =
+  List.iter
+    (fun algo ->
+      let report = Linear.attack ~spec ~algo ~n:17 ~seed:2 () in
+      Alcotest.(check bool)
+        (Algorithm.kind_name algo ^ " forced >= u*D/4")
+        true
+        (report.Linear.forced_global >= report.Linear.lower_bound))
+    [ Algorithm.Max_sync; Algorithm.Tree_sync; Algorithm.Gradient_sync ]
+
+let test_bias_separates_tree_from_gradient () =
+  (* The E3 separation on a ring: the consistent delay bias drives
+     tree-based sync to a large skew across the cycle-closing edge while
+     the gradient algorithm stays bounded. *)
+  let n = 25 in
+  let tree = Bias.attack_ring ~spec ~algo:Algorithm.Tree_sync ~n ~seed:3 () in
+  let grad = Bias.attack_ring ~spec ~algo:Algorithm.Gradient_sync ~n ~seed:3 () in
+  Alcotest.(check bool) "tree suffers" true
+    (tree.Bias.forced_local > 2. *. grad.Bias.forced_local)
+
+let test_bias_gradient_under_envelope () =
+  let n = 25 in
+  let grad = Bias.attack_ring ~spec ~algo:Algorithm.Gradient_sync ~n ~seed:3 () in
+  let envelope = Bounds.gradient_local_upper spec ~diameter:(n / 2) in
+  Alcotest.(check bool) "gradient bounded under bias" true
+    (grad.Bias.forced_local <= envelope)
+
+let test_bias_orientation () =
+  Alcotest.(check bool) "cw" true (Bias.ring_orientation ~n:5 ~src:4 ~dst:0);
+  Alcotest.(check bool) "ccw" false (Bias.ring_orientation ~n:5 ~src:0 ~dst:4)
+
+let test_attacks_respect_delay_bounds () =
+  (* The adversary can only choose delays inside the band; the engine
+     asserts this on every send, so completing an attack run is itself the
+     check. Verify the run also produced sane, finite metrics. *)
+  let report = Linear.attack ~spec ~algo:Algorithm.Gradient_sync ~n:9 ~seed:4 () in
+  Alcotest.(check bool) "finite metrics" true
+    (Float.is_finite report.Linear.forced_global
+    && Float.is_finite report.Linear.forced_local)
+
+let suite =
+  [
+    Alcotest.test_case "fan-lynch defaults" `Quick test_fan_lynch_config_defaults;
+    Alcotest.test_case "fan-lynch input validation" `Quick test_fan_lynch_rejects_bad_input;
+    Alcotest.test_case "fan-lynch >= theorem" `Quick test_fan_lynch_forces_at_least_theorem_line;
+    Alcotest.test_case "fan-lynch <= envelope" `Quick test_fan_lynch_gradient_stays_under_envelope;
+    Alcotest.test_case "fan-lynch phases" `Quick test_fan_lynch_runs_all_phases;
+    Alcotest.test_case "fan-lynch deterministic" `Quick test_fan_lynch_deterministic;
+    Alcotest.test_case "linear forces global" `Quick test_linear_forces_global;
+    Alcotest.test_case "bias separates tree/gradient" `Quick test_bias_separates_tree_from_gradient;
+    Alcotest.test_case "bias gradient bounded" `Quick test_bias_gradient_under_envelope;
+    Alcotest.test_case "bias orientation" `Quick test_bias_orientation;
+    Alcotest.test_case "attacks respect bounds" `Quick test_attacks_respect_delay_bounds;
+  ]

@@ -1,0 +1,180 @@
+(* Integration tests: full simulations of each algorithm on small instances,
+   asserting the invariants the algorithms are supposed to deliver. These
+   run the entire stack — topology, drift schedules, delay models, engine,
+   estimators, triggers, metrics. *)
+
+module Topology = Gcs_graph.Topology
+module Sp = Gcs_graph.Shortest_path
+module Drift = Gcs_clock.Drift
+module Lc = Gcs_clock.Logical_clock
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Bounds = Gcs_core.Bounds
+
+let spec = Spec.make ()
+
+let run ?(spec = spec) ?(horizon = 300.) ?(seed = 3) ~algo graph =
+  Runner.run (Runner.config ~spec ~algo ~horizon ~seed graph)
+
+let check = Alcotest.(check bool)
+
+let test_free_run_drifts () =
+  (* Extreme drift split: skew must accumulate at about rho * t. *)
+  let graph = Topology.line 2 in
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Free_run
+      ~drift_of_node:(fun v -> if v = 0 then Drift.Extreme_high else Drift.Extreme_low)
+      ~horizon:100. ~warmup:0. ~seed:1 graph
+  in
+  let r = Runner.run cfg in
+  let expected = spec.Spec.rho *. 100. in
+  check "drift accumulates"
+    (Float.abs (r.Runner.summary.Metrics.final_global -. expected) < 0.05)
+    true
+
+let test_free_run_sends_nothing () =
+  let r = run ~algo:Algorithm.Free_run (Topology.ring 5) in
+  Alcotest.(check int) "no messages" 0 r.Runner.messages
+
+let test_max_sync_never_decreases () =
+  (* Sample consecutive values; with Max_sync every node's clock must be
+     non-decreasing even though it jumps. *)
+  let r = run ~algo:Algorithm.Max_sync (Topology.ring 8) in
+  let samples = r.Runner.samples in
+  let ok = ref true in
+  for i = 1 to Array.length samples - 1 do
+    let prev = samples.(i - 1).Metrics.values in
+    let cur = samples.(i).Metrics.values in
+    Array.iteri (fun v x -> if x < prev.(v) -. 1e-9 then ok := false) cur
+  done;
+  check "monotone" true !ok
+
+let test_max_sync_bounded_global () =
+  let graph = Topology.line 9 in
+  let r = run ~algo:Algorithm.Max_sync graph in
+  let bound = Bounds.max_sync_global_upper spec ~diameter:8 in
+  check "global under analytic envelope"
+    (r.Runner.summary.Metrics.max_global <= bound)
+    true
+
+let test_max_sync_uses_jumps () =
+  let r = run ~algo:Algorithm.Max_sync (Topology.ring 6) in
+  check "jump-based algorithm jumps" true (r.Runner.jumps.Lc.count > 0)
+
+let test_slew_algorithms_never_jump () =
+  List.iter
+    (fun algo ->
+      let r = run ~algo (Topology.ring 6) in
+      Alcotest.(check int)
+        (Algorithm.kind_name algo ^ " never jumps")
+        0 r.Runner.jumps.Lc.count)
+    [ Algorithm.Free_run; Algorithm.Tree_sync; Algorithm.Gradient_sync ]
+
+let test_tree_sync_converges_on_tree () =
+  (* On a tree topology every edge is a tree edge: local skew must settle
+     near the estimate-error threshold. *)
+  let graph = Topology.binary_tree ~depth:3 in
+  let r = run ~algo:Algorithm.Tree_sync ~horizon:400. graph in
+  let threshold = Spec.estimate_error_bound spec in
+  check "tree-edge skew small"
+    (r.Runner.summary.Metrics.final_local <= (3. *. threshold) +. 0.2)
+    true
+
+let test_gradient_local_under_envelope () =
+  List.iter
+    (fun graph ->
+      let d = Sp.diameter graph in
+      let r = run ~algo:Algorithm.Gradient_sync graph in
+      let bound = Bounds.gradient_local_upper spec ~diameter:d in
+      check
+        (Printf.sprintf "local <= envelope (D=%d)" d)
+        (r.Runner.summary.Metrics.max_local <= bound)
+        true)
+    [ Topology.line 9; Topology.ring 10; Topology.grid ~rows:4 ~cols:4 ]
+
+let test_gradient_global_under_envelope () =
+  let graph = Topology.line 9 in
+  let r = run ~algo:Algorithm.Gradient_sync graph in
+  let bound = Bounds.gradient_global_upper spec ~diameter:8 in
+  check "global <= envelope" (r.Runner.summary.Metrics.max_global <= bound) true
+
+let test_gradient_beats_free_run () =
+  (* With adversarially split drift, free-run diverges linearly in time
+     while the gradient algorithm caps skew. *)
+  let graph = Topology.line 6 in
+  let horizon = 2000. in
+  let drift v = if v < 3 then Drift.Extreme_high else Drift.Extreme_low in
+  let result algo =
+    Runner.run
+      (Runner.config ~spec ~algo ~drift_of_node:drift ~horizon ~seed:2 graph)
+  in
+  let free = result Algorithm.Free_run in
+  let grad = result Algorithm.Gradient_sync in
+  check "free-run diverges"
+    (free.Runner.summary.Metrics.max_global > 10.)
+    true;
+  check "gradient holds the line"
+    (grad.Runner.summary.Metrics.max_global
+    < free.Runner.summary.Metrics.max_global /. 2.)
+    true
+
+let test_gradient_rate_envelope () =
+  (* Between consecutive samples, every logical clock must advance at a
+     rate within [1, (1 + mu) * vartheta]. *)
+  let r = run ~algo:Algorithm.Gradient_sync (Topology.ring 6) in
+  let samples = r.Runner.samples in
+  let lo = 1. and hi = (1. +. spec.Spec.mu) *. Spec.vartheta spec in
+  let ok = ref true in
+  for i = 1 to Array.length samples - 1 do
+    let dt = samples.(i).Metrics.time -. samples.(i - 1).Metrics.time in
+    if dt > 0. then
+      Array.iteri
+        (fun v x ->
+          let rate = (x -. samples.(i - 1).Metrics.values.(v)) /. dt in
+          if rate < lo -. 1e-6 || rate > hi +. 1e-6 then ok := false)
+        samples.(i).Metrics.values
+  done;
+  check "rates in [1, (1+mu)*vartheta]" true !ok
+
+let test_initial_values_respected () =
+  let graph = Topology.line 3 in
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Free_run
+      ~initial_value_of_node:(fun v -> float_of_int v *. 10.)
+      ~horizon:10. ~warmup:0. ~seed:1 graph
+  in
+  let r = Runner.run cfg in
+  let first = r.Runner.samples.(0).Metrics.values in
+  Alcotest.(check (float 1e-9)) "node 2 initial" 20. first.(2)
+
+let test_gradient_recovers_from_bad_init () =
+  (* Adversarial initialization (the self-stabilization angle): a ramp of
+     2 kappa per hop must be flattened back under the envelope. *)
+  let graph = Topology.line 6 in
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync
+      ~initial_value_of_node:(fun v -> float_of_int v *. 2. *. spec.Spec.kappa)
+      ~horizon:800. ~warmup:600. ~seed:4 graph
+  in
+  let r = Runner.run cfg in
+  let bound = Bounds.gradient_local_upper spec ~diameter:5 in
+  check "recovered" (r.Runner.summary.Metrics.max_local <= bound) true
+
+let suite =
+  [
+    Alcotest.test_case "free-run drifts" `Quick test_free_run_drifts;
+    Alcotest.test_case "free-run silent" `Quick test_free_run_sends_nothing;
+    Alcotest.test_case "max monotone" `Quick test_max_sync_never_decreases;
+    Alcotest.test_case "max global bounded" `Quick test_max_sync_bounded_global;
+    Alcotest.test_case "max jumps" `Quick test_max_sync_uses_jumps;
+    Alcotest.test_case "slew algos never jump" `Quick test_slew_algorithms_never_jump;
+    Alcotest.test_case "tree converges on tree" `Quick test_tree_sync_converges_on_tree;
+    Alcotest.test_case "gradient local envelope" `Quick test_gradient_local_under_envelope;
+    Alcotest.test_case "gradient global envelope" `Quick test_gradient_global_under_envelope;
+    Alcotest.test_case "gradient beats free-run" `Quick test_gradient_beats_free_run;
+    Alcotest.test_case "gradient rate envelope" `Quick test_gradient_rate_envelope;
+    Alcotest.test_case "initial values" `Quick test_initial_values_respected;
+    Alcotest.test_case "recovers from bad init" `Quick test_gradient_recovers_from_bad_init;
+  ]

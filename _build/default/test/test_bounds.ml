@@ -1,0 +1,70 @@
+module Bounds = Gcs_core.Bounds
+module Spec = Gcs_core.Spec
+
+let test_fan_lynch_zero_small () =
+  Alcotest.(check (float 0.)) "D=1" 0. (Bounds.fan_lynch_lower ~u:1. ~diameter:1);
+  Alcotest.(check (float 0.)) "D=0" 0. (Bounds.fan_lynch_lower ~u:1. ~diameter:0)
+
+let test_fan_lynch_monotone_in_d () =
+  let b d = Bounds.fan_lynch_lower ~u:1. ~diameter:d in
+  Alcotest.(check bool) "grows 8 -> 64" true (b 64 > b 8);
+  Alcotest.(check bool) "grows 64 -> 4096" true (b 4096 > b 64)
+
+let test_fan_lynch_linear_in_u () =
+  let b u = Bounds.fan_lynch_lower ~u ~diameter:100 in
+  Alcotest.(check (float 1e-9)) "scales with u" (2. *. b 1.) (b 2.)
+
+let test_fan_lynch_sublinear () =
+  (* The bound must grow much slower than D. *)
+  let b d = Bounds.fan_lynch_lower ~u:1. ~diameter:d in
+  Alcotest.(check bool) "sublinear" true (b 1024 /. b 32 < 1024. /. 32. /. 4.)
+
+let test_gradient_upper_monotone () =
+  let spec = Spec.make () in
+  let g d = Bounds.gradient_local_upper spec ~diameter:d in
+  Alcotest.(check bool) "monotone" true (g 100 >= g 10);
+  Alcotest.(check bool) "positive at D=1" true (g 1 > 0.)
+
+let test_gradient_upper_logarithmic () =
+  let spec = Spec.make () in
+  let g d = Bounds.gradient_local_upper spec ~diameter:d in
+  (* Squaring the diameter adds one log-factor's worth, far from doubling. *)
+  Alcotest.(check bool) "log-like growth" true (g 10_000 < 2. *. g 100)
+
+let test_gradient_upper_exceeds_lower () =
+  let spec = Spec.make () in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "envelope above theorem line at D=%d" d)
+        true
+        (Bounds.gradient_local_upper spec ~diameter:d
+        >= Bounds.fan_lynch_lower ~u:(Spec.uncertainty spec) ~diameter:d))
+    [ 2; 8; 32; 128; 512 ]
+
+let test_global_bounds_linear () =
+  let spec = Spec.make () in
+  let g d = Bounds.gradient_global_upper spec ~diameter:d in
+  let m d = Bounds.max_sync_global_upper spec ~diameter:d in
+  Alcotest.(check bool) "gradient global linear-ish" true
+    (g 200 > 1.8 *. g 100 && g 200 < 2.2 *. g 100);
+  Alcotest.(check bool) "max global linear-ish" true
+    (m 200 > 1.5 *. m 100 && m 200 < 2.5 *. m 100)
+
+let test_free_run () =
+  let spec = Spec.make ~rho:0.02 () in
+  Alcotest.(check (float 1e-9)) "rho * horizon" 2.
+    (Bounds.free_run_global spec ~horizon:100.)
+
+let suite =
+  [
+    Alcotest.test_case "fan-lynch small D" `Quick test_fan_lynch_zero_small;
+    Alcotest.test_case "fan-lynch monotone" `Quick test_fan_lynch_monotone_in_d;
+    Alcotest.test_case "fan-lynch linear in u" `Quick test_fan_lynch_linear_in_u;
+    Alcotest.test_case "fan-lynch sublinear" `Quick test_fan_lynch_sublinear;
+    Alcotest.test_case "gradient upper monotone" `Quick test_gradient_upper_monotone;
+    Alcotest.test_case "gradient upper log" `Quick test_gradient_upper_logarithmic;
+    Alcotest.test_case "upper above lower" `Quick test_gradient_upper_exceeds_lower;
+    Alcotest.test_case "global bounds linear" `Quick test_global_bounds_linear;
+    Alcotest.test_case "free run" `Quick test_free_run;
+  ]

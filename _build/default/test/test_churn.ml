@@ -1,0 +1,119 @@
+module Topology = Gcs_graph.Topology
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Churn = Gcs_adversary.Churn
+module Prng = Gcs_util.Prng
+
+let spec = Spec.make ()
+
+let test_windows_disjoint_sorted =
+  QCheck.Test.make ~name:"churn windows are sorted, disjoint, in-horizon"
+    ~count:100 QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let ws = Churn.windows ~duty:0.3 ~mean_down:5. ~horizon:200. ~rng in
+      let ok = ref true in
+      Array.iteri
+        (fun i (start, stop) ->
+          if start >= stop || start < 0. || stop > 200. then ok := false;
+          if i > 0 && start < snd ws.(i - 1) then ok := false)
+        ws;
+      !ok)
+
+let test_windows_zero_duty () =
+  let rng = Prng.create ~seed:1 in
+  Alcotest.(check int) "no windows" 0
+    (Array.length (Churn.windows ~duty:0. ~mean_down:5. ~horizon:100. ~rng))
+
+let test_windows_duty_fraction () =
+  (* Long-run down fraction should approximate the duty parameter. *)
+  let rng = Prng.create ~seed:3 in
+  let ws = Churn.windows ~duty:0.3 ~mean_down:10. ~horizon:100_000. ~rng in
+  let down =
+    Array.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0. ws
+  in
+  let fraction = down /. 100_000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction %.3f near 0.3" fraction)
+    true
+    (Float.abs (fraction -. 0.3) < 0.05)
+
+let test_config_validation () =
+  let graph = Topology.ring 6 in
+  (match Churn.default_config ~duty:1.0 ~graph () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted duty = 1");
+  match Churn.default_config ~mean_down:0. ~graph () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted zero mean_down"
+
+let test_realized_drop_rate_tracks_duty () =
+  let graph = Topology.ring 16 in
+  let r = Churn.run (Churn.default_config ~duty:0.25 ~graph ~seed:5 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "drop rate %.3f near duty" r.Churn.downtime_fraction)
+    true
+    (Float.abs (r.Churn.downtime_fraction -. 0.25) < 0.08)
+
+let test_graceful_degradation () =
+  (* Gradient sync under 30% churn must stay within a small factor of its
+     loss-free skew — soft state coasts through outages. *)
+  let graph = Topology.ring 16 in
+  let quiet = Churn.run (Churn.default_config ~duty:0. ~graph ~seed:7 ()) in
+  let noisy = Churn.run (Churn.default_config ~duty:0.3 ~graph ~seed:7 ()) in
+  Alcotest.(check bool) "degrades gracefully" true
+    (noisy.Churn.forced_local < 2.5 *. quiet.Churn.forced_local)
+
+let test_uniform_loss_in_runner () =
+  let graph = Topology.ring 10 in
+  let run loss =
+    Runner.run
+      (Runner.config ~spec ~algo:Algorithm.Gradient_sync ~loss ~horizon:200.
+         ~seed:9 graph)
+  in
+  let none = run Runner.No_loss in
+  let half = run (Runner.Uniform_loss 0.5) in
+  let all = run (Runner.Uniform_loss 1.0) in
+  Alcotest.(check int) "no loss drops nothing" 0 none.Runner.dropped;
+  Alcotest.(check bool) "half loss drops about half" true
+    (let f =
+       float_of_int half.Runner.dropped /. float_of_int half.Runner.messages
+     in
+     Float.abs (f -. 0.5) < 0.1);
+  Alcotest.(check int) "total loss delivers nothing"
+    all.Runner.messages all.Runner.dropped
+
+let test_total_loss_equals_free_run () =
+  (* With every message dropped, the gradient algorithm can never see a
+     neighbor: behaviour must degrade to free-running clocks. *)
+  let graph = Topology.ring 10 in
+  let run ~algo ~loss =
+    (Runner.run
+       (Runner.config ~spec ~algo ~loss ~horizon:300. ~seed:11 graph))
+      .Runner.summary
+  in
+  let deaf = run ~algo:Algorithm.Gradient_sync ~loss:(Runner.Uniform_loss 1.0) in
+  let free = run ~algo:Algorithm.Free_run ~loss:Runner.No_loss in
+  Alcotest.(check (float 1e-9)) "same skew as free-run"
+    free.Metrics.max_global deaf.Metrics.max_global
+
+let test_loss_validation () =
+  let graph = Topology.ring 6 in
+  match Runner.config ~loss:(Runner.Uniform_loss 1.5) graph with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted loss > 1"
+
+let suite =
+  [
+    Alcotest.test_case "windows zero duty" `Quick test_windows_zero_duty;
+    Alcotest.test_case "windows duty fraction" `Quick test_windows_duty_fraction;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "drop rate tracks duty" `Quick test_realized_drop_rate_tracks_duty;
+    Alcotest.test_case "graceful degradation" `Quick test_graceful_degradation;
+    Alcotest.test_case "uniform loss" `Quick test_uniform_loss_in_runner;
+    Alcotest.test_case "total loss = free run" `Quick test_total_loss_equals_free_run;
+    Alcotest.test_case "loss validation" `Quick test_loss_validation;
+    QCheck_alcotest.to_alcotest test_windows_disjoint_sorted;
+  ]

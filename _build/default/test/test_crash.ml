@@ -1,0 +1,78 @@
+module Crash = Gcs_adversary.Crash
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Topology = Gcs_graph.Topology
+module Drift = Gcs_clock.Drift
+module Oe = Gcs_core.Offset_estimator
+
+let graph = Topology.ring 16
+let drift v = if v < 8 then Drift.Extreme_high else Drift.Extreme_low
+
+let run ?(spec = Spec.make ()) crashes =
+  Crash.run
+    (Crash.default_config ~spec ~drift_of_node:drift ~crashes ~graph
+       ~horizon:1000. ~seed:89 ())
+
+let test_estimator_expiry () =
+  let e = Oe.create () in
+  Oe.update e ~h_local:10. ~remote_value:100. ~elapsed_guess:0.;
+  Alcotest.(check bool) "fresh estimate available" true
+    (Oe.offset ~max_age:4. e ~h_local:12. ~own_value:0. <> None);
+  Alcotest.(check bool) "stale estimate expired" true
+    (Oe.offset ~max_age:4. e ~h_local:15. ~own_value:0. = None);
+  Alcotest.(check bool) "no max_age keeps it" true
+    (Oe.offset e ~h_local:1000. ~own_value:0. <> None)
+
+let test_out_of_range_rejected () =
+  match run [ (99, 10.) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted bogus node id"
+
+let test_no_crashes_baseline () =
+  let r = run [] in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "all alive" true (r.Crash.alive v))
+    (Array.init 16 (fun i -> i));
+  Alcotest.(check bool) "sane skew" true (r.Crash.live_local < 5.)
+
+let test_survivors_unaffected_with_expiry () =
+  let baseline = run [] in
+  let crashed = run [ (12, 200.) ] in
+  Alcotest.(check bool) "dead node marked" false (crashed.Crash.alive 12);
+  Alcotest.(check bool)
+    (Printf.sprintf "live skew preserved (%.3f vs %.3f)"
+       crashed.Crash.live_local baseline.Crash.live_local)
+    true
+    (crashed.Crash.live_local < baseline.Crash.live_local +. 0.5)
+
+let test_phantom_hurts_without_expiry () =
+  let with_expiry = run [ (12, 200.) ] in
+  let without =
+    run ~spec:(Spec.make ~staleness_limit:1e9 ()) [ (12, 200.) ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "phantom costs skew (%.3f vs %.3f)"
+       without.Crash.live_local with_expiry.Crash.live_local)
+    true
+    (without.Crash.live_local > with_expiry.Crash.live_local +. 0.2)
+
+let test_crashed_node_sends_nothing_after () =
+  (* Messages from the crashed node after its crash time are all dropped:
+     total drops must be positive and grow with earlier crash times. *)
+  let late = run [ (12, 900.) ] in
+  let early = run [ (12, 100.) ] in
+  Alcotest.(check bool) "drops recorded" true
+    (late.Crash.result.Gcs_core.Runner.dropped > 0);
+  Alcotest.(check bool) "earlier crash, more drops" true
+    (early.Crash.result.Gcs_core.Runner.dropped
+    > late.Crash.result.Gcs_core.Runner.dropped)
+
+let suite =
+  [
+    Alcotest.test_case "estimator expiry" `Quick test_estimator_expiry;
+    Alcotest.test_case "out of range" `Quick test_out_of_range_rejected;
+    Alcotest.test_case "no crashes" `Quick test_no_crashes_baseline;
+    Alcotest.test_case "survivors ok with expiry" `Quick test_survivors_unaffected_with_expiry;
+    Alcotest.test_case "phantom without expiry" `Quick test_phantom_hurts_without_expiry;
+    Alcotest.test_case "silenced after crash" `Quick test_crashed_node_sends_nothing_after;
+  ]

@@ -1,0 +1,29 @@
+module Csv = Gcs_util.Csv
+
+let test_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape_cell "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape_cell "a,b");
+  Alcotest.(check string) "quote doubled" "\"a\"\"b\"" (Csv.escape_cell "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape_cell "a\nb")
+
+let test_render () =
+  let out =
+    Csv.render ~header:[ "x"; "y" ] ~rows:[ [ "1"; "2" ]; [ "3"; "4,5" ] ]
+  in
+  Alcotest.(check string) "rfc shape" "x,y\n1,2\n3,\"4,5\"\n" out
+
+let test_write_roundtrip () =
+  let path = Filename.temp_file "gcs_csv" ".csv" in
+  Csv.write ~path ~header:[ "a" ] ~rows:[ [ "1" ]; [ "2" ] ];
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file content" "a\n1\n2\n" content
+
+let suite =
+  [
+    Alcotest.test_case "escape" `Quick test_escape;
+    Alcotest.test_case "render" `Quick test_render;
+    Alcotest.test_case "write roundtrip" `Quick test_write_roundtrip;
+  ]

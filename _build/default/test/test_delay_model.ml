@@ -1,0 +1,93 @@
+module Dm = Gcs_sim.Delay_model
+module Prng = Gcs_util.Prng
+
+let b = Dm.bounds ~d_min:0.5 ~d_max:1.5
+let rng () = Prng.create ~seed:4
+
+let draw model =
+  Dm.draw model ~edge:0 ~src:0 ~dst:1 ~now:0. ~rng:(rng ())
+
+let test_bounds_validation () =
+  Alcotest.check_raises "negative d_min"
+    (Invalid_argument "Delay_model.bounds: need 0 <= d_min <= d_max")
+    (fun () -> ignore (Dm.bounds ~d_min:(-1.) ~d_max:1.));
+  Alcotest.check_raises "inverted"
+    (Invalid_argument "Delay_model.bounds: need 0 <= d_min <= d_max")
+    (fun () -> ignore (Dm.bounds ~d_min:2. ~d_max:1.))
+
+let test_uncertainty () =
+  Alcotest.(check (float 1e-12)) "u" 1. (Dm.uncertainty b)
+
+let test_fixed () =
+  Alcotest.(check (float 1e-12)) "fixed = d_max" 1.5 (draw (Dm.fixed b))
+
+let test_midpoint () =
+  Alcotest.(check (float 1e-12)) "midpoint" 1.0 (draw (Dm.midpoint b))
+
+let prop_uniform_in_bounds =
+  QCheck.Test.make ~name:"uniform draws stay in bounds" ~count:300
+    QCheck.small_nat
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let d = Dm.draw (Dm.uniform b) ~edge:0 ~src:0 ~dst:1 ~now:0. ~rng:g in
+      d >= 0.5 && d <= 1.5)
+
+let test_per_edge () =
+  let bounds_of e =
+    if e = 0 then Dm.bounds ~d_min:1. ~d_max:1. else Dm.bounds ~d_min:3. ~d_max:3.
+  in
+  let m = Dm.per_edge bounds_of in
+  Alcotest.(check (float 1e-12)) "edge 0" 1.
+    (Dm.draw m ~edge:0 ~src:0 ~dst:1 ~now:0. ~rng:(rng ()));
+  Alcotest.(check (float 1e-12)) "edge 1" 3.
+    (Dm.draw m ~edge:1 ~src:1 ~dst:2 ~now:0. ~rng:(rng ()));
+  Alcotest.(check (float 1e-12)) "edge_bounds" 3. (Dm.edge_bounds m 1).Dm.d_max
+
+let test_controlled_defaults_and_overrides () =
+  let chooser = ref None in
+  let m = Dm.controlled b ~default:(Dm.midpoint b) chooser in
+  Alcotest.(check (float 1e-12)) "default path" 1.0 (draw m);
+  chooser := Some (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 1.4);
+  Alcotest.(check (float 1e-12)) "chooser path" 1.4 (draw m);
+  chooser := None;
+  Alcotest.(check (float 1e-12)) "back to default" 1.0 (draw m)
+
+let test_loss_law_clamped () =
+  let m =
+    Dm.with_loss (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 7.) (Dm.midpoint b)
+  in
+  Alcotest.(check (float 1e-12)) "clamped to 1" 1.
+    (Dm.drop_probability m ~edge:0 ~src:0 ~dst:1 ~now:0.);
+  let m' =
+    Dm.with_loss (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> -3.) (Dm.midpoint b)
+  in
+  Alcotest.(check (float 1e-12)) "clamped to 0" 0.
+    (Dm.drop_probability m' ~edge:0 ~src:0 ~dst:1 ~now:0.)
+
+let test_base_models_never_drop () =
+  List.iter
+    (fun m ->
+      Alcotest.(check (float 1e-12)) "no drop" 0.
+        (Dm.drop_probability m ~edge:0 ~src:0 ~dst:1 ~now:5.))
+    [ Dm.fixed b; Dm.midpoint b; Dm.uniform b ]
+
+let test_controlled_clamps_rogue_chooser () =
+  let chooser = ref (Some (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 99.)) in
+  let m = Dm.controlled b ~default:(Dm.midpoint b) chooser in
+  Alcotest.(check (float 1e-12)) "clamped to d_max" 1.5 (draw m);
+  chooser := Some (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> -5.);
+  Alcotest.(check (float 1e-12)) "clamped to d_min" 0.5 (draw m)
+
+let suite =
+  [
+    Alcotest.test_case "bounds validation" `Quick test_bounds_validation;
+    Alcotest.test_case "uncertainty" `Quick test_uncertainty;
+    Alcotest.test_case "fixed" `Quick test_fixed;
+    Alcotest.test_case "midpoint" `Quick test_midpoint;
+    Alcotest.test_case "per edge" `Quick test_per_edge;
+    Alcotest.test_case "controlled" `Quick test_controlled_defaults_and_overrides;
+    Alcotest.test_case "controlled clamps" `Quick test_controlled_clamps_rogue_chooser;
+    Alcotest.test_case "loss law clamped" `Quick test_loss_law_clamped;
+    Alcotest.test_case "base models never drop" `Quick test_base_models_never_drop;
+    QCheck_alcotest.to_alcotest prop_uniform_in_bounds;
+  ]

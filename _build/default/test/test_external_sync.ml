@@ -1,0 +1,106 @@
+module Topology = Gcs_graph.Topology
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module External_sync = Gcs_core.External_sync
+
+let spec = Spec.make ()
+
+let max_realtime_skew ?(after = 0.) (r : Runner.result) =
+  Array.fold_left
+    (fun acc (s : Metrics.sample) ->
+      if s.Metrics.time >= after then
+        Float.max acc
+          (Metrics.real_time_skew ~time:s.Metrics.time s.Metrics.values)
+      else acc)
+    0. r.Runner.samples
+
+let run ?(graph = Topology.line 17) ?(horizon = 800.) anchors =
+  let algo = External_sync.algorithm ~anchors in
+  Runner.run
+    (Runner.config ~spec ~algo:Algorithm.Gradient_sync ~override:algo ~horizon
+       ~seed:27 graph)
+
+let test_reference_query () =
+  let r = External_sync.perfect_reference in
+  Alcotest.(check (float 1e-12)) "perfect" 42. (External_sync.query r ~now:42.);
+  let noisy =
+    External_sync.noisy_reference ~bias:0.5 ~wander:0.2 ~period:100. ~phase:0.
+  in
+  (* At t = 0 the sine term is 0: error is exactly the bias. *)
+  Alcotest.(check (float 1e-12)) "bias at phase 0" 0.5
+    (External_sync.query noisy ~now:0.);
+  (* Error always within bias +/- wander. *)
+  for i = 0 to 100 do
+    let t = float_of_int i *. 7.3 in
+    let err = External_sync.query noisy ~now:t -. t in
+    Alcotest.(check bool) "bounded error" true
+      (err >= 0.3 -. 1e-9 && err <= 0.7 +. 1e-9)
+  done
+
+let test_noisy_reference_validation () =
+  match External_sync.noisy_reference ~bias:0. ~wander:0.1 ~period:0. ~phase:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted zero period"
+
+let test_all_anchored_tracks_real_time () =
+  let r = run (fun _ -> Some External_sync.perfect_reference) in
+  let rt = max_realtime_skew ~after:200. r in
+  Alcotest.(check bool) "tight real-time tracking" true
+    (rt < 3. *. spec.Spec.kappa)
+
+let test_single_anchor_bounds_real_time () =
+  (* With one anchor the real-time skew is bounded by roughly the global
+     skew envelope; without anchors it grows with mu/2 * horizon. *)
+  let anchored = run ~horizon:3000. (fun v -> if v = 0 then Some External_sync.perfect_reference else None) in
+  let unanchored = run ~horizon:3000. (fun _ -> None) in
+  let rt_anchored = max_realtime_skew ~after:1500. anchored in
+  let rt_unanchored = max_realtime_skew ~after:1500. unanchored in
+  Alcotest.(check bool)
+    (Printf.sprintf "anchored (%.1f) beats unanchored (%.1f)" rt_anchored
+       rt_unanchored)
+    true
+    (rt_anchored < rt_unanchored /. 2.)
+
+let test_more_anchors_tighter () =
+  let horizon = 2000. in
+  let one = run ~horizon (fun v -> if v = 0 then Some External_sync.perfect_reference else None) in
+  let many = run ~horizon (fun v -> if v mod 4 = 0 then Some External_sync.perfect_reference else None) in
+  let rt_one = max_realtime_skew ~after:1000. one in
+  let rt_many = max_realtime_skew ~after:1000. many in
+  Alcotest.(check bool)
+    (Printf.sprintf "denser anchors tighter (%.2f < %.2f)" rt_many rt_one)
+    true (rt_many < rt_one)
+
+let test_local_skew_still_bounded () =
+  let r = run (fun v -> if v = 0 then Some External_sync.perfect_reference else None) in
+  Alcotest.(check bool) "internal sync preserved" true
+    (r.Runner.summary.Metrics.max_local
+    <= Gcs_core.Bounds.gradient_local_upper spec ~diameter:16)
+
+let test_reference_bias_shows_up () =
+  (* All nodes anchored to a reference with bias 1: the logical clocks must
+     settle near t + 1, i.e. real-time skew close to the bias. *)
+  let biased =
+    External_sync.noisy_reference ~bias:1. ~wander:0. ~period:100. ~phase:0.
+  in
+  let r = run (fun _ -> Some biased) in
+  let rt = max_realtime_skew ~after:400. r in
+  Alcotest.(check bool) "skew about the bias" true (rt >= 0.5 && rt <= 2.)
+
+let test_no_jumps () =
+  let r = run (fun v -> if v = 0 then Some External_sync.perfect_reference else None) in
+  Alcotest.(check int) "slew only" 0 r.Runner.jumps.Gcs_clock.Logical_clock.count
+
+let suite =
+  [
+    Alcotest.test_case "reference query" `Quick test_reference_query;
+    Alcotest.test_case "reference validation" `Quick test_noisy_reference_validation;
+    Alcotest.test_case "all anchored" `Quick test_all_anchored_tracks_real_time;
+    Alcotest.test_case "single anchor" `Quick test_single_anchor_bounds_real_time;
+    Alcotest.test_case "anchor density" `Quick test_more_anchors_tighter;
+    Alcotest.test_case "local skew bounded" `Quick test_local_skew_still_bounded;
+    Alcotest.test_case "bias visible" `Quick test_reference_bias_shows_up;
+    Alcotest.test_case "no jumps" `Quick test_no_jumps;
+  ]

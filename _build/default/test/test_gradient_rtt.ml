@@ -1,0 +1,89 @@
+module Topology = Gcs_graph.Topology
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Rtt = Gcs_core.Gradient_rtt
+module Dm = Gcs_sim.Delay_model
+module Prng = Gcs_util.Prng
+module Lc = Gcs_clock.Logical_clock
+
+let run ?(spec = Spec.make ()) ?(delay_kind = Runner.Uniform_delays)
+    ?(horizon = 300.) graph =
+  Runner.run
+    (Runner.config ~spec ~algo:Algorithm.Gradient_sync
+       ~override:Rtt.algorithm ~delay_kind ~horizon ~seed:95 graph)
+
+let test_basic_convergence () =
+  let spec = Spec.make () in
+  let r = run ~spec (Topology.ring 10) in
+  Alcotest.(check bool) "bounded" true
+    (r.Runner.summary.Metrics.max_local
+    <= Gcs_core.Bounds.gradient_local_upper spec ~diameter:5)
+
+let test_no_jumps () =
+  let r = run (Topology.ring 8) in
+  Alcotest.(check int) "slew only" 0 r.Runner.jumps.Lc.count
+
+let test_double_message_cost () =
+  (* Probes + replies: about twice the one-way beacon count. *)
+  let one_way =
+    Runner.run
+      (Runner.config ~spec:(Spec.make ()) ~algo:Algorithm.Gradient_sync
+         ~horizon:300. ~seed:95 (Topology.ring 8))
+  in
+  let two_way = run (Topology.ring 8) in
+  let ratio =
+    float_of_int two_way.Runner.messages /. float_of_int one_way.Runner.messages
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "about 2x messages (%.2f)" ratio)
+    true
+    (ratio > 1.7 && ratio < 2.3)
+
+let test_immune_to_unknown_mean_delay () =
+  (* Edges whose mean delay is far from the assumed band midpoint: one-way
+     estimation carries the calibration bias; two-way must not. Both get a
+     jitter-scale kappa, which is sound only for two-way. *)
+  let n = 16 in
+  let graph = Topology.ring n in
+  let rng = Prng.create ~seed:97 in
+  let centers = Array.init n (fun _ -> Prng.uniform rng ~lo:0.5 ~hi:3.5) in
+  let edge_bounds e =
+    Dm.bounds ~d_min:(centers.(e) -. 0.05) ~d_max:(centers.(e) +. 0.05)
+  in
+  let kappa = Spec.default_kappa ~u:0.1 ~rho:0.01 ~beacon_period:1. +. 0.3 in
+  let spec = Spec.make ~d_min:0.1 ~d_max:3.9 ~kappa () in
+  let measure override =
+    let r =
+      Runner.run
+        (Runner.config ~spec ~algo:Algorithm.Gradient_sync ?override
+           ~delay_kind:(Runner.Per_edge_delays edge_bounds) ~horizon:500.
+           ~seed:98 graph)
+    in
+    r.Runner.summary.Metrics.max_local
+  in
+  let one_way = measure None in
+  let two_way = measure (Some Rtt.algorithm) in
+  Alcotest.(check bool)
+    (Printf.sprintf "self-calibrating (%.3f < %.3f)" two_way one_way)
+    true
+    (two_way < 0.8 *. one_way)
+
+let test_stale_replies_discarded () =
+  (* Large delays relative to the probe period force overlapping exchanges;
+     the per-port freshness check must keep the run sane (no blow-up from
+     acting on reordered data). *)
+  let spec = Spec.make ~d_min:1.5 ~d_max:2.5 ~beacon_period:1. () in
+  let r = run ~spec (Topology.line 6) in
+  Alcotest.(check bool) "sane under overlap" true
+    (r.Runner.summary.Metrics.max_local < 10.)
+
+let suite =
+  [
+    Alcotest.test_case "convergence" `Quick test_basic_convergence;
+    Alcotest.test_case "no jumps" `Quick test_no_jumps;
+    Alcotest.test_case "message cost" `Quick test_double_message_cost;
+    Alcotest.test_case "unknown mean delay" `Quick test_immune_to_unknown_mean_delay;
+    Alcotest.test_case "stale replies" `Quick test_stale_replies_discarded;
+  ]

@@ -1,0 +1,126 @@
+module Hc = Gcs_clock.Hardware_clock
+module Prng = Gcs_util.Prng
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_constant_rate () =
+  let c = Hc.create ~t0:0. ~rate:2. () in
+  checkf "value at start" 0. (Hc.value c ~now:0.);
+  checkf "value later" 20. (Hc.value c ~now:10.);
+  checkf "rate" 2. (Hc.rate_at c ~now:5.)
+
+let test_initial_value () =
+  let c = Hc.create ~h0:100. ~t0:5. ~rate:1. () in
+  checkf "offset start" 100. (Hc.value c ~now:5.);
+  checkf "offset later" 103. (Hc.value c ~now:8.)
+
+let test_rate_change () =
+  let c = Hc.create ~t0:0. ~rate:1. () in
+  Hc.set_rate c ~now:10. ~rate:2.;
+  checkf "before change" 5. (Hc.value c ~now:5.);
+  checkf "at change" 10. (Hc.value c ~now:10.);
+  checkf "after change" 30. (Hc.value c ~now:20.);
+  checkf "old segment still queryable" 7. (Hc.value c ~now:7.)
+
+let test_rate_replace_at_breakpoint () =
+  let c = Hc.create ~t0:0. ~rate:1. () in
+  Hc.set_rate c ~now:10. ~rate:2.;
+  Hc.set_rate c ~now:10. ~rate:3.;
+  checkf "replaced rate" 3. (Hc.rate_at c ~now:15.);
+  checkf "value uses replaced rate" 40. (Hc.value c ~now:20.)
+
+let test_inverse_roundtrip () =
+  let c = Hc.create ~t0:1. ~rate:1. () in
+  Hc.set_rate c ~now:5. ~rate:0.5;
+  Hc.set_rate c ~now:9. ~rate:3.;
+  List.iter
+    (fun t ->
+      let h = Hc.value c ~now:t in
+      checkf (Printf.sprintf "inverse at %g" t) t (Hc.inverse c ~h))
+    [ 1.; 2.; 5.; 7.; 9.; 12.; 100. ]
+
+let test_rejects_past_breakpoint () =
+  let c = Hc.create ~t0:0. ~rate:1. () in
+  Hc.set_rate c ~now:10. ~rate:2.;
+  Alcotest.check_raises "past breakpoint"
+    (Invalid_argument "Hardware_clock.set_rate: breakpoint in the past")
+    (fun () -> Hc.set_rate c ~now:5. ~rate:1.)
+
+let test_rejects_bad_rate () =
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Hardware_clock.create: rate must be > 0") (fun () ->
+      ignore (Hc.create ~t0:0. ~rate:0. ()));
+  let c = Hc.create ~t0:0. ~rate:1. () in
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Hardware_clock.set_rate: rate must be > 0") (fun () ->
+      Hc.set_rate c ~now:1. ~rate:(-1.))
+
+let test_rejects_prehistory () =
+  let c = Hc.create ~t0:10. ~rate:1. () in
+  Alcotest.check_raises "value before start"
+    (Invalid_argument "Hardware_clock.value: time before clock start")
+    (fun () -> ignore (Hc.value c ~now:9.));
+  Alcotest.check_raises "inverse before start"
+    (Invalid_argument "Hardware_clock.inverse: value before clock start")
+    (fun () -> ignore (Hc.inverse c ~h:(-1.)))
+
+let test_breakpoints_listing () =
+  let c = Hc.create ~t0:0. ~rate:1. () in
+  Hc.set_rate c ~now:3. ~rate:2.;
+  match Hc.breakpoints c with
+  | [ (0., 0., 1.); (3., 3., 2.) ] -> ()
+  | other ->
+      Alcotest.failf "unexpected breakpoints (%d entries)" (List.length other)
+
+let random_clock seed =
+  let rng = Prng.create ~seed in
+  let c = Hc.create ~t0:0. ~rate:(Prng.uniform rng ~lo:0.5 ~hi:2.) () in
+  let t = ref 0. in
+  for _ = 1 to 20 do
+    t := !t +. Prng.uniform rng ~lo:0.1 ~hi:5.;
+    Hc.set_rate c ~now:!t ~rate:(Prng.uniform rng ~lo:0.5 ~hi:2.)
+  done;
+  c
+
+let prop_monotone =
+  QCheck.Test.make ~name:"clock values are strictly increasing" ~count:100
+    QCheck.(pair small_nat (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (seed, (a, b)) ->
+      let c = random_clock seed in
+      let t1 = Float.min a b and t2 = Float.max a b in
+      QCheck.assume (t2 > t1);
+      Hc.value c ~now:t2 > Hc.value c ~now:t1)
+
+let prop_inverse_roundtrip =
+  QCheck.Test.make ~name:"inverse (value t) = t on random clocks" ~count:100
+    QCheck.(pair small_nat (float_range 0. 200.))
+    (fun (seed, t) ->
+      let c = random_clock seed in
+      let h = Hc.value c ~now:t in
+      Float.abs (Hc.inverse c ~h -. t) < 1e-6)
+
+let prop_rate_bounds_hold =
+  QCheck.Test.make ~name:"growth bounded by min/max segment rates" ~count:100
+    QCheck.(pair small_nat (pair (float_range 0. 100.) (float_range 0.01 50.)))
+    (fun (seed, (t1, dt)) ->
+      let c = random_clock seed in
+      let t2 = t1 +. dt in
+      let dh = Hc.value c ~now:t2 -. Hc.value c ~now:t1 in
+      (* random_clock uses rates in [0.5, 2] *)
+      dh >= (0.5 *. dt) -. 1e-9 && dh <= (2. *. dt) +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "constant rate" `Quick test_constant_rate;
+    Alcotest.test_case "initial value" `Quick test_initial_value;
+    Alcotest.test_case "rate change" `Quick test_rate_change;
+    Alcotest.test_case "replace at breakpoint" `Quick test_rate_replace_at_breakpoint;
+    Alcotest.test_case "inverse roundtrip" `Quick test_inverse_roundtrip;
+    Alcotest.test_case "rejects past breakpoint" `Quick test_rejects_past_breakpoint;
+    Alcotest.test_case "rejects bad rate" `Quick test_rejects_bad_rate;
+    Alcotest.test_case "rejects prehistory" `Quick test_rejects_prehistory;
+    Alcotest.test_case "breakpoints listing" `Quick test_breakpoints_listing;
+    QCheck_alcotest.to_alcotest prop_monotone;
+    QCheck_alcotest.to_alcotest prop_inverse_roundtrip;
+    QCheck_alcotest.to_alcotest prop_rate_bounds_hold;
+  ]

@@ -1,0 +1,112 @@
+module Heap = Gcs_util.Heap
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h ~prio:p p) [ 3.; 1.; 2.; 0.5; 2.5 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.)))
+    "sorted" [ 0.5; 1.; 2.; 2.5; 3. ] (List.rev !order)
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~prio:1. v) [ "a"; "b"; "c" ];
+  Heap.push h ~prio:0. "first";
+  let popped = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        popped := v :: !popped;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string))
+    "ties pop in insertion order"
+    [ "first"; "a"; "b"; "c" ]
+    (List.rev !popped)
+
+let test_peek_does_not_remove () =
+  let h = Heap.create () in
+  Heap.push h ~prio:1. "x";
+  Alcotest.(check bool) "peek sees" true (Heap.peek h = Some (1., "x"));
+  Alcotest.(check int) "size unchanged" 1 (Heap.size h)
+
+let test_interleaved () =
+  let h = Heap.create () in
+  Heap.push h ~prio:5. 5;
+  Heap.push h ~prio:1. 1;
+  Alcotest.(check bool) "pop min" true (Heap.pop h = Some (1., 1));
+  Heap.push h ~prio:0. 0;
+  Heap.push h ~prio:7. 7;
+  Alcotest.(check bool) "pop new min" true (Heap.pop h = Some (0., 0));
+  Alcotest.(check bool) "then 5" true (Heap.pop h = Some (5., 5));
+  Alcotest.(check bool) "then 7" true (Heap.pop h = Some (7., 7));
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_clear () =
+  let h = Heap.create () in
+  for i = 1 to 10 do
+    Heap.push h ~prio:(float_of_int i) i
+  done;
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_to_sorted_list_pure () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h ~prio:p ()) [ 2.; 1.; 3. ];
+  let sorted = Heap.to_sorted_list h in
+  Alcotest.(check (list (float 0.)))
+    "sorted copy" [ 1.; 2.; 3. ] (List.map fst sorted);
+  Alcotest.(check int) "original intact" 3 (Heap.size h)
+
+let prop_heap_sort =
+  QCheck.Test.make ~name:"heap drains any multiset in sorted order" ~count:300
+    QCheck.(list (float_range (-1000.) 1000.))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.push h ~prio:x x) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      let drained = drain [] in
+      drained = List.sort compare xs)
+
+let prop_size =
+  QCheck.Test.make ~name:"size tracks pushes and pops" ~count:200
+    QCheck.(list (float_range 0. 10.))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iteri (fun i x -> Heap.push h ~prio:x i) xs;
+      let n = List.length xs in
+      let ok1 = Heap.size h = n in
+      let rec pop_k k = if k = 0 then () else (ignore (Heap.pop h); pop_k (k - 1)) in
+      let half = n / 2 in
+      pop_k half;
+      ok1 && Heap.size h = n - half)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+    Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "interleaved" `Quick test_interleaved;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "to_sorted_list pure" `Quick test_to_sorted_list_pure;
+    QCheck_alcotest.to_alcotest prop_heap_sort;
+    QCheck_alcotest.to_alcotest prop_size;
+  ]

@@ -1,0 +1,105 @@
+module Topology = Gcs_graph.Topology
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Invariant = Gcs_core.Invariant
+
+let spec = Spec.make ()
+
+let sample t values = { Metrics.time = t; values }
+
+let test_rate_envelope_flags_spike () =
+  let samples =
+    [| sample 0. [| 0.; 0. |]; sample 1. [| 1.; 5. |]; sample 2. [| 2.; 6. |] |]
+  in
+  let violations = Invariant.check_rate_envelope samples ~lo:0.9 ~hi:1.2 in
+  Alcotest.(check int) "one spike" 1 (List.length violations);
+  match violations with
+  | [ v ] ->
+      Alcotest.(check int) "node 1" 1 v.Invariant.node;
+      Alcotest.(check (float 1e-9)) "at t=1" 1. v.Invariant.time
+  | _ -> Alcotest.fail "unexpected"
+
+let test_rate_envelope_clean () =
+  let samples = [| sample 0. [| 0. |]; sample 1. [| 1.05 |] |] in
+  Alcotest.(check int) "clean" 0
+    (List.length (Invariant.check_rate_envelope samples ~lo:1. ~hi:1.1))
+
+let test_monotonic_flags_regression () =
+  let samples = [| sample 0. [| 5. |]; sample 1. [| 4. |] |] in
+  Alcotest.(check int) "backwards flagged" 1
+    (List.length (Invariant.check_monotonic samples))
+
+let test_skew_bound_respects_after () =
+  let g = Topology.line 2 in
+  let samples = [| sample 0. [| 0.; 100. |]; sample 10. [| 0.; 1. |] |] in
+  Alcotest.(check int) "warm-up violation ignored" 0
+    (List.length
+       (Invariant.check_skew_bound g samples ~after:5. ~bound:2. `Local));
+  Alcotest.(check int) "violation caught without after" 1
+    (List.length
+       (Invariant.check_skew_bound g samples ~after:0. ~bound:2. `Global))
+
+let test_envelopes_per_algorithm () =
+  let free = Invariant.expected_envelope spec Algorithm.Free_run in
+  let grad = Invariant.expected_envelope spec Algorithm.Gradient_sync in
+  let tree = Invariant.expected_envelope spec Algorithm.Tree_sync in
+  let max = Invariant.expected_envelope spec Algorithm.Max_sync in
+  Alcotest.(check bool) "free-run tightest" true
+    (free.Invariant.rate_hi < grad.Invariant.rate_hi);
+  Alcotest.(check bool) "tree can slew down" true
+    (tree.Invariant.rate_lo < 1.);
+  Alcotest.(check bool) "only max jumps" true
+    (max.Invariant.jumps_allowed
+    && (not free.Invariant.jumps_allowed)
+    && (not grad.Invariant.jumps_allowed)
+    && not tree.Invariant.jumps_allowed)
+
+let run algo =
+  Runner.run
+    (Runner.config ~spec ~algo ~horizon:300. ~seed:63 (Topology.ring 8))
+
+let test_all_builtin_algorithms_conform () =
+  List.iter
+    (fun algo ->
+      let r = run algo in
+      match Invariant.check_result r ~algo with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s violates: %s"
+            (Algorithm.kind_name algo)
+            (Invariant.to_string v))
+    Algorithm.all_kinds
+
+let test_jumping_algorithm_fails_envelope_check () =
+  (* Max-sync's jumps must show up when checked against a no-jump envelope:
+     the checker sees what the jump accounting sees. *)
+  let r = run Algorithm.Max_sync in
+  let env = Invariant.expected_envelope spec Algorithm.Gradient_sync in
+  let violations =
+    Invariant.check_rate_envelope r.Runner.samples ~lo:env.Invariant.rate_lo
+      ~hi:env.Invariant.rate_hi
+  in
+  Alcotest.(check bool) "jumps detected as rate spikes" true
+    (List.length violations > 0)
+
+let test_to_string () =
+  let v = { Invariant.time = 1.; node = 3; what = "boom" } in
+  Alcotest.(check bool) "mentions node" true
+    (String.length (Invariant.to_string v) > 4);
+  let w = { Invariant.time = 1.; node = -1; what = "boom" } in
+  Alcotest.(check bool) "system-level formats" true
+    (String.length (Invariant.to_string w) > 4)
+
+let suite =
+  [
+    Alcotest.test_case "rate spike flagged" `Quick test_rate_envelope_flags_spike;
+    Alcotest.test_case "rate clean" `Quick test_rate_envelope_clean;
+    Alcotest.test_case "monotonic" `Quick test_monotonic_flags_regression;
+    Alcotest.test_case "skew bound after" `Quick test_skew_bound_respects_after;
+    Alcotest.test_case "per-algorithm envelopes" `Quick test_envelopes_per_algorithm;
+    Alcotest.test_case "builtins conform" `Quick test_all_builtin_algorithms_conform;
+    Alcotest.test_case "jumps fail strict check" `Quick test_jumping_algorithm_fails_envelope_check;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+  ]

@@ -1,0 +1,109 @@
+module Hc = Gcs_clock.Hardware_clock
+module Lc = Gcs_clock.Logical_clock
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let make ?(rate = 1.) ?(mult = 1.) ?(value = 0.) () =
+  let hw = Hc.create ~t0:0. ~rate () in
+  (hw, Lc.create ~hardware:hw ~now:0. ~value ~mult)
+
+let test_follows_hardware () =
+  let _, lc = make ~rate:1.5 () in
+  checkf "value tracks rate * t" 15. (Lc.value lc ~now:10.)
+
+let test_multiplier () =
+  let _, lc = make ~rate:1. ~mult:2. () in
+  checkf "mult doubles" 20. (Lc.value lc ~now:10.);
+  checkf "rate" 2. (Lc.rate lc ~now:10.)
+
+let test_set_mult_continuous () =
+  let _, lc = make () in
+  let before = Lc.value lc ~now:10. in
+  Lc.set_mult lc ~now:10. 1.1;
+  checkf "no jump at set_mult" before (Lc.value lc ~now:10.);
+  checkf "new slope" (before +. 1.1) (Lc.value lc ~now:11.)
+
+let test_jump () =
+  let _, lc = make () in
+  Lc.jump_to lc ~now:5. 100.;
+  checkf "jumped" 100. (Lc.value lc ~now:5.);
+  checkf "continues from jump" 101. (Lc.value lc ~now:6.)
+
+let test_advance () =
+  let _, lc = make () in
+  Lc.advance lc ~now:5. 3.;
+  checkf "advanced" 8. (Lc.value lc ~now:5.)
+
+let test_jump_stats () =
+  let _, lc = make () in
+  let s0 = Lc.jump_stats lc in
+  Alcotest.(check int) "no jumps initially" 0 s0.Lc.count;
+  Lc.jump_to lc ~now:1. 10.;
+  (* value at 1 was 1, so magnitude 9 *)
+  Lc.advance lc ~now:2. (-2.);
+  let s = Lc.jump_stats lc in
+  Alcotest.(check int) "two jumps" 2 s.Lc.count;
+  checkf "total magnitude" 11. s.Lc.total_magnitude;
+  checkf "max magnitude" 9. s.Lc.max_magnitude
+
+let test_set_mult_is_not_a_jump () =
+  let _, lc = make () in
+  Lc.set_mult lc ~now:3. 1.2;
+  Lc.set_mult lc ~now:4. 1.;
+  Alcotest.(check int) "slews are not jumps" 0 (Lc.jump_stats lc).Lc.count
+
+let test_rejects_time_travel () =
+  let _, lc = make () in
+  Lc.set_mult lc ~now:10. 1.5;
+  Alcotest.check_raises "query before action"
+    (Invalid_argument "Logical_clock.value: time precedes last control action")
+    (fun () -> ignore (Lc.value lc ~now:9.))
+
+let test_rejects_bad_mult () =
+  let _, lc = make () in
+  Alcotest.check_raises "zero mult"
+    (Invalid_argument "Logical_clock.set_mult: mult must be > 0") (fun () ->
+      Lc.set_mult lc ~now:1. 0.)
+
+let test_hardware_rate_changes_propagate () =
+  let hw, lc = make () in
+  Lc.set_mult lc ~now:0. 2.;
+  Hc.set_rate hw ~now:10. ~rate:1.5;
+  (* 0..10 at 1 * 2 = 20, 10..20 at 1.5 * 2 = 30 *)
+  checkf "piecewise product" 50. (Lc.value lc ~now:20.)
+
+let prop_rate_envelope =
+  QCheck.Test.make
+    ~name:"logical growth within [mult_min, mult_max * max_rate] envelope"
+    ~count:200
+    QCheck.(triple (float_range 1. 1.02) (float_range 1. 1.1) (float_range 0.1 50.))
+    (fun (hw_rate, mult, dt) ->
+      let _, lc = make ~rate:hw_rate ~mult () in
+      let v1 = Lc.value lc ~now:10. in
+      let v2 = Lc.value lc ~now:(10. +. dt) in
+      let growth = v2 -. v1 in
+      growth >= dt -. 1e-9 && growth <= (1.1 *. 1.02 *. dt) +. 1e-9)
+
+let prop_monotone_between_actions =
+  QCheck.Test.make ~name:"logical clock increases between control actions"
+    ~count:200
+    QCheck.(pair (float_range 0.01 10.) (float_range 0.01 10.))
+    (fun (t1, dt) ->
+      let _, lc = make ~rate:1.01 ~mult:1.05 () in
+      Lc.value lc ~now:(t1 +. dt) > Lc.value lc ~now:t1)
+
+let suite =
+  [
+    Alcotest.test_case "follows hardware" `Quick test_follows_hardware;
+    Alcotest.test_case "multiplier" `Quick test_multiplier;
+    Alcotest.test_case "set_mult continuous" `Quick test_set_mult_continuous;
+    Alcotest.test_case "jump" `Quick test_jump;
+    Alcotest.test_case "advance" `Quick test_advance;
+    Alcotest.test_case "jump stats" `Quick test_jump_stats;
+    Alcotest.test_case "slew not jump" `Quick test_set_mult_is_not_a_jump;
+    Alcotest.test_case "rejects time travel" `Quick test_rejects_time_travel;
+    Alcotest.test_case "rejects bad mult" `Quick test_rejects_bad_mult;
+    Alcotest.test_case "hardware propagates" `Quick test_hardware_rate_changes_propagate;
+    QCheck_alcotest.to_alcotest prop_rate_envelope;
+    QCheck_alcotest.to_alcotest prop_monotone_between_actions;
+  ]

@@ -1,0 +1,95 @@
+module Topology = Gcs_graph.Topology
+module Drift = Gcs_clock.Drift
+module Lc = Gcs_clock.Logical_clock
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+
+let spec = Spec.make ()
+
+let run ?(horizon = 300.) ?(drift = fun _ -> Drift.Random_constant)
+    ?(init = fun _ -> 0.) graph =
+  Runner.run
+    (Runner.config ~spec ~algo:Algorithm.Max_slew_sync ~drift_of_node:drift
+       ~initial_value_of_node:init ~horizon ~seed:15 graph)
+
+let test_never_jumps () =
+  let r = run (Topology.ring 8) in
+  Alcotest.(check int) "no jumps" 0 r.Runner.jumps.Lc.count
+
+let test_rate_envelope () =
+  let r = run (Topology.ring 8) in
+  let samples = r.Runner.samples in
+  let lo = 1. and hi = (1. +. spec.Spec.mu) *. Spec.vartheta spec in
+  let ok = ref true in
+  for i = 1 to Array.length samples - 1 do
+    let dt = samples.(i).Metrics.time -. samples.(i - 1).Metrics.time in
+    if dt > 0. then
+      Array.iteri
+        (fun v x ->
+          let rate = (x -. samples.(i - 1).Metrics.values.(v)) /. dt in
+          if rate < lo -. 1e-6 || rate > hi +. 1e-6 then ok := false)
+        samples.(i).Metrics.values
+  done;
+  Alcotest.(check bool) "rates within [1, (1+mu)*vartheta]" true !ok
+
+let test_catches_up_a_laggard () =
+  (* One node starts 20 behind: it must close most of the gap within
+     20 / mu + slack time by racing at 1 + mu. *)
+  let graph = Topology.line 4 in
+  let r =
+    run ~horizon:400. ~init:(fun v -> if v = 3 then -20. else 0.) graph
+  in
+  Alcotest.(check bool) "laggard caught up" true
+    (r.Runner.summary.Metrics.final_global < 3.)
+
+let test_chases_the_fastest () =
+  (* With one fast node, everyone must track it: global skew stays bounded
+     instead of growing at rho * t. *)
+  let graph = Topology.line 6 in
+  let drift v = if v = 0 then Drift.Extreme_high else Drift.Extreme_low in
+  let r = run ~horizon:2000. ~drift graph in
+  Alcotest.(check bool) "bounded while chasing" true
+    (r.Runner.summary.Metrics.max_global < 0.2 *. (0.01 *. 2000.))
+
+let test_greed_vs_gradient_blocking () =
+  (* The structural difference: start a ramp with a deep laggard at one
+     end. Max-slew races every node toward the max immediately; the
+     gradient algorithm makes nodes adjacent to the laggard wait (blocking).
+     Both recover, but max-slew must finish recovering no later. *)
+  let graph = Topology.line 8 in
+  let init v = -3. *. spec.Spec.kappa *. float_of_int v in
+  let recovery_time algo =
+    let r =
+      Runner.run
+        (Runner.config ~spec ~algo ~initial_value_of_node:init ~horizon:600.
+           ~warmup:0. ~seed:15 graph)
+    in
+    let target = spec.Spec.kappa *. 2. in
+    let rec first_below i =
+      if i >= Array.length r.Runner.samples then infinity
+      else begin
+        let s = r.Runner.samples.(i) in
+        if Metrics.global_skew s.Metrics.values < target then s.Metrics.time
+        else first_below (i + 1)
+      end
+    in
+    first_below 0
+  in
+  let t_slew = recovery_time Algorithm.Max_slew_sync in
+  let t_grad = recovery_time Algorithm.Gradient_sync in
+  Alcotest.(check bool)
+    (Printf.sprintf "max-slew (%.0f) not slower than gradient (%.0f)" t_slew
+       t_grad)
+    true
+    (t_slew <= t_grad +. 1.)
+
+let suite =
+  [
+    Alcotest.test_case "never jumps" `Quick test_never_jumps;
+    Alcotest.test_case "rate envelope" `Quick test_rate_envelope;
+    Alcotest.test_case "catches up laggard" `Quick test_catches_up_a_laggard;
+    Alcotest.test_case "chases fastest" `Quick test_chases_the_fastest;
+    Alcotest.test_case "greed vs blocking" `Quick test_greed_vs_gradient_blocking;
+  ]

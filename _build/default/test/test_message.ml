@@ -1,0 +1,61 @@
+module Message = Gcs_core.Message
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_to_string_all_variants () =
+  let cases =
+    [
+      (Message.Beacon { value = 1.5 }, "Beacon");
+      (Message.Probe { seq = 3; h_send = 2. }, "Probe");
+      ( Message.Probe_reply { seq = 3; h_send = 2.; remote_value = 5. },
+        "ProbeReply" );
+      (Message.Flood { round = 7; payload = 1. }, "Flood");
+      (Message.Report { round = 7; lo = -1.; hi = 2. }, "Report");
+      (Message.Reset { round = 7; payload = 9. }, "Reset");
+    ]
+  in
+  List.iter
+    (fun (msg, tag) ->
+      let s = Message.to_string msg in
+      Alcotest.(check bool) (tag ^ " mentioned") true (contains s tag))
+    cases
+
+let test_to_string_carries_values () =
+  Alcotest.(check bool) "beacon value" true
+    (contains (Message.to_string (Message.Beacon { value = 42. })) "42");
+  Alcotest.(check bool) "report range" true
+    (contains
+       (Message.to_string (Message.Report { round = 1; lo = 3.; hi = 8. }))
+       "8")
+
+let test_registry_names_consistent () =
+  List.iter
+    (fun (kind, algo) ->
+      Alcotest.(check string) "registry name matches kind"
+        (Gcs_core.Algorithm.kind_name kind)
+        algo.Gcs_core.Algorithm.name)
+    Gcs_core.Registry.all
+
+let test_kind_roundtrip () =
+  List.iter
+    (fun kind ->
+      match
+        Gcs_core.Algorithm.kind_of_string (Gcs_core.Algorithm.kind_name kind)
+      with
+      | Ok k ->
+          Alcotest.(check string) "roundtrip"
+            (Gcs_core.Algorithm.kind_name kind)
+            (Gcs_core.Algorithm.kind_name k)
+      | Error e -> Alcotest.fail e)
+    Gcs_core.Algorithm.all_kinds
+
+let suite =
+  [
+    Alcotest.test_case "to_string variants" `Quick test_to_string_all_variants;
+    Alcotest.test_case "to_string values" `Quick test_to_string_carries_values;
+    Alcotest.test_case "registry names" `Quick test_registry_names_consistent;
+    Alcotest.test_case "kind roundtrip" `Quick test_kind_roundtrip;
+  ]

@@ -1,0 +1,117 @@
+module Metrics = Gcs_core.Metrics
+module Graph = Gcs_graph.Graph
+module Topology = Gcs_graph.Topology
+module Sp = Gcs_graph.Shortest_path
+module Prng = Gcs_util.Prng
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_global_skew () =
+  checkf "spread" 7. (Metrics.global_skew [| 3.; 10.; 5. |]);
+  checkf "uniform" 0. (Metrics.global_skew [| 4.; 4. |])
+
+let test_local_skew () =
+  let g = Topology.line 3 in
+  (* edges 0-1 and 1-2 *)
+  checkf "max edge gap" 5. (Metrics.local_skew g [| 0.; 5.; 4. |]);
+  let per_edge = Metrics.local_skew_edges g [| 0.; 5.; 4. |] in
+  Alcotest.(check (array (float 1e-9))) "per edge" [| 5.; 1. |] per_edge
+
+let test_local_le_global =
+  QCheck.Test.make ~name:"local skew <= global skew" ~count:200
+    QCheck.(pair (int_range 2 20) small_nat)
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      let g = Topology.random_gnp ~n ~p:0.4 ~rng in
+      let values = Array.init n (fun _ -> Prng.uniform rng ~lo:(-10.) ~hi:10.) in
+      Metrics.local_skew g values <= Metrics.global_skew values +. 1e-12)
+
+let test_real_time_skew () =
+  checkf "max |L - t|" 3. (Metrics.real_time_skew ~time:10. [| 7.; 11.; 10. |])
+
+let test_gradient_profile_line () =
+  let g = Topology.line 4 in
+  let dist = Sp.all_pairs g in
+  (* values 0, 1, 3, 6: distance-1 max gap 3 (2-3), distance-2 max 5 (1-3),
+     distance-3 gap 6. *)
+  let p = Metrics.gradient_profile ~dist [| 0.; 1.; 3.; 6. |] in
+  Alcotest.(check (array (float 1e-9))) "profile" [| 3.; 5.; 6. |] p
+
+let test_gradient_profile_dominates_local =
+  QCheck.Test.make ~name:"profile.(0) = local skew" ~count:100
+    QCheck.(pair (int_range 2 15) small_nat)
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      let g = Topology.random_gnp ~n ~p:0.5 ~rng in
+      let values = Array.init n (fun _ -> Prng.uniform rng ~lo:0. ~hi:10.) in
+      let dist = Sp.all_pairs g in
+      let p = Metrics.gradient_profile ~dist values in
+      Float.abs (p.(0) -. Metrics.local_skew g values) < 1e-9)
+
+let test_alive_masking () =
+  let g = Topology.line 3 in
+  let values = [| 0.; 100.; 1. |] in
+  checkf "global masked" 1.
+    (Metrics.global_skew_alive ~alive:(fun v -> v <> 1) values);
+  checkf "local masked (no live-live edges)" 0.
+    (Metrics.local_skew_alive g ~alive:(fun v -> v <> 1) values);
+  checkf "all dead is zero" 0.
+    (Metrics.global_skew_alive ~alive:(fun _ -> false) values)
+
+let test_summarize_alive () =
+  let g = Topology.line 3 in
+  let samples =
+    [| { Metrics.time = 10.; values = [| 0.; 50.; 2. |] } |]
+  in
+  let s = Metrics.summarize ~alive:(fun v -> v <> 1) g samples ~after:0. in
+  checkf "masked max global" 2. s.Metrics.max_global;
+  checkf "masked final global" 2. s.Metrics.final_global
+
+let sample t values = { Metrics.time = t; values }
+
+let test_summarize () =
+  let g = Topology.line 2 in
+  let samples =
+    [|
+      sample 0. [| 0.; 100. |] (* warm-up junk, must be ignored *);
+      sample 10. [| 0.; 1. |];
+      sample 20. [| 0.; 3. |];
+      sample 30. [| 0.; 2. |];
+    |]
+  in
+  let s = Metrics.summarize g samples ~after:5. in
+  Alcotest.(check int) "samples used" 3 s.Metrics.samples_used;
+  checkf "max local" 3. s.Metrics.max_local;
+  checkf "max global" 3. s.Metrics.max_global;
+  checkf "mean local" 2. s.Metrics.mean_local;
+  checkf "final local" 2. s.Metrics.final_local
+
+let test_summarize_requires_samples () =
+  let g = Topology.line 2 in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Metrics.summarize: no samples after warm-up")
+    (fun () ->
+      ignore (Metrics.summarize g [| sample 0. [| 0.; 0. |] |] ~after:5.))
+
+let test_max_gradient_profile () =
+  let g = Topology.line 3 in
+  let samples =
+    [| sample 10. [| 0.; 1.; 0. |]; sample 20. [| 0.; 0.; 4. |] |]
+  in
+  let p = Metrics.max_gradient_profile g samples ~after:0. in
+  Alcotest.(check (array (float 1e-9))) "pointwise max" [| 4.; 4. |] p
+
+let suite =
+  [
+    Alcotest.test_case "global skew" `Quick test_global_skew;
+    Alcotest.test_case "local skew" `Quick test_local_skew;
+    Alcotest.test_case "real-time skew" `Quick test_real_time_skew;
+    Alcotest.test_case "gradient profile" `Quick test_gradient_profile_line;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "summarize empty" `Quick test_summarize_requires_samples;
+    Alcotest.test_case "max gradient profile" `Quick test_max_gradient_profile;
+    Alcotest.test_case "alive masking" `Quick test_alive_masking;
+    Alcotest.test_case "summarize alive" `Quick test_summarize_alive;
+    QCheck_alcotest.to_alcotest test_local_le_global;
+    QCheck_alcotest.to_alcotest test_gradient_profile_dominates_local;
+  ]

@@ -1,0 +1,105 @@
+module Mobility = Gcs_sim.Mobility
+module Dm = Gcs_sim.Delay_model
+module Prng = Gcs_util.Prng
+
+let make ?(n = 5) ?(speed = 0.1) ?(seed = 103) () =
+  Mobility.random_waypoint ~n ~speed ~horizon:100. ~rng:(Prng.create ~seed)
+
+let in_unit_square (x, y) = x >= 0. && x <= 1. && y >= 0. && y <= 1.
+
+let test_positions_in_square =
+  QCheck.Test.make ~name:"positions stay in the unit square" ~count:200
+    QCheck.(pair (int_range 0 4) (float_range 0. 150.))
+    (fun (node, now) ->
+      let m = make () in
+      in_unit_square (Mobility.position m ~node ~now))
+
+let test_zero_speed_is_static () =
+  let m = make ~speed:0. () in
+  let p0 = Mobility.position m ~node:2 ~now:0. in
+  let p1 = Mobility.position m ~node:2 ~now:50. in
+  Alcotest.(check bool) "frozen" true (p0 = p1)
+
+let test_motion_is_continuous () =
+  (* Small time steps move the node by at most speed * dt (plus epsilon). *)
+  let speed = 0.2 in
+  let m = make ~speed () in
+  let dt = 0.5 in
+  let max_step = ref 0. in
+  for i = 0 to 199 do
+    let t = float_of_int i *. dt in
+    let x0, y0 = Mobility.position m ~node:1 ~now:t in
+    let x1, y1 = Mobility.position m ~node:1 ~now:(t +. dt) in
+    max_step := Float.max !max_step (Float.hypot (x1 -. x0) (y1 -. y0))
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "step %.4f <= speed*dt" !max_step)
+    true
+    (!max_step <= (speed *. dt) +. 1e-9)
+
+let test_distance_symmetric () =
+  let m = make () in
+  Alcotest.(check (float 1e-12)) "symmetric"
+    (Mobility.distance m ~a:0 ~b:3 ~now:10.)
+    (Mobility.distance m ~a:3 ~b:0 ~now:10.)
+
+let test_chooser_in_bounds =
+  QCheck.Test.make ~name:"mobility delays stay in the band" ~count:200
+    QCheck.(pair (int_range 0 3) (float_range 0. 120.))
+    (fun (src, now) ->
+      let m = make () in
+      let bounds = Dm.bounds ~d_min:0.3 ~d_max:1.7 in
+      let d =
+        Mobility.delay_chooser m ~bounds ~edge:0 ~src ~dst:((src + 1) mod 5)
+          ~now
+      in
+      d >= 0.3 && d <= 1.7)
+
+let test_deterministic () =
+  let run () =
+    let m = make () in
+    List.init 20 (fun i -> Mobility.position m ~node:0 ~now:(float_of_int i))
+  in
+  Alcotest.(check bool) "replayable" true (run () = run ())
+
+let test_validation () =
+  let rng = Prng.create ~seed:1 in
+  (match Mobility.random_waypoint ~n:0 ~speed:1. ~horizon:10. ~rng with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted n=0");
+  match Mobility.random_waypoint ~n:2 ~speed:(-1.) ~horizon:10. ~rng with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted negative speed"
+
+let test_full_run_with_mobile_delays () =
+  (* End-to-end: gradient on a geometric graph whose delays track motion. *)
+  let rng = Prng.create ~seed:105 in
+  let graph, _ = Gcs_graph.Topology.random_geometric ~n:20 ~radius:0.35 ~rng in
+  let spec = Gcs_core.Spec.make () in
+  let cfg =
+    Gcs_core.Runner.config ~spec ~algo:Gcs_core.Algorithm.Gradient_sync
+      ~delay_kind:Gcs_core.Runner.Controlled_delays ~horizon:300. ~seed:106
+      graph
+  in
+  let live = Gcs_core.Runner.prepare cfg in
+  let m =
+    Mobility.random_waypoint ~n:20 ~speed:0.02 ~horizon:300.
+      ~rng:(Prng.create ~seed:107)
+  in
+  live.Gcs_core.Runner.chooser :=
+    Some (Mobility.delay_chooser m ~bounds:spec.Gcs_core.Spec.delay);
+  let r = Gcs_core.Runner.complete live in
+  Alcotest.(check bool) "bounded under motion" true
+    (r.Gcs_core.Runner.summary.Gcs_core.Metrics.max_local < 10.)
+
+let suite =
+  [
+    Alcotest.test_case "zero speed" `Quick test_zero_speed_is_static;
+    Alcotest.test_case "continuity" `Quick test_motion_is_continuous;
+    Alcotest.test_case "distance symmetric" `Quick test_distance_symmetric;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "mobile end-to-end" `Quick test_full_run_with_mobile_delays;
+    QCheck_alcotest.to_alcotest test_positions_in_square;
+    QCheck_alcotest.to_alcotest test_chooser_in_bounds;
+  ]

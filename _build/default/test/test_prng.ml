@@ -1,0 +1,83 @@
+module Prng = Gcs_util.Prng
+
+let check = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:8 in
+  let draws g = Array.init 32 (fun _ -> Prng.int g 1_000_000) in
+  check "different seeds differ" true (draws a <> draws b)
+
+let test_split_independence () =
+  let parent = Prng.create ~seed:7 in
+  let c1 = Prng.split parent in
+  let c2 = Prng.split parent in
+  let draws g = Array.init 32 (fun _ -> Prng.int g 1_000_000) in
+  check "siblings differ" true (draws c1 <> draws c2)
+
+let test_split_reproducible () =
+  let mk () =
+    let parent = Prng.create ~seed:99 in
+    let kids = Prng.split_n parent 4 in
+    Array.map (fun g -> Prng.int g 1_000_000) kids
+  in
+  Alcotest.(check (array int)) "replayed children" (mk ()) (mk ())
+
+let test_uniform_range =
+  QCheck.Test.make ~name:"uniform stays in [lo, hi]" ~count:500
+    QCheck.(pair (float_bound_exclusive 100.) (float_bound_exclusive 100.))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let g = Prng.create ~seed:(int_of_float (a *. 1000.) lxor 13) in
+      let x = Prng.uniform g ~lo ~hi in
+      x >= lo && x <= hi)
+
+let test_int_range =
+  QCheck.Test.make ~name:"int stays in [0, bound)" ~count:500
+    QCheck.(int_range 1 1_000_000)
+    (fun bound ->
+      let g = Prng.create ~seed:bound in
+      let x = Prng.int g bound in
+      x >= 0 && x < bound)
+
+let test_gaussian_moments () =
+  let g = Prng.create ~seed:5 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Prng.gaussian g ~mu:3. ~sigma:2.) in
+  let mean = Gcs_util.Stats.mean xs in
+  let sd = Gcs_util.Stats.stddev xs in
+  check "mean near 3" true (Float.abs (mean -. 3.) < 0.1);
+  check "stddev near 2" true (Float.abs (sd -. 2.) < 0.1)
+
+let test_exponential_mean () =
+  let g = Prng.create ~seed:6 in
+  let xs = Array.init 20_000 (fun _ -> Prng.exponential g ~rate:2.) in
+  let mean = Gcs_util.Stats.mean xs in
+  check "mean near 1/rate" true (Float.abs (mean -. 0.5) < 0.05)
+
+let test_shuffle_permutation () =
+  let g = Prng.create ~seed:11 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Prng.shuffle g b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" a sorted
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "split reproducible" `Quick test_split_reproducible;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    QCheck_alcotest.to_alcotest test_uniform_range;
+    QCheck_alcotest.to_alcotest test_int_range;
+  ]

@@ -1,0 +1,61 @@
+module Replicate = Gcs_core.Replicate
+
+let test_constant_measurement () =
+  let s = Replicate.measure ~seeds:[ 1; 2; 3; 4 ] (fun _ -> 5.) in
+  Alcotest.(check (float 1e-12)) "mean" 5. s.Replicate.mean;
+  Alcotest.(check (float 1e-12)) "stddev" 0. s.Replicate.stddev;
+  Alcotest.(check (float 1e-12)) "ci" 0. s.Replicate.ci95;
+  Alcotest.(check int) "trials" 4 s.Replicate.trials
+
+let test_seed_dependent () =
+  let s = Replicate.measure ~seeds:[ 0; 10 ] (fun seed -> float_of_int seed) in
+  Alcotest.(check (float 1e-12)) "mean" 5. s.Replicate.mean;
+  Alcotest.(check (float 1e-12)) "min" 0. s.Replicate.min;
+  Alcotest.(check (float 1e-12)) "max" 10. s.Replicate.max;
+  Alcotest.(check bool) "ci positive" true (s.Replicate.ci95 > 0.)
+
+let test_single_seed_no_ci () =
+  let s = Replicate.measure ~seeds:[ 7 ] (fun _ -> 3. ) in
+  Alcotest.(check (float 1e-12)) "ci zero" 0. s.Replicate.ci95
+
+let test_empty_rejected () =
+  match Replicate.measure ~seeds:[] (fun _ -> 0.) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted empty seeds"
+
+let test_seeds_distinct () =
+  let seeds = Replicate.seeds 16 in
+  let sorted = List.sort_uniq compare seeds in
+  Alcotest.(check int) "all distinct" 16 (List.length sorted)
+
+let test_to_string () =
+  let s = Replicate.measure ~seeds:[ 1; 2 ] (fun x -> float_of_int x) in
+  Alcotest.(check bool) "contains plus-minus" true
+    (String.length (Replicate.to_string s) > 3)
+
+let test_real_simulation_spread () =
+  (* Across seeds, gradient local skew on a ring has small relative spread:
+     the algorithm's behaviour is parameter- not luck-driven. *)
+  let measure seed =
+    let r =
+      Gcs_core.Runner.run
+        (Gcs_core.Runner.config ~spec:(Gcs_core.Spec.make ())
+           ~algo:Gcs_core.Algorithm.Gradient_sync ~horizon:200. ~seed
+           (Gcs_graph.Topology.ring 12))
+    in
+    r.Gcs_core.Runner.summary.Gcs_core.Metrics.max_local
+  in
+  let s = Replicate.measure ~seeds:(Replicate.seeds 8) measure in
+  Alcotest.(check bool) "small relative spread" true
+    (s.Replicate.stddev < 0.5 *. s.Replicate.mean)
+
+let suite =
+  [
+    Alcotest.test_case "constant" `Quick test_constant_measurement;
+    Alcotest.test_case "seed dependent" `Quick test_seed_dependent;
+    Alcotest.test_case "single seed" `Quick test_single_seed_no_ci;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "seeds distinct" `Quick test_seeds_distinct;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "simulation spread" `Quick test_real_simulation_spread;
+  ]

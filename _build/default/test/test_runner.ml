@@ -1,0 +1,148 @@
+module Topology = Gcs_graph.Topology
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Engine = Gcs_sim.Engine
+
+let spec = Spec.make ()
+
+let base_cfg ?(algo = Algorithm.Gradient_sync) ?(seed = 9) () =
+  Runner.config ~spec ~algo ~horizon:100. ~sample_period:1. ~seed
+    (Topology.ring 6)
+
+let test_sampling_cadence () =
+  let r = Runner.run (base_cfg ()) in
+  (* t0 = 0 through horizon 100 inclusive, every 1.0. *)
+  Alcotest.(check int) "sample count" 101 (Array.length r.Runner.samples);
+  Alcotest.(check (float 1e-9)) "first at 0" 0. r.Runner.samples.(0).Metrics.time;
+  Alcotest.(check (float 1e-9)) "last at horizon" 100.
+    r.Runner.samples.(100).Metrics.time
+
+let test_determinism_across_runs () =
+  let run () =
+    let r = Runner.run (base_cfg ()) in
+    ( r.Runner.summary.Metrics.max_local,
+      r.Runner.summary.Metrics.max_global,
+      r.Runner.messages,
+      r.Runner.events )
+  in
+  Alcotest.(check bool) "identical replay" true (run () = run ())
+
+let test_seed_changes_execution () =
+  let result seed = (Runner.run (base_cfg ~seed ())).Runner.summary in
+  Alcotest.(check bool) "different seeds, different skews" true
+    (result 1 <> result 2)
+
+let test_prepare_complete_equals_run () =
+  let direct = Runner.run (base_cfg ()) in
+  let split = Runner.complete (Runner.prepare (base_cfg ())) in
+  Alcotest.(check bool) "same summary" true
+    (direct.Runner.summary = split.Runner.summary)
+
+let test_snapshot_live () =
+  let live = Runner.prepare (base_cfg ()) in
+  Engine.run_until live.Runner.engine 50.;
+  let s = Runner.snapshot live in
+  Alcotest.(check (float 1e-9)) "snapshot time" 50. s.Metrics.time;
+  Alcotest.(check int) "snapshot width" 6 (Array.length s.Metrics.values);
+  (* Clocks progressed roughly with real time. *)
+  Array.iter
+    (fun v -> Alcotest.(check bool) "progressed" true (v > 40. && v < 60.))
+    s.Metrics.values
+
+let test_config_validation () =
+  let g = Topology.ring 4 in
+  (match Runner.config ~horizon:0. g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted zero horizon");
+  match Runner.config ~sample_period:0. g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted zero sample period"
+
+let test_bad_spec_rejected () =
+  let g = Topology.ring 4 in
+  let bad_spec = { spec with Spec.mu = spec.Spec.rho /. 2. } in
+  let cfg = Runner.config ~spec:bad_spec g in
+  match Runner.prepare cfg with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted mu <= rho"
+
+let test_delay_kinds_all_run () =
+  List.iter
+    (fun delay_kind ->
+      let cfg =
+        Runner.config ~spec ~algo:Algorithm.Gradient_sync ~delay_kind
+          ~horizon:50. ~seed:3 (Topology.line 4)
+      in
+      let r = Runner.run cfg in
+      Alcotest.(check bool) "produced samples" true
+        (Array.length r.Runner.samples > 0))
+    [
+      Runner.Uniform_delays;
+      Runner.Fixed_delays;
+      Runner.Midpoint_delays;
+      Runner.Controlled_delays;
+    ]
+
+let test_warmup_excludes_transient () =
+  (* Start with a huge initial skew; the post-warm-up summary of a gradient
+     run must not include the initial value. *)
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync
+      ~initial_value_of_node:(fun v -> if v = 0 then 50. else 0.)
+      ~horizon:600. ~warmup:500. ~seed:5 (Topology.line 4)
+  in
+  let r = Runner.run cfg in
+  Alcotest.(check bool) "transient excluded" true
+    (r.Runner.summary.Metrics.max_global < 50.)
+
+let test_per_edge_delay_kind () =
+  let bounds e =
+    if e = 0 then Gcs_sim.Delay_model.bounds ~d_min:0.1 ~d_max:0.2
+    else Gcs_sim.Delay_model.bounds ~d_min:1. ~d_max:1.5
+  in
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync
+      ~delay_kind:(Runner.Per_edge_delays bounds) ~horizon:50. ~seed:3
+      (Topology.line 4)
+  in
+  let r = Runner.run cfg in
+  Alcotest.(check bool) "runs" true (Array.length r.Runner.samples > 0)
+
+let test_override_used () =
+  (* An override that never sends anything must behave like free-run even
+     though algo says gradient. *)
+  let silent =
+    {
+      Gcs_core.Algorithm.name = "silent";
+      prepare =
+        (fun _ _ ->
+          {
+            Gcs_sim.Engine.on_init = (fun _ -> ());
+            on_message = (fun _ ~port:_ _ -> ());
+            on_timer = (fun _ ~tag:_ -> ());
+          });
+    }
+  in
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync ~override:silent
+      ~horizon:50. ~seed:3 (Topology.ring 5)
+  in
+  let r = Runner.run cfg in
+  Alcotest.(check int) "no messages" 0 r.Runner.messages
+
+let suite =
+  [
+    Alcotest.test_case "sampling cadence" `Quick test_sampling_cadence;
+    Alcotest.test_case "determinism" `Quick test_determinism_across_runs;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_execution;
+    Alcotest.test_case "prepare/complete = run" `Quick test_prepare_complete_equals_run;
+    Alcotest.test_case "snapshot" `Quick test_snapshot_live;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "bad spec rejected" `Quick test_bad_spec_rejected;
+    Alcotest.test_case "all delay kinds" `Quick test_delay_kinds_all_run;
+    Alcotest.test_case "warmup excludes transient" `Quick test_warmup_excludes_transient;
+    Alcotest.test_case "per-edge delays" `Quick test_per_edge_delay_kind;
+    Alcotest.test_case "override used" `Quick test_override_used;
+  ]

@@ -1,0 +1,86 @@
+module Search = Gcs_adversary.Search
+module Fan_lynch = Gcs_adversary.Fan_lynch
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Bounds = Gcs_core.Bounds
+
+let spec = Spec.make ()
+
+let small_cfg ?(algo = Algorithm.Gradient_sync) ?(beam = 4) ?(segments = 3) () =
+  Search.default_config ~spec ~algo ~segments ~beam ~n:5 ~seed:83 ()
+
+let test_move_alphabet () =
+  Alcotest.(check int) "nine moves" 9 (List.length Search.all_moves);
+  let distinct = List.sort_uniq compare Search.all_moves in
+  Alcotest.(check int) "all distinct" 9 (List.length distinct)
+
+let test_config_validation () =
+  (match Search.default_config ~n:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted n=1");
+  (match Search.default_config ~segments:0 ~n:4 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted 0 segments");
+  match Search.default_config ~beam:0 ~n:4 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted 0 beam"
+
+let test_evaluate_deterministic () =
+  let cfg = small_cfg () in
+  let plan =
+    [
+      { Search.fast_side = `Left; bias = `Forward };
+      { Search.fast_side = `Left; bias = `Forward };
+    ]
+  in
+  Alcotest.(check bool) "same plan, same score" true
+    (Search.evaluate cfg plan = Search.evaluate cfg plan)
+
+let test_neutral_plan_is_tame () =
+  (* All-neutral moves = no adversary: skew stays near the benign level. *)
+  let cfg = small_cfg () in
+  let neutral = { Search.fast_side = `None; bias = `Neutral } in
+  let local, _ = Search.evaluate cfg [ neutral; neutral; neutral ] in
+  Alcotest.(check bool) "tame" true (local < 2. *. spec.Spec.kappa)
+
+let test_search_beats_neutral () =
+  let cfg = small_cfg () in
+  let neutral = { Search.fast_side = `None; bias = `Neutral } in
+  let neutral_local, _ =
+    Search.evaluate cfg [ neutral; neutral; neutral ]
+  in
+  let o = Search.search cfg in
+  Alcotest.(check bool) "found something worse than doing nothing" true
+    (o.Search.forced_local > neutral_local);
+  Alcotest.(check int) "plan has requested length" 3
+    (List.length o.Search.plan)
+
+let test_wider_beam_never_worse () =
+  let narrow = Search.search (small_cfg ~beam:1 ()) in
+  let wide = Search.search (small_cfg ~beam:6 ()) in
+  Alcotest.(check bool) "monotone in beam" true
+    (wide.Search.forced_local >= narrow.Search.forced_local -. 1e-9)
+
+let test_search_respects_gradient_envelope () =
+  (* Even the searched worst case cannot break the analytic bound. *)
+  let o = Search.search (small_cfg ~beam:6 ()) in
+  Alcotest.(check bool) "under envelope" true
+    (o.Search.forced_local <= Bounds.gradient_local_upper spec ~diameter:4)
+
+let test_evaluation_count_reported () =
+  let cfg = small_cfg ~beam:2 ~segments:2 () in
+  let o = Search.search cfg in
+  (* depth 1: 1 * 9; depth 2: 2 * 9 -> 27 evaluations. *)
+  Alcotest.(check int) "evaluations" 27 o.Search.evaluations
+
+let suite =
+  [
+    Alcotest.test_case "move alphabet" `Quick test_move_alphabet;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "evaluate deterministic" `Quick test_evaluate_deterministic;
+    Alcotest.test_case "neutral tame" `Quick test_neutral_plan_is_tame;
+    Alcotest.test_case "search beats neutral" `Quick test_search_beats_neutral;
+    Alcotest.test_case "beam monotone" `Quick test_wider_beam_never_worse;
+    Alcotest.test_case "respects envelope" `Quick test_search_respects_gradient_envelope;
+    Alcotest.test_case "evaluation count" `Quick test_evaluation_count_reported;
+  ]

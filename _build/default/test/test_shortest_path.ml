@@ -1,0 +1,142 @@
+module Graph = Gcs_graph.Graph
+module Topology = Gcs_graph.Topology
+module Sp = Gcs_graph.Shortest_path
+module Prng = Gcs_util.Prng
+
+let test_bfs_line () =
+  let g = Topology.line 5 in
+  Alcotest.(check (array int)) "distances from 0" [| 0; 1; 2; 3; 4 |]
+    (Sp.bfs g ~src:0);
+  Alcotest.(check (array int)) "distances from middle" [| 2; 1; 0; 1; 2 |]
+    (Sp.bfs g ~src:2)
+
+let test_bfs_unreachable () =
+  let g = Graph.of_edges ~n:3 [ (0, 1) ] in
+  let d = Sp.bfs g ~src:0 in
+  Alcotest.(check int) "unreachable is max_int" max_int d.(2)
+
+let test_diameter_families () =
+  Alcotest.(check int) "line" 9 (Sp.diameter (Topology.line 10));
+  Alcotest.(check int) "ring even" 5 (Sp.diameter (Topology.ring 10));
+  Alcotest.(check int) "ring odd" 4 (Sp.diameter (Topology.ring 9));
+  Alcotest.(check int) "star" 2 (Sp.diameter (Topology.star 5))
+
+let test_diameter_disconnected () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Shortest_path: disconnected graph") (fun () ->
+      ignore (Sp.diameter g))
+
+let test_dijkstra_weighted () =
+  (* square with a shortcut: 0-1 (1.0), 1-2 (1.0), 0-2 (1.5) *)
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ] in
+  let weights = [| 1.0; 1.0; 1.5 |] in
+  let d = Sp.dijkstra g ~weights ~src:0 in
+  Alcotest.(check (float 1e-9)) "direct shortcut wins" 1.5 d.(2);
+  let weights' = [| 1.0; 1.0; 2.5 |] in
+  let d' = Sp.dijkstra g ~weights:weights' ~src:0 in
+  Alcotest.(check (float 1e-9)) "two hops win" 2.0 d'.(2)
+
+let test_dijkstra_rejects_negative () =
+  let g = Topology.line 3 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Shortest_path.dijkstra: negative weight") (fun () ->
+      ignore (Sp.dijkstra g ~weights:[| 1.; -1. |] ~src:0))
+
+let test_bellman_ford_negative_cycle () =
+  let arcs = [| (0, 1, 1.); (1, 2, -3.); (2, 0, 1.) |] in
+  (match Sp.bellman_ford ~n:3 ~arcs ~src:0 with
+  | Error () -> ()
+  | Ok _ -> Alcotest.fail "missed negative cycle");
+  let arcs_ok = [| (0, 1, 1.); (1, 2, -0.5); (2, 0, 1.) |] in
+  match Sp.bellman_ford ~n:3 ~arcs:arcs_ok ~src:0 with
+  | Ok d -> Alcotest.(check (float 1e-9)) "dist via neg edge" 0.5 d.(2)
+  | Error () -> Alcotest.fail "false negative cycle"
+
+let test_bellman_ford_matches_dijkstra =
+  QCheck.Test.make ~name:"bellman-ford = dijkstra on non-negative weights"
+    ~count:50
+    QCheck.(int_range 3 25)
+    (fun n ->
+      let rng = Prng.create ~seed:n in
+      let g = Topology.random_gnp ~n ~p:0.3 ~rng in
+      let weights =
+        Array.init (Graph.m g) (fun _ -> Prng.uniform rng ~lo:0.1 ~hi:5.)
+      in
+      let arcs =
+        Array.concat
+          (List.map
+             (fun (id, (u, v)) -> [| (u, v, weights.(id)); (v, u, weights.(id)) |])
+             (List.mapi (fun i e -> (i, e)) (Array.to_list (Graph.edges g))))
+      in
+      let dj = Sp.dijkstra g ~weights ~src:0 in
+      match Sp.bellman_ford ~n ~arcs ~src:0 with
+      | Error () -> false
+      | Ok bf ->
+          Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) dj bf)
+
+let test_bfs_matches_floyd_warshall =
+  QCheck.Test.make ~name:"bfs all-pairs = floyd-warshall with unit weights"
+    ~count:50
+    QCheck.(int_range 2 20)
+    (fun n ->
+      let rng = Prng.create ~seed:(n * 31) in
+      let g = Topology.random_gnp ~n ~p:0.35 ~rng in
+      let unit_weights = Array.make (Graph.m g) 1. in
+      let fw = Sp.floyd_warshall g ~weights:unit_weights in
+      let ap = Sp.all_pairs g in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let bfs_d = ap.(i).(j) in
+          let fw_d = fw.(i).(j) in
+          if bfs_d = max_int then ok := !ok && not (Float.is_finite fw_d)
+          else ok := !ok && Float.abs (fw_d -. float_of_int bfs_d) < 1e-9
+        done
+      done;
+      !ok)
+
+let test_triangle_inequality =
+  QCheck.Test.make ~name:"hop distances satisfy the triangle inequality"
+    ~count:50
+    QCheck.(int_range 3 20)
+    (fun n ->
+      let rng = Prng.create ~seed:(n * 17) in
+      let g = Topology.random_gnp ~n ~p:0.4 ~rng in
+      let ap = Sp.all_pairs g in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            if ap.(i).(j) < max_int && ap.(j).(k) < max_int then
+              ok := !ok && ap.(i).(k) <= ap.(i).(j) + ap.(j).(k)
+          done
+        done
+      done;
+      !ok)
+
+let test_eccentricity () =
+  let g = Topology.line 5 in
+  Alcotest.(check int) "endpoint" 4 (Sp.eccentricity g 0);
+  Alcotest.(check int) "center" 2 (Sp.eccentricity g 2)
+
+let test_weighted_diameter () =
+  let g = Topology.line 3 in
+  let wd = Sp.weighted_diameter g ~weights:[| 2.; 3. |] in
+  Alcotest.(check (float 1e-9)) "weighted diameter" 5. wd
+
+let suite =
+  [
+    Alcotest.test_case "bfs line" `Quick test_bfs_line;
+    Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+    Alcotest.test_case "diameters" `Quick test_diameter_families;
+    Alcotest.test_case "diameter disconnected" `Quick test_diameter_disconnected;
+    Alcotest.test_case "dijkstra" `Quick test_dijkstra_weighted;
+    Alcotest.test_case "dijkstra negative" `Quick test_dijkstra_rejects_negative;
+    Alcotest.test_case "bellman-ford cycle" `Quick test_bellman_ford_negative_cycle;
+    Alcotest.test_case "weighted diameter" `Quick test_weighted_diameter;
+    Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+    QCheck_alcotest.to_alcotest test_bellman_ford_matches_dijkstra;
+    QCheck_alcotest.to_alcotest test_bfs_matches_floyd_warshall;
+    QCheck_alcotest.to_alcotest test_triangle_inequality;
+  ]

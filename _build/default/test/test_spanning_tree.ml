@@ -1,0 +1,92 @@
+module Graph = Gcs_graph.Graph
+module Topology = Gcs_graph.Topology
+module Tree = Gcs_graph.Spanning_tree
+module Sp = Gcs_graph.Shortest_path
+module Prng = Gcs_util.Prng
+
+let test_line_tree () =
+  let g = Topology.line 5 in
+  let t = Tree.bfs_tree g ~root:0 in
+  Alcotest.(check int) "root parent is itself" 0 t.Tree.parent.(0);
+  Alcotest.(check (array int)) "parents" [| 0; 0; 1; 2; 3 |] t.Tree.parent;
+  Alcotest.(check (array int)) "depths" [| 0; 1; 2; 3; 4 |] t.Tree.depth;
+  Alcotest.(check int) "height" 4 (Tree.height t)
+
+let test_order_topdown () =
+  let g = Topology.binary_tree ~depth:2 in
+  let t = Tree.bfs_tree g ~root:0 in
+  Alcotest.(check int) "first is root" 0 t.Tree.order.(0);
+  (* Each node appears after its parent. *)
+  let pos = Array.make (Graph.n g) (-1) in
+  Array.iteri (fun i v -> pos.(v) <- i) t.Tree.order;
+  Array.iteri
+    (fun v p -> if v <> p then Alcotest.(check bool) "parent first" true (pos.(p) < pos.(v)))
+    t.Tree.parent
+
+let test_children_inverse_of_parent () =
+  let g = Topology.grid ~rows:3 ~cols:3 in
+  let t = Tree.bfs_tree g ~root:4 in
+  Array.iteri
+    (fun p kids ->
+      Array.iter
+        (fun c -> Alcotest.(check int) "child's parent" p t.Tree.parent.(c))
+        kids)
+    t.Tree.children
+
+let test_disconnected_rejected () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Spanning_tree.bfs_tree: disconnected graph") (fun () ->
+      ignore (Tree.bfs_tree g ~root:0))
+
+let test_is_tree_edge () =
+  let g = Topology.ring 4 in
+  let t = Tree.bfs_tree g ~root:0 in
+  Alcotest.(check bool) "0-1 tree edge" true (Tree.is_tree_edge t 0 1);
+  (* The ring has exactly one non-tree edge. *)
+  let non_tree =
+    Graph.fold_edges
+      (fun _ u v acc -> if Tree.is_tree_edge t u v then acc else acc + 1)
+      g 0
+  in
+  Alcotest.(check int) "one non-tree edge" 1 non_tree
+
+let test_path_to_root () =
+  let g = Topology.line 4 in
+  let t = Tree.bfs_tree g ~root:0 in
+  Alcotest.(check (list int)) "path from leaf" [ 3; 2; 1; 0 ]
+    (Tree.path_to_root t 3);
+  Alcotest.(check (list int)) "path from root" [ 0 ] (Tree.path_to_root t 0)
+
+let prop_depth_is_bfs_distance =
+  QCheck.Test.make ~name:"tree depth = BFS hop distance" ~count:50
+    QCheck.(int_range 2 30)
+    (fun n ->
+      let rng = Prng.create ~seed:(n * 7) in
+      let g = Topology.random_gnp ~n ~p:0.3 ~rng in
+      let t = Tree.bfs_tree g ~root:0 in
+      let d = Sp.bfs g ~src:0 in
+      Array.for_all2 (fun depth dist -> depth = dist) t.Tree.depth d)
+
+let prop_tree_has_n_minus_1_edges =
+  QCheck.Test.make ~name:"tree has n-1 parent links" ~count:50
+    QCheck.(int_range 2 30)
+    (fun n ->
+      let rng = Prng.create ~seed:(n * 13) in
+      let g = Topology.random_gnp ~n ~p:0.3 ~rng in
+      let t = Tree.bfs_tree g ~root:0 in
+      let links = ref 0 in
+      Array.iteri (fun v p -> if v <> p then incr links) t.Tree.parent;
+      !links = n - 1)
+
+let suite =
+  [
+    Alcotest.test_case "line tree" `Quick test_line_tree;
+    Alcotest.test_case "order top-down" `Quick test_order_topdown;
+    Alcotest.test_case "children inverse" `Quick test_children_inverse_of_parent;
+    Alcotest.test_case "disconnected" `Quick test_disconnected_rejected;
+    Alcotest.test_case "is_tree_edge" `Quick test_is_tree_edge;
+    Alcotest.test_case "path_to_root" `Quick test_path_to_root;
+    QCheck_alcotest.to_alcotest prop_depth_is_bfs_distance;
+    QCheck_alcotest.to_alcotest prop_tree_has_n_minus_1_edges;
+  ]

@@ -1,0 +1,103 @@
+module Topology = Gcs_graph.Topology
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Registry = Gcs_core.Registry
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+module Stabilize = Gcs_core.Stabilize
+module Bounds = Gcs_core.Bounds
+
+let spec = Spec.make ()
+
+let run_wrapped ?(graph = Topology.line 12) ?(horizon = 400.) ?(warmup = 300.)
+    ?monitor_period ?threshold ~init () =
+  let wrapped, stats =
+    Stabilize.wrap ?monitor_period ?threshold
+      ~inner:(Registry.get Algorithm.Gradient_sync) ()
+  in
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync ~override:wrapped
+      ~initial_value_of_node:init ~horizon ~warmup ~seed:21 graph
+  in
+  (Runner.run cfg, stats)
+
+let test_quiet_when_in_spec () =
+  (* Well-initialized system: the monitor must never fire a reset. *)
+  let r, stats = run_wrapped ~init:(fun _ -> 0.) () in
+  Alcotest.(check int) "no resets" 0 stats.Stabilize.resets;
+  Alcotest.(check bool) "rounds ran" true (stats.Stabilize.rounds_completed >= 2);
+  Alcotest.(check bool) "skew normal" true
+    (r.Runner.summary.Metrics.max_global
+    <= Bounds.gradient_global_upper spec ~diameter:11)
+
+let test_estimate_tracks_truth () =
+  (* The monitor's estimate must be within O(depth * error) of the true
+     global skew of an in-spec run. *)
+  let _, stats = run_wrapped ~init:(fun _ -> 0.) () in
+  let slack =
+    float_of_int 11 *. Spec.estimate_error_bound spec *. 2.
+  in
+  Alcotest.(check bool) "estimate sane" true
+    (stats.Stabilize.last_estimate >= 0.
+    && stats.Stabilize.last_estimate
+       <= Bounds.gradient_global_upper spec ~diameter:11 +. slack)
+
+let test_detects_and_recovers_from_wild_state () =
+  let r, stats =
+    run_wrapped ~init:(fun v -> if v = 5 then 1e6 else 0.) ()
+  in
+  Alcotest.(check bool) "reset fired" true (stats.Stabilize.resets >= 1);
+  Alcotest.(check bool) "recovered" true
+    (r.Runner.summary.Metrics.final_global < 100.);
+  Alcotest.(check bool) "resets are jumps" true
+    (r.Runner.jumps.Gcs_clock.Logical_clock.count > 0)
+
+let test_recovery_much_faster_than_slew () =
+  (* Bare gradient would need skew / mu = 1e6 / 0.1 = 1e7 time; the wrapper
+     must fix it within one monitor period plus a traversal. *)
+  let r, _ = run_wrapped ~init:(fun v -> if v = 0 then 0. else 1e6) () in
+  Alcotest.(check bool) "fast recovery" true
+    (r.Runner.summary.Metrics.final_global < 100.)
+
+let test_custom_threshold_respected () =
+  (* An absurdly high threshold must suppress resets even for bad states. *)
+  let _, stats =
+    run_wrapped ~threshold:1e9 ~init:(fun v -> if v = 3 then 1e6 else 0.) ()
+  in
+  Alcotest.(check int) "suppressed" 0 stats.Stabilize.resets
+
+let test_works_on_nonline_topologies () =
+  List.iter
+    (fun graph ->
+      let r, stats =
+        run_wrapped ~graph ~init:(fun v -> if v = 2 then 5e4 else 0.) ()
+      in
+      Alcotest.(check bool) "reset fired" true (stats.Stabilize.resets >= 1);
+      Alcotest.(check bool) "recovered" true
+        (r.Runner.summary.Metrics.final_global < 100.))
+    [ Topology.ring 10; Topology.grid ~rows:3 ~cols:4; Topology.star 8 ]
+
+let test_default_threshold_positive () =
+  Alcotest.(check bool) "positive" true
+    (Stabilize.default_threshold spec ~diameter:16 > 0.);
+  Alcotest.(check bool) "above global envelope" true
+    (Stabilize.default_threshold spec ~diameter:16
+    > Bounds.gradient_global_upper spec ~diameter:16)
+
+let test_wrapped_name () =
+  let wrapped, _ =
+    Stabilize.wrap ~inner:(Registry.get Algorithm.Gradient_sync) ()
+  in
+  Alcotest.(check string) "name" "stabilized-gradient" wrapped.Algorithm.name
+
+let suite =
+  [
+    Alcotest.test_case "quiet when in spec" `Quick test_quiet_when_in_spec;
+    Alcotest.test_case "estimate tracks truth" `Quick test_estimate_tracks_truth;
+    Alcotest.test_case "detects wild state" `Quick test_detects_and_recovers_from_wild_state;
+    Alcotest.test_case "recovery beats slew" `Quick test_recovery_much_faster_than_slew;
+    Alcotest.test_case "custom threshold" `Quick test_custom_threshold_respected;
+    Alcotest.test_case "non-line topologies" `Quick test_works_on_nonline_topologies;
+    Alcotest.test_case "default threshold" `Quick test_default_threshold_positive;
+    Alcotest.test_case "wrapped name" `Quick test_wrapped_name;
+  ]

@@ -1,0 +1,85 @@
+module Stats = Gcs_util.Stats
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  checkf "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Stats.mean [||]))
+
+let test_variance () =
+  checkf "variance of constant" 0. (Stats.variance [| 5.; 5.; 5. |]);
+  checkf "variance of singleton" 0. (Stats.variance [| 5. |])
+
+let test_variance_value () =
+  (* mean 3.2, squared deviations sum 14.8, n-1 denominator: 14.8 / 4 *)
+  checkf "sample variance exact" 3.7 (Stats.variance [| 1.; 2.; 3.; 4.; 6. |])
+
+let test_minmax () =
+  checkf "min" (-2.) (Stats.min [| 3.; -2.; 7. |]);
+  checkf "max" 7. (Stats.max [| 3.; -2.; 7. |])
+
+let test_percentile () =
+  let xs = [| 10.; 20.; 30.; 40. |] in
+  checkf "p0" 10. (Stats.percentile xs 0.);
+  checkf "p100" 40. (Stats.percentile xs 100.);
+  checkf "p50 interpolates" 25. (Stats.percentile xs 50.);
+  checkf "median alias" 25. (Stats.median xs)
+
+let test_percentile_does_not_mutate () =
+  let xs = [| 3.; 1.; 2. |] in
+  let _ = Stats.percentile xs 50. in
+  Alcotest.(check (array (float 0.))) "unchanged" [| 3.; 1.; 2. |] xs
+
+let test_running_matches_batch =
+  QCheck.Test.make ~name:"running accumulator matches batch stats" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let r = Stats.Running.create () in
+      Array.iter (Stats.Running.add r) a;
+      let close x y = Float.abs (x -. y) < 1e-6 *. (1. +. Float.abs x) in
+      close (Stats.Running.mean r) (Stats.mean a)
+      && close (Stats.Running.variance r) (Stats.variance a)
+      && Stats.Running.min r = Stats.min a
+      && Stats.Running.max r = Stats.max a
+      && Stats.Running.count r = Array.length a)
+
+let test_linear_fit () =
+  let xs = [| 0.; 1.; 2.; 3. |] in
+  let ys = [| 1.; 3.; 5.; 7. |] in
+  let slope, intercept = Stats.linear_fit xs ys in
+  checkf "slope" 2. slope;
+  checkf "intercept" 1. intercept
+
+let test_linear_fit_flat () =
+  let xs = [| 1.; 1.; 1. |] and ys = [| 2.; 3.; 4. |] in
+  let slope, _ = Stats.linear_fit xs ys in
+  checkf "degenerate x gives zero slope" 0. slope
+
+let test_log2 () = checkf "log2 8" 3. (Stats.log2 8.)
+
+let test_running_empty () =
+  let r = Stats.Running.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Running.mean r));
+  Alcotest.(check bool) "min nan" true (Float.is_nan (Stats.Running.min r));
+  Alcotest.(check bool) "max nan" true (Float.is_nan (Stats.Running.max r));
+  checkf "variance zero" 0. (Stats.Running.variance r)
+
+let test_percentile_singleton () =
+  checkf "p50 of one" 7. (Stats.percentile [| 7. |] 50.)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance zero" `Quick test_variance;
+    Alcotest.test_case "variance exact" `Quick test_variance_value;
+    Alcotest.test_case "min/max" `Quick test_minmax;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile pure" `Quick test_percentile_does_not_mutate;
+    Alcotest.test_case "linear fit" `Quick test_linear_fit;
+    Alcotest.test_case "linear fit degenerate" `Quick test_linear_fit_flat;
+    Alcotest.test_case "log2" `Quick test_log2;
+    Alcotest.test_case "running empty" `Quick test_running_empty;
+    Alcotest.test_case "percentile singleton" `Quick test_percentile_singleton;
+    QCheck_alcotest.to_alcotest test_running_matches_batch;
+  ]

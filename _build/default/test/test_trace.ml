@@ -1,0 +1,119 @@
+module Engine = Gcs_sim.Engine
+module Trace = Gcs_sim.Trace
+module Dm = Gcs_sim.Delay_model
+module Topology = Gcs_graph.Topology
+module Hc = Gcs_clock.Hardware_clock
+module Prng = Gcs_util.Prng
+
+let send_obs time = (time, Engine.Obs_send { src = 0; dst = 1; edge = 0; delay = 1. })
+
+let test_ring_buffer_eviction () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    let time, obs = send_obs (float_of_int i) in
+    Trace.record t time obs
+  done;
+  Alcotest.(check int) "retained" 3 (Trace.length t);
+  Alcotest.(check int) "total" 5 (Trace.total t);
+  let times = List.map (fun e -> e.Trace.time) (Trace.entries t) in
+  Alcotest.(check (list (float 0.))) "oldest evicted" [ 3.; 4.; 5. ] times
+
+let test_counts_by_kind () =
+  let t = Trace.create () in
+  Trace.record t 0. (Engine.Obs_send { src = 0; dst = 1; edge = 0; delay = 1. });
+  Trace.record t 1. (Engine.Obs_drop { src = 0; dst = 1; edge = 0 });
+  Trace.record t 2. (Engine.Obs_deliver { dst = 1; port = 0 });
+  Trace.record t 3. (Engine.Obs_timer { node = 0; tag = 7 });
+  Trace.record t 4. (Engine.Obs_rate_change { node = 0; rate = 1.01 });
+  Alcotest.(check int) "sends" 1 (Trace.count_sends t);
+  Alcotest.(check int) "drops" 1 (Trace.count_drops t);
+  Alcotest.(check int) "delivers" 1 (Trace.count_delivers t);
+  Alcotest.(check int) "timers" 1 (Trace.count_timers t);
+  Alcotest.(check int) "rate changes" 1 (Trace.count_rate_changes t)
+
+let test_clear () =
+  let t = Trace.create () in
+  Trace.record t 0. (Engine.Obs_timer { node = 0; tag = 0 });
+  Trace.clear t;
+  Alcotest.(check int) "length" 0 (Trace.length t);
+  Alcotest.(check int) "total" 0 (Trace.total t);
+  Alcotest.(check int) "counts" 0 (Trace.count_timers t)
+
+let test_attached_to_engine () =
+  (* One message 0 -> 1: trace must see the send and the delivery. *)
+  let graph = Topology.line 2 in
+  let clocks = Array.init 2 (fun _ -> Hc.create ~t0:0. ~rate:1. ()) in
+  let engine =
+    Engine.create ~graph ~clocks
+      ~delays:(Dm.fixed (Dm.bounds ~d_min:1. ~d_max:1.))
+      ~rng:(Prng.create ~seed:1) ~t0:0.
+      ~make_node:(fun v ->
+        {
+          Engine.on_init = (fun api -> if v = 0 then api.Engine.send ~port:0 ());
+          on_message = (fun _ ~port:_ () -> ());
+          on_timer = (fun _ ~tag:_ -> ());
+        })
+  in
+  let t = Trace.create () in
+  Trace.attach t engine;
+  Engine.run_until engine 5.;
+  Alcotest.(check int) "send observed" 1 (Trace.count_sends t);
+  Alcotest.(check int) "deliver observed" 1 (Trace.count_delivers t);
+  match Trace.entries t with
+  | [ { Trace.obs = Engine.Obs_send { delay; _ }; time = t0 };
+      { Trace.obs = Engine.Obs_deliver _; time = t1 } ] ->
+      Alcotest.(check (float 1e-9)) "delivery lag" delay (t1 -. t0)
+  | _ -> Alcotest.fail "unexpected trace shape"
+
+let test_drop_observed () =
+  let graph = Topology.line 2 in
+  let clocks = Array.init 2 (fun _ -> Hc.create ~t0:0. ~rate:1. ()) in
+  let delays =
+    Dm.with_loss (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 1.)
+      (Dm.fixed (Dm.bounds ~d_min:1. ~d_max:1.))
+  in
+  let engine =
+    Engine.create ~graph ~clocks ~delays ~rng:(Prng.create ~seed:1) ~t0:0.
+      ~make_node:(fun v ->
+        {
+          Engine.on_init = (fun api -> if v = 0 then api.Engine.send ~port:0 ());
+          on_message = (fun _ ~port:_ () -> ());
+          on_timer = (fun _ ~tag:_ -> ());
+        })
+  in
+  let t = Trace.create () in
+  Trace.attach t engine;
+  Engine.run_until engine 5.;
+  Alcotest.(check int) "drop observed" 1 (Trace.count_drops t);
+  Alcotest.(check int) "nothing delivered" 0 (Trace.count_delivers t);
+  Alcotest.(check int) "engine counter" 1 (Engine.messages_dropped engine)
+
+let test_pp_renders_lines () =
+  let t = Trace.create () in
+  Trace.record t 0. (Engine.Obs_timer { node = 0; tag = 1 });
+  Trace.record t 1. (Engine.Obs_deliver { dst = 1; port = 0 });
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Trace.pp ppf t;
+  Format.pp_print_flush ppf ();
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check int) "two lines" 2 (List.length lines)
+
+let test_entry_formatting () =
+  let entry = { Trace.time = 1.5; obs = Engine.Obs_timer { node = 3; tag = 2 } } in
+  let s = Trace.entry_to_string entry in
+  Alcotest.(check bool) "mentions node" true
+    (String.length s > 0 && String.contains s '3')
+
+let suite =
+  [
+    Alcotest.test_case "ring eviction" `Quick test_ring_buffer_eviction;
+    Alcotest.test_case "counts by kind" `Quick test_counts_by_kind;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "attach to engine" `Quick test_attached_to_engine;
+    Alcotest.test_case "drop observed" `Quick test_drop_observed;
+    Alcotest.test_case "formatting" `Quick test_entry_formatting;
+    Alcotest.test_case "pp" `Quick test_pp_renders_lines;
+  ]

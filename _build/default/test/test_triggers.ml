@@ -1,0 +1,106 @@
+(* The fast/slow trigger logic is the heart of the gradient algorithm; these
+   tests pin its semantics level by level. Offsets are o_{v,w} = own - w. *)
+
+let fast = Gcs_core.Gradient_sync.fast_trigger ~kappa:1.
+let slow = Gcs_core.Gradient_sync.slow_trigger ~kappa:1.
+
+let check = Alcotest.(check bool)
+
+let test_no_neighbors () =
+  check "no neighbors never fast" false (fast ~offsets:[||]);
+  check "no neighbors is slow" true (slow ~offsets:[||])
+
+let test_balanced () =
+  check "all zero not fast" false (fast ~offsets:[| 0.; 0. |]);
+  check "all zero slow" true (slow ~offsets:[| 0.; 0. |])
+
+let test_level0_fast () =
+  (* Neighbor ahead by 1.5 kappa (offset -1.5), nobody behind: level 0 fast
+     condition (ahead >= kappa, behind <= kappa). *)
+  check "pulled up" true (fast ~offsets:[| -1.5; 0. |])
+
+let test_fast_blocked_by_laggard () =
+  (* A neighbor ahead by 1.5 but another behind by 2: level 0 needs
+     behind <= 1, level 1 needs ahead >= 3. Blocked. *)
+  check "blocked" false (fast ~offsets:[| -1.5; 2. |])
+
+let test_level1_fast () =
+  (* Ahead by 3.5, behind by 2.5: level 1 (threshold 3) applies. *)
+  check "level 1 fires" true (fast ~offsets:[| -3.5; 2.5 |])
+
+let test_level_mismatch () =
+  (* Ahead by 3.9 (s=1 threshold 3 satisfied), but behind by 3.5 > 3 and
+     ahead < 5 (s=2): no level works. *)
+  check "no level" false (fast ~offsets:[| -3.9; 3.5 |])
+
+let test_slow_level1 () =
+  (* Behind by 2.5 (>= 2s with s=1), ahead 1.5 <= 2: slow holds. *)
+  check "slow level 1" true (slow ~offsets:[| 2.5; -1.5 |])
+
+let test_slow_blocked () =
+  (* Behind by 2.5 but ahead by 3: s=1 fails (ahead > 2), s=2 needs
+     behind >= 4. *)
+  check "slow blocked" false (slow ~offsets:[| 2.5; -3. |])
+
+let test_exact_thresholds () =
+  (* ahead exactly kappa satisfies level 0 (>=); behind exactly kappa
+     satisfies the universal part (<=). *)
+  check "boundary fast" true (fast ~offsets:[| -1.; 1. |]);
+  (* behind exactly 0 with s=0: trivially slow. *)
+  check "boundary slow" true (slow ~offsets:[| 0. |])
+
+let test_scaling_invariance () =
+  (* Triggers scale with kappa. *)
+  let fast_k k = Gcs_core.Gradient_sync.fast_trigger ~kappa:k in
+  check "kappa 2, gap 3" true (fast_k 2. ~offsets:[| -3.; 0. |]);
+  check "kappa 4, gap 3" false (fast_k 4. ~offsets:[| -3.; 0. |])
+
+(* The paper's key structural fact (Kuhn-Oshman Lemma): the fast and slow
+   *conditions* are mutually exclusive. Our implementation runs slow
+   whenever fast does not hold, which is safe given this property. *)
+let prop_mutually_exclusive =
+  QCheck.Test.make ~name:"fast and slow triggers are mutually exclusive"
+    ~count:2000
+    QCheck.(list_of_size (Gen.int_range 1 6) (float_range (-10.) 10.))
+    (fun offsets ->
+      let o = Array.of_list offsets in
+      not (fast ~offsets:o && slow ~offsets:o))
+
+let prop_fast_needs_leader =
+  QCheck.Test.make ~name:"fast requires a neighbor ahead by >= kappa"
+    ~count:1000
+    QCheck.(list_of_size (Gen.int_range 1 6) (float_range (-10.) 10.))
+    (fun offsets ->
+      let o = Array.of_list offsets in
+      if fast ~offsets:o then Array.exists (fun x -> -.x >= 1.) o else true)
+
+let prop_uniform_shift_down_keeps_fast =
+  (* If everyone moves ahead of us by the same extra amount, fast stays. *)
+  QCheck.Test.make ~name:"falling further behind keeps the fast trigger"
+    ~count:500
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 5) (float_range (-5.) 5.))
+        (float_range 0. 5.))
+    (fun (offsets, delta) ->
+      let o = Array.of_list offsets in
+      if fast ~offsets:o then
+        fast ~offsets:(Array.map (fun x -> x -. delta) o)
+      else true)
+
+let suite =
+  [
+    Alcotest.test_case "no neighbors" `Quick test_no_neighbors;
+    Alcotest.test_case "balanced" `Quick test_balanced;
+    Alcotest.test_case "level 0 fast" `Quick test_level0_fast;
+    Alcotest.test_case "fast blocked" `Quick test_fast_blocked_by_laggard;
+    Alcotest.test_case "level 1 fast" `Quick test_level1_fast;
+    Alcotest.test_case "level mismatch" `Quick test_level_mismatch;
+    Alcotest.test_case "slow level 1" `Quick test_slow_level1;
+    Alcotest.test_case "slow blocked" `Quick test_slow_blocked;
+    Alcotest.test_case "exact thresholds" `Quick test_exact_thresholds;
+    Alcotest.test_case "kappa scaling" `Quick test_scaling_invariance;
+    QCheck_alcotest.to_alcotest prop_mutually_exclusive;
+    QCheck_alcotest.to_alcotest prop_fast_needs_leader;
+    QCheck_alcotest.to_alcotest prop_uniform_shift_down_keeps_fast;
+  ]
