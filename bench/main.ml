@@ -44,6 +44,10 @@ let header id title =
    DIR/<name>.csv so the "figures" are regenerable artifacts. *)
 let csv_dir : string option ref = ref None
 
+(* -jobs N shards replicate batches (E7) and the E19 sweep benchmark
+   across that many domains; results are identical for every N. *)
+let jobs = ref (Gcs_util.Pool.default_jobs ())
+
 let print_table ~name ~title ~columns ~rows =
   Table.print ~title ~columns ~rows;
   match !csv_dir with
@@ -291,7 +295,7 @@ let e7 () =
       (fun (name, graph) ->
         let d = Shortest_path.diameter graph in
         let measure f =
-          Gcs_core.Replicate.measure ~seeds (fun seed ->
+          Gcs_core.Replicate.measure ~jobs:!jobs ~seeds (fun seed ->
               let cfg =
                 Runner.config ~spec ~algo:Algorithm.Gradient_sync
                   ~horizon:500. ~seed graph
@@ -848,6 +852,67 @@ let e18 () =
       ]
     ~rows
 
+(* E19: the parallel sharded runner. A 64-replicate sweep (the exact shape
+   of every D-sweep and robustness table above) is run through
+   Parallel_run once serially and once sharded across -jobs domains. The
+   summaries must agree exactly — determinism under sharding is part of
+   the contract — and the wall-clock ratio is the realized speedup (≈ the
+   domain count on idle multicore hardware; 1x on a single-core box). *)
+let e19 () =
+  header "E19"
+    (Printf.sprintf "Parallel sharded sweep: 64 replicates, -jobs %d" !jobs);
+  let graph = Topology.ring 32 in
+  let configs =
+    Array.of_list
+      (List.map
+         (fun seed ->
+           Runner.config ~spec ~algo:Algorithm.Gradient_sync ~horizon:200.
+             ~seed graph)
+         (Gcs_core.Replicate.seeds 64))
+  in
+  let timed jobs =
+    let t0 = Unix.gettimeofday () in
+    let rs = Gcs_core.Parallel_run.run ~jobs configs in
+    (Unix.gettimeofday () -. t0, rs)
+  in
+  let t_serial, serial = timed 1 in
+  let t_par, par = timed !jobs in
+  let identical =
+    serial = par
+  in
+  let m = Gcs_core.Parallel_run.merge par in
+  let rows =
+    [
+      [ "1"; Table.fmt_float ~digits:3 t_serial; "1.00"; "-" ];
+      [
+        string_of_int !jobs;
+        Table.fmt_float ~digits:3 t_par;
+        Table.fmt_float ~digits:2 (t_serial /. t_par);
+        (if identical then "yes" else "NO");
+      ];
+    ]
+  in
+  print_table ~name:"e19_parallel_sweep"
+    ~title:"wall-clock for the same 64-config batch; results must be identical"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "jobs";
+        Table.column "wall s";
+        Table.column "speedup";
+        Table.column "bit-identical";
+      ]
+    ~rows;
+  Printf.printf
+    "batch: %d runs, %d events, %d messages, %d dropped, %d clock jumps\n"
+    (Array.length m.Gcs_core.Parallel_run.summaries)
+    m.Gcs_core.Parallel_run.events m.Gcs_core.Parallel_run.messages
+    m.Gcs_core.Parallel_run.dropped
+    m.Gcs_core.Parallel_run.jumps.Lc.count;
+  if not identical then begin
+    prerr_endline "E19: parallel results diverged from serial results";
+    exit 1
+  end
+
 (* E8: substrate micro-benchmarks (Bechamel). *)
 let e8 () =
   header "E8" "Substrate micro-benchmarks (ns per operation, OLS estimate)";
@@ -928,19 +993,26 @@ let experiments =
     ("e5", e5); ("e6", e6); ("e7", e7); ("e9", e9);
     ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
     ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18); ("e8", e8);
+    ("e18", e18); ("e19", e19); ("e8", e8);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec strip_csv acc = function
+  let rec strip_opts acc = function
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
-        strip_csv acc rest
-    | x :: rest -> strip_csv (x :: acc) rest
+        strip_opts acc rest
+    | ("-jobs" | "--jobs") :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := j
+        | Some _ | None ->
+            Printf.eprintf "-jobs expects a positive integer, got %S\n" n;
+            exit 2);
+        strip_opts acc rest
+    | x :: rest -> strip_opts (x :: acc) rest
     | [] -> List.rev acc
   in
-  let names = strip_csv [] args in
+  let names = strip_opts [] args in
   let requested = if names = [] then List.map fst experiments else names in
   Printf.printf
     "Gradient Clock Synchronization (Fan & Lynch, PODC 2004) — experiments\n";

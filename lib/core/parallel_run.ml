@@ -1,0 +1,61 @@
+module Pool = Gcs_util.Pool
+module Logical_clock = Gcs_clock.Logical_clock
+
+let run ?jobs cfgs = Pool.map ?jobs Runner.run cfgs
+let map ?jobs ~f cfgs = Pool.map ?jobs (fun cfg -> f (Runner.run cfg)) cfgs
+
+type merged = {
+  summaries : Metrics.summary array;
+  samples : (int * Metrics.sample) array;
+  events : int;
+  messages : int;
+  dropped : int;
+  jumps : Logical_clock.jump_stats;
+}
+
+let merge (results : Runner.result array) =
+  let summaries = Array.map (fun r -> r.Runner.summary) results in
+  let tagged =
+    Array.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i (r : Runner.result) ->
+              Array.map (fun s -> (i, s)) r.Runner.samples)
+            results))
+  in
+  (* Stable sort on time only: runs are concatenated in input order and
+     each run's samples are already time-ordered, so ties keep run-index
+     (then within-run) order. *)
+  let samples = tagged in
+  Array.stable_sort
+    (fun (_, a) (_, b) -> compare a.Metrics.time b.Metrics.time)
+    samples;
+  let events = ref 0 and messages = ref 0 and dropped = ref 0 in
+  let jumps =
+    ref { Logical_clock.count = 0; total_magnitude = 0.; max_magnitude = 0. }
+  in
+  Array.iter
+    (fun (r : Runner.result) ->
+      events := !events + r.Runner.events;
+      messages := !messages + r.Runner.messages;
+      dropped := !dropped + r.Runner.dropped;
+      let j = r.Runner.jumps in
+      jumps :=
+        {
+          Logical_clock.count = !jumps.Logical_clock.count + j.Logical_clock.count;
+          total_magnitude =
+            !jumps.Logical_clock.total_magnitude
+            +. j.Logical_clock.total_magnitude;
+          max_magnitude =
+            Float.max !jumps.Logical_clock.max_magnitude
+              j.Logical_clock.max_magnitude;
+        })
+    results;
+  {
+    summaries;
+    samples;
+    events = !events;
+    messages = !messages;
+    dropped = !dropped;
+    jumps = !jumps;
+  }

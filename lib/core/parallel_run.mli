@@ -1,0 +1,40 @@
+(** Sharded parallel execution of independent simulation configs.
+
+    This is the batch entry point for experiment campaigns: a sweep over
+    seeds × topologies × algorithms is an array of {!Runner.config}s, each
+    carrying its own seed, and every run derives all of its randomness from
+    that seed alone (see {!Gcs_util.Prng}). Partitioning the batch across
+    domains with {!Gcs_util.Pool} therefore changes wall-clock time and
+    nothing else: [run ~jobs:n] returns results bit-identical to
+    [run ~jobs:1], in input order. That determinism guarantee is tested
+    (qcheck, over random graph families / algorithms / seeds / loss laws)
+    and is what makes parallel sweeps directly comparable to — and
+    regression-checkable against — serial ones. *)
+
+val run : ?jobs:int -> Runner.config array -> Runner.result array
+(** [run ~jobs cfgs] executes every config ([jobs] defaults to
+    {!Gcs_util.Pool.default_jobs}[ ()]) and returns results in input
+    order. *)
+
+val map : ?jobs:int -> f:(Runner.result -> 'a) -> Runner.config array -> 'a array
+(** [map ~jobs ~f cfgs] additionally applies [f] to each result on the
+    worker that produced it, so large intermediate results can be reduced
+    to scalars without crossing domains. [f] must be pure. *)
+
+(** Order-preserving aggregate of a batch, merged deterministically. *)
+type merged = {
+  summaries : Metrics.summary array;  (** one per config, input order *)
+  samples : (int * Metrics.sample) array;
+      (** all samples of all runs, tagged with their run index, sorted by
+          sample time with run index (then within-run order) breaking
+          ties — a deterministic interleaving suitable for one combined
+          time-series artifact *)
+  events : int;  (** total engine events across the batch *)
+  messages : int;  (** total messages sent *)
+  dropped : int;  (** total messages lost to loss laws *)
+  jumps : Gcs_clock.Logical_clock.jump_stats;
+      (** clock discontinuities aggregated across all runs *)
+}
+
+val merge : Runner.result array -> merged
+(** Pure fold over results; independent of how they were computed. *)

@@ -9,9 +9,9 @@ type summary = {
   trials : int;
 }
 
-let measure ~seeds f =
+let measure ?(jobs = 1) ~seeds f =
   if seeds = [] then invalid_arg "Replicate.measure: no seeds";
-  let xs = Array.of_list (List.map f seeds) in
+  let xs = Gcs_util.Pool.map ~jobs f (Array.of_list seeds) in
   let n = Array.length xs in
   let stddev = Stats.stddev xs in
   {

@@ -15,9 +15,12 @@ type summary = {
   trials : int;
 }
 
-val measure : seeds:int list -> (int -> float) -> summary
+val measure : ?jobs:int -> seeds:int list -> (int -> float) -> summary
 (** [measure ~seeds f] runs [f seed] for each seed. Raises
-    [Invalid_argument] on an empty seed list. *)
+    [Invalid_argument] on an empty seed list. With [~jobs] > 1 the seeds
+    are sharded across that many domains via {!Gcs_util.Pool} (default 1,
+    i.e. serial); [f] must be pure modulo its seed, in which case the
+    summary is identical for every [jobs]. *)
 
 val seeds : ?base:int -> int -> int list
 (** [seeds n] is a standard batch of [n] distinct seeds. *)

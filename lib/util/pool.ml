@@ -1,0 +1,54 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let shards ~jobs n =
+  if jobs <= 0 then invalid_arg "Pool.shards: jobs must be positive";
+  let jobs = min jobs (max n 1) in
+  let base = n / jobs and extra = n mod jobs in
+  Array.init jobs (fun w ->
+      let len = base + if w < extra then 1 else 0 in
+      let off = (w * base) + min w extra in
+      (off, len))
+
+(* One slot per task: the worker owning the shard is the only writer of its
+   slots, and Domain.join orders those writes before the collector's reads,
+   so plain arrays are race-free here. *)
+type 'a slot =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+let run ?jobs tasks =
+  let n = Array.length tasks in
+  let jobs =
+    match jobs with Some j -> max 1 (min j (max n 1)) | None -> default_jobs ()
+  in
+  let slots = Array.make n Pending in
+  let run_shard (off, len) =
+    for i = off to off + len - 1 do
+      slots.(i) <-
+        (try Done (tasks.(i) ())
+         with e -> Failed (e, Printexc.get_raw_backtrace ()))
+    done
+  in
+  let parts = shards ~jobs n in
+  if jobs <= 1 || n <= 1 then Array.iter run_shard parts
+  else begin
+    (* The calling domain takes shard 0; spawned domains take the rest. All
+       spawns are joined before any result is read — including on task
+       failure, which is recorded in the slot rather than raised mid-run. *)
+    let spawned =
+      Array.map (fun part -> Domain.spawn (fun () -> run_shard part))
+        (Array.sub parts 1 (Array.length parts - 1))
+    in
+    run_shard parts.(0);
+    Array.iter Domain.join spawned
+  end;
+  Array.map
+    (function
+      | Done v -> v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending -> assert false)
+    slots
+
+let mapi ?jobs f xs = run ?jobs (Array.mapi (fun i x () -> f i x) xs)
+let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs

@@ -1,0 +1,42 @@
+(** Shard-per-domain parallel execution for independent tasks.
+
+    A batch of pure, independent thunks is partitioned statically into one
+    contiguous shard per OCaml 5 domain — no work stealing, no shared queue,
+    no locks. Each worker owns its shard of the result array outright, so
+    the only synchronization is [Domain.join], and the output is always in
+    input order regardless of how many domains ran. Combined with tasks
+    whose randomness derives only from their own inputs (every simulation
+    here seeds a private {!Prng.t} from its config), serial and parallel
+    execution are bit-identical.
+
+    The static partition is the right trade for this repo's workload:
+    replicate sweeps are batches of simulations with similar costs, so
+    stealing buys little, while determinism of the merge order is
+    load-bearing for reproducibility. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible [~jobs] for "use the
+    machine". *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ~jobs tasks] evaluates every task and returns their results in
+    input order. [jobs] defaults to {!default_jobs}[ ()] and is clamped to
+    [1 .. Array.length tasks]; with an empty batch or [jobs <= 1] (after
+    clamping) everything runs in the calling domain and no domain is
+    spawned. Task [i] runs on the domain owning the shard containing [i];
+    within a shard, tasks run in index order.
+
+    If any task raises, the exception with the smallest task index is
+    re-raised (with its backtrace) after all domains have joined, so a
+    failure cannot leak running domains. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] is [run ~jobs] over [fun () -> f xs.(i)]. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val shards : jobs:int -> int -> (int * int) array
+(** [shards ~jobs n] is the static partition used by [run]: an array of
+    [(offset, length)] pairs, one per worker, covering [0 .. n - 1] in
+    order with lengths differing by at most one. Exposed for tests and for
+    callers that want to mirror the pool's task placement. *)

@@ -6,6 +6,7 @@ let () =
       ("util.prng", Test_prng.suite);
       ("util.stats", Test_stats.suite);
       ("util.heap", Test_heap.suite);
+      ("util.pool", Test_pool.suite);
       ("util.table", Test_table.suite);
       ("util.csv", Test_csv.suite);
       ("graph.graph", Test_graph.suite);
@@ -38,6 +39,8 @@ let () =
       ("adversary.crash", Test_crash.suite);
       ("core.invariant", Test_invariant.suite);
       ("core.replicate", Test_replicate.suite);
+      ("core.parallel_run", Test_parallel_run.suite);
+      ("core.golden", Test_golden.suite);
       ("integration", Test_integration.suite);
       ("adversarial.random", Test_adversarial_random.suite);
     ]

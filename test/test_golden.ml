@@ -1,0 +1,128 @@
+(* Seed-determinism golden test: one small config per registered algorithm
+   with its full Metrics.summary (and message count) pinned to the values
+   the seed produced when this test was written. Any change to the PRNG,
+   the event engine's ordering, the delay model, the clock models, or an
+   algorithm's message protocol shifts these numbers immediately and by
+   far more than the tolerance; the tolerance (1e-9) only absorbs
+   last-ulp libm differences across platforms.
+
+   Config: ring:8, kappa 0.5, drift split (nodes 0-3 fast, 4-7 slow) so
+   every algorithm — including the gradient deadband — actually corrects,
+   horizon 80, seed 7.
+
+   If a change is *supposed* to alter simulation results, regenerate the
+   table below with exactly this config and say so in the commit. *)
+
+module Topology = Gcs_graph.Topology
+module Drift = Gcs_clock.Drift
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Metrics = Gcs_core.Metrics
+
+let golden : (Algorithm.kind * Metrics.summary * int) list =
+  [
+    ( Algorithm.Free_run,
+      {
+        Metrics.max_global = 0x1.999999999998p-1;
+        max_local = 0x1.999999999998p-1;
+        mean_local = 0x1.0000000000004p-1;
+        p99_local = 0x1.96872b020c4b3p-1;
+        final_global = 0x1.999999999998p-1;
+        final_local = 0x1.999999999998p-1;
+        samples_used = 61;
+      },
+      0 );
+    ( Algorithm.Max_sync,
+      {
+        Metrics.max_global = 0x1.75c3b4f9cccp-2;
+        max_local = 0x1.13c50d8d6dd8p-2;
+        mean_local = 0x1.82378afa84ab4p-3;
+        p99_local = 0x1.1055329e4b333p-2;
+        final_global = 0x1.6577ccf8904p-2;
+        final_local = 0x1.0e0aa0a9897p-2;
+        samples_used = 61;
+      },
+      1288 );
+    ( Algorithm.Max_slew_sync,
+      {
+        Metrics.max_global = 0x1.a5c934682788p-2;
+        max_local = 0x1.340e4f08af1p-2;
+        mean_local = 0x1.ba47b184bb322p-3;
+        p99_local = 0x1.2de971d994719p-2;
+        final_global = 0x1.7290fb1a9cbp-2;
+        final_local = 0x1.1d80e1f6643p-2;
+        samples_used = 61;
+      },
+      1288 );
+    ( Algorithm.Tree_sync,
+      {
+        Metrics.max_global = 0x1.8a3d70a3d708p-1;
+        max_local = 0x1.da5be824ac98p-2;
+        mean_local = 0x1.794de76c3218dp-2;
+        p99_local = 0x1.d4370af591f99p-2;
+        final_global = 0x1.6796bdc1113p-1;
+        final_local = 0x1.a279842388bp-2;
+        samples_used = 61;
+      },
+      1119 );
+    ( Algorithm.Gradient_sync,
+      {
+        Metrics.max_global = 0x1.50c48e1dda6p-2;
+        max_local = 0x1.08d71a5a1e8p-2;
+        mean_local = 0x1.7d55a1e437de9p-3;
+        p99_local = 0x1.05e86cb205db3p-2;
+        final_global = 0x1.50c48e1dda6p-2;
+        final_local = 0x1.08d71a5a1e8p-2;
+        samples_used = 61;
+      },
+      1288 );
+  ]
+
+let run_one algo =
+  let cfg =
+    Runner.config
+      ~spec:(Spec.make ~kappa:0.5 ())
+      ~algo
+      ~drift_of_node:(fun v ->
+        if v < 4 then Drift.Extreme_high else Drift.Extreme_low)
+      ~horizon:80. ~seed:7 (Topology.ring 8)
+  in
+  Runner.run cfg
+
+let check_algo (algo, expected, messages) () =
+  let r = run_one algo in
+  let s = r.Runner.summary in
+  let f = Alcotest.(check (float 1e-9)) in
+  f "max_global" expected.Metrics.max_global s.Metrics.max_global;
+  f "max_local" expected.Metrics.max_local s.Metrics.max_local;
+  f "mean_local" expected.Metrics.mean_local s.Metrics.mean_local;
+  f "p99_local" expected.Metrics.p99_local s.Metrics.p99_local;
+  f "final_global" expected.Metrics.final_global s.Metrics.final_global;
+  f "final_local" expected.Metrics.final_local s.Metrics.final_local;
+  Alcotest.(check int) "samples_used" expected.Metrics.samples_used
+    s.Metrics.samples_used;
+  Alcotest.(check int) "messages" messages r.Runner.messages
+
+let test_covers_registry () =
+  (* A newly registered algorithm must get a golden row. *)
+  Alcotest.(check int) "every registered algorithm is pinned"
+    (List.length Algorithm.all_kinds)
+    (List.length golden);
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Algorithm.kind_name kind ^ " pinned")
+        true
+        (List.exists (fun (k, _, _) -> k = kind) golden))
+    Algorithm.all_kinds
+
+let suite =
+  Alcotest.test_case "golden table covers the registry" `Quick
+    test_covers_registry
+  :: List.map
+       (fun ((algo, _, _) as row) ->
+         Alcotest.test_case
+           (Printf.sprintf "summary pinned: %s" (Algorithm.kind_name algo))
+           `Quick (check_algo row))
+       golden

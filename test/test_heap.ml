@@ -98,6 +98,94 @@ let prop_size =
       pop_k half;
       ok1 && Heap.size h = n - half)
 
+(* Model-based property: drive the heap with a random interleaving of
+   pushes and pops and check it against a sorted-association-list model.
+   The model mirrors the heap's full contract — min-priority order with
+   FIFO tie-breaking — which is what makes engine event order (and thus
+   whole simulations) deterministic. *)
+type op = Push of float | Pop
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun p -> Push p) (float_range (-50.) 50.));
+        (2, return Pop);
+      ])
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat " "
+        (List.map
+           (function Push p -> Printf.sprintf "push %g" p | Pop -> "pop")
+           ops))
+    QCheck.Gen.(list_size (int_range 0 60) op_gen)
+
+let prop_model =
+  QCheck.Test.make
+    ~name:"random push/pop interleavings match the sorted-list model"
+    ~count:500 ops_arb (fun ops ->
+      let h = Heap.create () in
+      (* Model: (priority, insertion sequence number) list, kept sorted by
+         priority then sequence — exactly the heap's documented order. *)
+      let model = ref [] in
+      let next_seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Push p ->
+              Heap.push h ~prio:p !next_seq;
+              model := List.merge compare !model [ (p, !next_seq) ];
+              incr next_seq
+          | Pop -> (
+              match (Heap.pop h, !model) with
+              | None, [] -> ()
+              | Some (p, v), (mp, mv) :: rest ->
+                  if p <> mp || v <> mv then ok := false else model := rest
+              | Some _, [] | None, _ :: _ -> ok := false))
+        ops;
+      (* Drain whatever is left: the tail must also pop in model order, and
+         sizes must agree along the way. *)
+      let rec drain () =
+        if Heap.size h <> List.length !model then ok := false
+        else
+          match (Heap.pop h, !model) with
+          | None, [] -> ()
+          | Some (p, v), (mp, mv) :: rest ->
+              if p <> mp || v <> mv then ok := false
+              else begin
+                model := rest;
+                drain ()
+              end
+          | Some _, [] | None, _ :: _ -> ok := false
+      in
+      drain ();
+      !ok)
+
+let prop_pop_nondecreasing =
+  QCheck.Test.make
+    ~name:"pops between pushes come out in nondecreasing priority" ~count:300
+    ops_arb (fun ops ->
+      (* Within any maximal run of pops, priorities must not decrease. *)
+      let h = Heap.create () in
+      let ok = ref true in
+      let last_pop = ref neg_infinity in
+      List.iter
+        (function
+          | Push p ->
+              Heap.push h ~prio:p ();
+              last_pop := neg_infinity
+          | Pop -> (
+              match Heap.pop h with
+              | None -> ()
+              | Some (p, ()) ->
+                  if p < !last_pop then ok := false;
+                  last_pop := p))
+        ops;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;
@@ -109,4 +197,6 @@ let suite =
     Alcotest.test_case "to_sorted_list pure" `Quick test_to_sorted_list_pure;
     QCheck_alcotest.to_alcotest prop_heap_sort;
     QCheck_alcotest.to_alcotest prop_size;
+    QCheck_alcotest.to_alcotest prop_model;
+    QCheck_alcotest.to_alcotest prop_pop_nondecreasing;
   ]

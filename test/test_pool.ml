@@ -1,0 +1,90 @@
+module Pool = Gcs_util.Pool
+
+let test_empty () =
+  Alcotest.(check int) "empty batch" 0 (Array.length (Pool.run ~jobs:4 [||]))
+
+let test_order () =
+  let xs = Array.init 23 (fun i -> i) in
+  let ys = Pool.map ~jobs:4 (fun x -> x * x) xs in
+  Alcotest.(check (array int))
+    "results in input order"
+    (Array.map (fun x -> x * x) xs)
+    ys
+
+let test_mapi () =
+  let xs = Array.make 9 10 in
+  let ys = Pool.mapi ~jobs:3 (fun i x -> i + x) xs in
+  Alcotest.(check (array int)) "mapi indices" (Array.init 9 (fun i -> i + 10)) ys
+
+let test_jobs_clamped () =
+  (* More jobs than tasks, and jobs:0/negative, must still work. *)
+  let xs = Array.init 3 (fun i -> i) in
+  Alcotest.(check (array int)) "jobs > n" xs (Pool.map ~jobs:64 (fun x -> x) xs);
+  Alcotest.(check (array int)) "jobs 0" xs (Pool.map ~jobs:0 (fun x -> x) xs);
+  Alcotest.(check (array int)) "jobs -1" xs (Pool.map ~jobs:(-1) (fun x -> x) xs)
+
+let test_shards_partition () =
+  List.iter
+    (fun (jobs, n) ->
+      let parts = Pool.shards ~jobs n in
+      let covered = Array.make n 0 in
+      Array.iter
+        (fun (off, len) ->
+          for i = off to off + len - 1 do
+            covered.(i) <- covered.(i) + 1
+          done)
+        parts;
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int) (Printf.sprintf "index %d covered once" i) 1 c)
+        covered;
+      let lens = Array.map snd parts in
+      let mn = Array.fold_left min max_int lens
+      and mx = Array.fold_left max 0 lens in
+      Alcotest.(check bool) "balanced" true (mx - mn <= 1))
+    [ (1, 10); (3, 10); (4, 4); (7, 5); (4, 0) ]
+
+let test_exception_propagates () =
+  let raised =
+    try
+      ignore
+        (Pool.map ~jobs:4
+           (fun x -> if x = 5 then failwith "boom" else x)
+           (Array.init 8 (fun i -> i)));
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "worker exception re-raised" true raised
+
+let test_earliest_exception_wins () =
+  let r =
+    try
+      ignore
+        (Pool.map ~jobs:4
+           (fun x -> if x >= 3 then failwith (string_of_int x) else x)
+           (Array.init 16 (fun i -> i)));
+      "none"
+    with Failure m -> m
+  in
+  Alcotest.(check string) "smallest failing index" "3" r
+
+let prop_matches_serial =
+  QCheck.Test.make ~name:"pool map = serial map for any jobs" ~count:100
+    QCheck.(pair (int_range 1 9) (list small_int))
+    (fun (jobs, xs) ->
+      let xs = Array.of_list xs in
+      let f x = (x * 31) lxor 5 in
+      Pool.map ~jobs f xs = Array.map f xs)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "order" `Quick test_order;
+    Alcotest.test_case "mapi" `Quick test_mapi;
+    Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+    Alcotest.test_case "shards partition" `Quick test_shards_partition;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "earliest exception wins" `Quick
+      test_earliest_exception_wins;
+    QCheck_alcotest.to_alcotest prop_matches_serial;
+  ]
