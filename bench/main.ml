@@ -913,6 +913,83 @@ let e19 () =
     exit 1
   end
 
+(* E20: the fault battery. Every algorithm runs under the same composed
+   fault plan — a partition isolating node 0, a state-wiping crash-recover
+   of node 8, and a beacon-corruption window — and the recovery metrics say
+   how hard each fault hit (worst transient skew on the affected edges) and
+   how long re-convergence took after the heal. Free-run is the control: it
+   never resynchronizes anything, so its transients persist, while gradient
+   and tree should show finite time-to-resync for every healed episode. *)
+let e20 () =
+  header "E20" "Fault battery: partition + crash-recover + corruption";
+  let module Fault_plan = Gcs_sim.Fault_plan in
+  let module Fault_metrics = Gcs_core.Fault_metrics in
+  let graph = Topology.ring 32 in
+  let horizon = 600. in
+  (* A tight kappa plus a fast/slow drift split makes the faults bite: the
+     partition cuts the ring into its fast and slow halves (so they diverge
+     at relative rate ~rho while cut), and the crashed node is in the slow
+     half (gradient sync is max-driven, so a freewheeling slow node falls
+     behind its steered neighbors). *)
+  let spec_e20 = Spec.make ~kappa:0.5 () in
+  let drift_of_node v =
+    if v < 16 then Drift.Extreme_high else Drift.Extreme_low
+  in
+  let half = String.concat "," (List.init 16 string_of_int) in
+  let plan =
+    match
+      Fault_plan.of_string
+        (Printf.sprintf
+           "partition@150:cut=%s;heal@250:cut=%s;\
+            crash@300:node=24;recover@380:node=24:wipe;\
+            corrupt@450..500:p=0.2:mag=3"
+           half half)
+    with
+    | Ok p -> p
+    | Error msg -> failwith ("E20 plan: " ^ msg)
+  in
+  let algos =
+    [ Algorithm.Gradient_sync; Algorithm.Tree_sync; Algorithm.Free_run ]
+  in
+  let rows =
+    List.map
+      (fun algo ->
+        let cfg =
+          Runner.config ~spec:spec_e20 ~algo ~drift_of_node ~horizon ~seed:23
+            ~fault_plan:plan graph
+        in
+        let r = Runner.run cfg in
+        let rep = Option.get r.Runner.fault_report in
+        let resync =
+          match Fault_metrics.max_time_to_resync rep with
+          | Some t -> fmt t
+          | None -> "never"
+        in
+        [
+          Algorithm.kind_name algo;
+          fmt (Fault_metrics.worst_transient rep);
+          resync;
+          string_of_int rep.Gcs_core.Fault_metrics.dropped_faults;
+          string_of_int rep.Gcs_core.Fault_metrics.corrupted;
+          fmt r.Runner.summary.Metrics.max_local;
+        ])
+      algos
+  in
+  print_table ~name:"e20_fault_battery"
+    ~title:
+      "recovery under the standard battery (ring:32 split in half, kappa 0.5, \
+       horizon 600)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "algorithm";
+        Table.column "worst transient";
+        Table.column "time to resync";
+        Table.column "fault drops";
+        Table.column "corrupted";
+        Table.column "max local";
+      ]
+    ~rows
+
 (* E8: substrate micro-benchmarks (Bechamel). *)
 let e8 () =
   header "E8" "Substrate micro-benchmarks (ns per operation, OLS estimate)";
@@ -993,7 +1070,7 @@ let experiments =
     ("e5", e5); ("e6", e6); ("e7", e7); ("e9", e9);
     ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
     ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18); ("e19", e19); ("e8", e8);
+    ("e18", e18); ("e19", e19); ("e20", e20); ("e8", e8);
   ]
 
 let () =

@@ -5,6 +5,7 @@
      compare  - all algorithms side by side on one topology
      attack   - the lower-bound adversaries (fan-lynch | linear | ring-bias)
      bounds   - print the analytic bounds for a given instance
+     faults   - one simulation under a fault plan, with recovery metrics
      sweep    - batched campaign over seeds x topologies x algorithms,
                 sharded across domains, emitted as one CSV *)
 
@@ -24,6 +25,8 @@ module Linear = Gcs_adversary.Linear
 module Bias = Gcs_adversary.Bias
 module Table = Gcs_util.Table
 module Prng = Gcs_util.Prng
+module Fault_plan = Gcs_sim.Fault_plan
+module Fault_metrics = Gcs_core.Fault_metrics
 
 (* Shared argument converters *)
 
@@ -40,6 +43,11 @@ let algo_conv =
 let drift_conv =
   let parse s = Drift.pattern_of_string s |> Result.map_error (fun e -> `Msg e) in
   let print ppf _ = Format.pp_print_string ppf "<drift>" in
+  Arg.conv (parse, print)
+
+let fault_plan_conv =
+  let parse s = Fault_plan.of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf p = Format.pp_print_string ppf (Fault_plan.to_string p) in
   Arg.conv (parse, print)
 
 (* Shared options *)
@@ -462,6 +470,92 @@ let external_cmd =
     (Cmd.info "external" ~doc:"Run external synchronization against a reference.")
     term
 
+let faults_cmd =
+  let plan_arg =
+    let doc =
+      "Fault plan, e.g. 'partition@100:cut=0;heal@200:cut=0' or \
+       'crash@100:node=3;recover@160:node=3:wipe'. Events are \
+       ';'-separated: partition@T:EDGES, heal@T:EDGES, crash@T:node=V, \
+       recover@T:node=V[:wipe], dup@T1..T2:p=P[:EDGES], \
+       reorder@T1..T2:p=P:extra=X[:EDGES], corrupt@T1..T2:p=P:mag=M[:EDGES], \
+       jump@T:node=V:delta=X, rate@T:node=V:rate=R; EDGES is all, \
+       edges=U-V,... or cut=V,... (default: isolate node 0 for the middle \
+       quarter of the horizon)."
+    in
+    Arg.(
+      value
+      & opt (some fault_plan_conv) None
+      & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let action spec_result topo algo drift horizon seed plan =
+    let spec = or_die spec_result in
+    let graph = build_graph topo seed in
+    let plan =
+      match plan with
+      | Some p -> p
+      | None ->
+          (* Standard smoke battery: cut node 0 off for the middle quarter. *)
+          Fault_plan.of_events
+            [
+              Fault_plan.Link_partition
+                { at = 0.375 *. horizon; edges = Fault_plan.Cut [ 0 ] };
+              Fault_plan.Link_heal
+                { at = 0.625 *. horizon; edges = Fault_plan.Cut [ 0 ] };
+            ]
+    in
+    (match Fault_plan.validate plan graph with
+    | Ok () -> ()
+    | Error msg -> or_die (Error ("fault plan: " ^ msg)));
+    let cfg =
+      Runner.config ~spec ~algo ~drift_of_node:(fun _ -> drift) ~horizon ~seed
+        ~fault_plan:plan graph
+    in
+    let r = Runner.run cfg in
+    Printf.printf "algorithm: %s on %s\n" (Algorithm.kind_name algo)
+      (Topology.spec_name topo);
+    Printf.printf "fault plan: %s\n" (Fault_plan.to_string plan);
+    print_summary ~graph ~spec r;
+    if r.Runner.dropped > 0 then
+      Printf.printf "messages dropped  : %d (loss law)\n" r.Runner.dropped;
+    let report =
+      match r.Runner.fault_report with
+      | Some rep -> rep
+      | None -> or_die (Error "internal: faulted run produced no report")
+    in
+    Printf.printf "fault drops       : %d" report.Fault_metrics.dropped_faults;
+    if report.Fault_metrics.duplicated > 0 then
+      Printf.printf ", duplicated %d" report.Fault_metrics.duplicated;
+    if report.Fault_metrics.corrupted > 0 then
+      Printf.printf ", corrupted %d" report.Fault_metrics.corrupted;
+    print_newline ();
+    Printf.printf "fault episodes    :\n";
+    List.iter
+      (fun e -> Printf.printf "  %s\n" (Fault_metrics.episode_to_string e))
+      report.Fault_metrics.episodes;
+    Printf.printf "worst transient   : %.4f\n"
+      (Fault_metrics.worst_transient report);
+    (match Fault_metrics.max_time_to_resync report with
+    | Some t ->
+        Printf.printf "time to resync    : %.4f\n" t;
+        Printf.printf "finite time-to-resync : yes\n"
+    | None ->
+        Printf.printf "time to resync    : never\n";
+        Printf.printf "finite time-to-resync : no\n";
+        exit 1)
+  in
+  let term =
+    Term.(
+      const action $ spec_term $ topology_arg $ algo_arg $ drift_arg
+      $ horizon_arg $ seed_arg $ plan_arg)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run one simulation under a fault plan and report per-episode \
+          recovery metrics (worst transient skew, time-to-resync). Exits \
+          non-zero if any healed fault never resynchronized.")
+    term
+
 let sweep_cmd =
   let topologies_arg =
     let doc =
@@ -505,8 +599,18 @@ let sweep_cmd =
       & opt string "-"
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"CSV destination (- for stdout).")
   in
+  let sweep_plan_arg =
+    Arg.(
+      value
+      & opt (some fault_plan_conv) None
+      & info [ "fault-plan" ] ~docv:"PLAN"
+          ~doc:
+            "Apply this fault plan to every cell (same spec syntax as the \
+             faults subcommand); adds fault_transient and fault_resync \
+             columns.")
+  in
   let action spec_result topologies algos seeds seed_base jobs out horizon
-      loss =
+      loss fault_plan =
     let spec = or_die spec_result in
     let jobs = if jobs = 0 then Gcs_util.Pool.default_jobs () else jobs in
     if jobs < 0 then or_die (Error "jobs must be >= 0");
@@ -531,7 +635,19 @@ let sweep_cmd =
         (List.map
            (fun (topo, algo, seed) ->
              let graph = build_graph topo seed in
-             (topo, Runner.config ~spec ~algo ~horizon ~loss:loss_law ~seed graph))
+             (match fault_plan with
+             | Some plan -> (
+                 match Fault_plan.validate plan graph with
+                 | Ok () -> ()
+                 | Error msg ->
+                     or_die
+                       (Error
+                          (Printf.sprintf "fault plan on %s: %s"
+                             (Topology.spec_name topo) msg)))
+             | None -> ());
+             ( topo,
+               Runner.config ~spec ~algo ~horizon ~loss:loss_law ~seed
+                 ?fault_plan graph ))
            cells)
     in
     let row (topo, cfg) =
@@ -557,6 +673,17 @@ let sweep_cmd =
         string_of_int r.Runner.events;
         string_of_int r.Runner.jumps.Lc.count;
       ]
+      @
+      match r.Runner.fault_report with
+      | None -> []
+      | Some rep ->
+          [
+            f (Fault_metrics.worst_transient rep);
+            string_of_int rep.Fault_metrics.dropped_faults;
+            (match Fault_metrics.max_time_to_resync rep with
+            | Some t -> f t
+            | None -> "never");
+          ]
     in
     let rows = Array.to_list (Gcs_util.Pool.map ~jobs row configs) in
     let header =
@@ -565,6 +692,10 @@ let sweep_cmd =
         "max_local"; "mean_local"; "p99_local"; "max_global"; "final_local";
         "final_global"; "messages"; "dropped"; "events"; "jumps";
       ]
+      @
+      match fault_plan with
+      | None -> []
+      | Some _ -> [ "fault_transient"; "fault_drops"; "fault_resync" ]
     in
     if out = "-" then print_string (Gcs_util.Csv.render ~header ~rows)
     else begin
@@ -576,7 +707,8 @@ let sweep_cmd =
   let term =
     Term.(
       const action $ spec_term $ topologies_arg $ algos_arg $ seeds_arg
-      $ seed_base_arg $ jobs_arg $ out_arg $ horizon_arg $ loss_arg)
+      $ seed_base_arg $ jobs_arg $ out_arg $ horizon_arg $ loss_arg
+      $ sweep_plan_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -635,5 +767,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; compare_cmd; attack_cmd; bounds_cmd; external_cmd;
-            trace_cmd; sweep_cmd;
+            trace_cmd; faults_cmd; sweep_cmd;
           ]))

@@ -4,6 +4,7 @@ module Algorithm = Gcs_core.Algorithm
 module Runner = Gcs_core.Runner
 module Metrics = Gcs_core.Metrics
 module Prng = Gcs_util.Prng
+module Fault_plan = Gcs_sim.Fault_plan
 
 type config = {
   spec : Spec.t;
@@ -45,23 +46,6 @@ let windows ~duty ~mean_down ~horizon ~rng =
     Array.of_list (List.rev !acc)
   end
 
-let down_at windows now =
-  (* Windows are sorted and disjoint; binary search the last start <= now. *)
-  let n = Array.length windows in
-  if n = 0 then false
-  else begin
-    let lo = ref 0 and hi = ref (n - 1) and found = ref (-1) in
-    while !lo <= !hi do
-      let mid = (!lo + !hi) / 2 in
-      if fst windows.(mid) <= now then begin
-        found := mid;
-        lo := mid + 1
-      end
-      else hi := mid - 1
-    done;
-    !found >= 0 && now < snd windows.(!found)
-  end
-
 let run cfg =
   let rng = Prng.create ~seed:(cfg.seed lxor 0xC0FFEE) in
   let per_edge =
@@ -69,11 +53,26 @@ let run cfg =
         windows ~duty:cfg.duty ~mean_down:cfg.mean_down ~horizon:cfg.horizon
           ~rng:(Prng.split rng))
   in
-  let loss ~edge ~src:_ ~dst:_ ~now =
-    if down_at per_edge.(edge) now then 1. else 0.
+  (* Thin front-end over the fault subsystem: each down-window becomes a
+     partition/heal pair on that single edge. *)
+  let ends = Graph.edges cfg.graph in
+  let plan =
+    Fault_plan.of_events
+      (List.concat
+         (List.mapi
+            (fun e ws ->
+              let pair = Fault_plan.Edges [ ends.(e) ] in
+              List.concat_map
+                (fun (start, stop) ->
+                  [
+                    Fault_plan.Link_partition { at = start; edges = pair };
+                    Fault_plan.Link_heal { at = stop; edges = pair };
+                  ])
+                (Array.to_list ws))
+            (Array.to_list per_edge)))
   in
   let run_cfg =
-    Runner.config ~spec:cfg.spec ~algo:cfg.algo ~loss:(Runner.Custom_loss loss)
+    Runner.config ~spec:cfg.spec ~algo:cfg.algo ~fault_plan:plan
       ~horizon:cfg.horizon ~warmup:0. ~seed:cfg.seed cfg.graph
   in
   let result = Runner.run run_cfg in
@@ -83,7 +82,9 @@ let run cfg =
   in
   let downtime_fraction =
     if result.Runner.messages = 0 then 0.
-    else float_of_int result.Runner.dropped /. float_of_int result.Runner.messages
+    else
+      float_of_int result.Runner.dropped_faults
+      /. float_of_int result.Runner.messages
   in
   {
     result;

@@ -2,9 +2,11 @@
 
     The GCS literature (dynamic-graph gradient synchronization) asks how the
     algorithms behave when the communication graph is only intermittently
-    available. We model a down link as a message-loss probability of 1 over
-    a time window; beacon-based algorithms carry soft state, so they coast
-    on stale estimates through an outage and re-converge afterwards.
+    available. A thin front-end over {!Gcs_sim.Fault_plan}: each sampled
+    down-window becomes a [Link_partition]/[Link_heal] pair, so a down edge
+    drops sends *and* messages still in flight when the outage starts.
+    Beacon-based algorithms carry soft state, so they coast on stale
+    estimates through an outage and re-converge afterwards.
 
     Windows are sampled per edge as an alternating renewal process:
     exponentially distributed up and down durations tuned so that each link
@@ -24,7 +26,10 @@ type report = {
   result : Gcs_core.Runner.result;
   forced_local : float;  (** max local skew over the final half *)
   forced_global : float;
-  downtime_fraction : float;  (** realized fraction of dropped messages *)
+  downtime_fraction : float;
+      (** realized fraction of messages lost to the churn windows
+          specifically ([result.dropped_faults / result.messages]) — loss
+          from any other configured law is not conflated into it *)
 }
 
 val default_config :

@@ -3,6 +3,7 @@ module Spec = Gcs_core.Spec
 module Algorithm = Gcs_core.Algorithm
 module Runner = Gcs_core.Runner
 module Metrics = Gcs_core.Metrics
+module Fault_plan = Gcs_sim.Fault_plan
 
 type config = {
   spec : Spec.t;
@@ -36,11 +37,21 @@ let run cfg =
   List.iter
     (fun (v, t) -> crash_time.(v) <- Float.min crash_time.(v) t)
     cfg.crashes;
-  let loss ~edge:_ ~src ~dst:_ ~now = if now >= crash_time.(src) then 1. else 0. in
+  (* Thin front-end over the fault subsystem: one Node_crash per node at
+     its earliest crash time, never recovered. *)
+  let plan =
+    Fault_plan.of_events
+      (List.concat_map
+         (fun v ->
+           if Float.is_finite crash_time.(v) then
+             [ Fault_plan.Node_crash { at = crash_time.(v); node = v } ]
+           else [])
+         (List.init n Fun.id))
+  in
   let run_cfg =
     Runner.config ~spec:cfg.spec ~algo:cfg.algo
-      ~drift_of_node:cfg.drift_of_node ~loss:(Runner.Custom_loss loss)
-      ~horizon:cfg.horizon ~warmup:0. ~seed:cfg.seed cfg.graph
+      ~drift_of_node:cfg.drift_of_node ~fault_plan:plan ~horizon:cfg.horizon
+      ~warmup:0. ~seed:cfg.seed cfg.graph
   in
   let result = Runner.run run_cfg in
   let alive v = not (Float.is_finite crash_time.(v)) in

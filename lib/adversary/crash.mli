@@ -1,10 +1,11 @@
 (** Crash faults: nodes that fall silent.
 
-    A crashed node stops sending (its outgoing messages are dropped at the
-    source) but its clock keeps freewheeling — the usual fail-silent
-    model. What matters is the *live* part of the network: do the
-    surviving nodes keep their mutual skew bounded once the crashed node's
-    stale estimates age out of their triggers?
+    A thin front-end over {!Gcs_sim.Fault_plan}: each crash becomes a
+    [Node_crash] event, so the node genuinely crash-stops — no sends, no
+    deliveries, no timers — while its logical clock keeps freewheeling at
+    the hardware rate. What matters is the *live* part of the network: do
+    the surviving nodes keep their mutual skew bounded once the crashed
+    node's stale estimates age out of their triggers?
 
     The estimate staleness limit ([Spec.staleness_limit]) is the mechanism
     under test: without expiry, a live neighbor keeps extrapolating the

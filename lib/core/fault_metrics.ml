@@ -1,0 +1,103 @@
+module Graph = Gcs_graph.Graph
+module Fault_plan = Gcs_sim.Fault_plan
+
+type episode_report = {
+  label : string;
+  start : float;
+  stop : float option;
+  band : float;
+  worst_transient : float;
+  time_to_resync : float option;
+}
+
+type report = {
+  episodes : episode_report list;
+  dropped_faults : int;
+  duplicated : int;
+  corrupted : int;
+}
+
+let skew graph (ep : Fault_plan.episode) (s : Metrics.sample) =
+  Metrics.skew_on_edges graph ep.edges s.Metrics.values
+
+(* Steady-state band for one episode: 1.25x the worst pre-fault skew on the
+   affected edges over [start/2, start) — widening to all pre-fault samples
+   if that half-window is empty — and never below kappa. *)
+let episode_band ~kappa ~graph ~samples (ep : Fault_plan.episode) =
+  let before lo s = s.Metrics.time >= lo && s.Metrics.time < ep.start in
+  let pre =
+    let half = List.filter (before (ep.start /. 2.)) samples in
+    if half <> [] then half else List.filter (before neg_infinity) samples
+  in
+  let baseline =
+    List.fold_left (fun acc s -> Float.max acc (skew graph ep s)) 0. pre
+  in
+  Float.max kappa (1.25 *. baseline)
+
+let eval_episode ~kappa ~graph ~samples (ep : Fault_plan.episode) =
+  let band = episode_band ~kappa ~graph ~samples ep in
+  let last_time =
+    match List.rev samples with [] -> ep.start | s :: _ -> s.Metrics.time
+  in
+  let window_end = Option.value ep.stop ~default:last_time in
+  let worst_transient =
+    List.fold_left
+      (fun acc s ->
+        if s.Metrics.time >= ep.start && s.Metrics.time <= window_end then
+          Float.max acc (skew graph ep s)
+        else acc)
+      0. samples
+  in
+  let time_to_resync =
+    match ep.stop with
+    | None -> None
+    | Some heal ->
+        let post = List.filter (fun s -> s.Metrics.time >= heal) samples in
+        (* Longest suffix of post-heal samples entirely within the band:
+           its first sample is when the skew re-entered and stayed. *)
+        let tau =
+          List.fold_left
+            (fun acc s ->
+              if skew graph ep s <= band then
+                match acc with Some _ -> acc | None -> Some s.Metrics.time
+              else None)
+            None post
+        in
+        Option.map (fun t -> t -. heal) tau
+  in
+  { label = ep.label; start = ep.start; stop = ep.stop; band; worst_transient;
+    time_to_resync }
+
+let evaluate ~spec ~graph ~samples ~episodes ~dropped_faults ~duplicated
+    ~corrupted =
+  let samples = Array.to_list samples in
+  let kappa = spec.Spec.kappa in
+  {
+    episodes = List.map (eval_episode ~kappa ~graph ~samples) episodes;
+    dropped_faults;
+    duplicated;
+    corrupted;
+  }
+
+let worst_transient r =
+  List.fold_left (fun acc e -> Float.max acc e.worst_transient) 0. r.episodes
+
+let max_time_to_resync r =
+  let healed = List.filter (fun e -> e.stop <> None) r.episodes in
+  if healed = [] then None
+  else
+    List.fold_left
+      (fun acc e ->
+        match (acc, e.time_to_resync) with
+        | None, _ | _, None -> None
+        | Some a, Some t -> Some (Float.max a t))
+      (Some 0.) healed
+
+let episode_to_string e =
+  Printf.sprintf "%-14s [%g, %s) band %.4g transient %.4g resync %s" e.label
+    e.start
+    (match e.stop with Some s -> Printf.sprintf "%g" s | None -> "inf")
+    e.band e.worst_transient
+    (match e.time_to_resync with
+    | Some t -> Printf.sprintf "%.4g" t
+    | None -> "never")

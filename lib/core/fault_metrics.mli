@@ -1,0 +1,58 @@
+(** Recovery observability for faulted runs.
+
+    Evaluates a run's samples against the fault episodes extracted from its
+    {!Gcs_sim.Fault_plan}: for each episode, the worst transient skew on the
+    affected edges during the fault window, and the *time-to-resync* — how
+    long after the heal/recover the skew on those edges takes to re-enter
+    the steady-state band and stay there for the rest of the run.
+
+    The band is derived per episode from the run itself: the maximum skew on
+    the affected edges over the pre-fault half-window [[start/2, start)]
+    (falling back to all pre-fault samples, then to [kappa] alone), scaled
+    by a 25% tolerance, and never below the spec's [kappa]. Measuring
+    against the run's own steady state makes the verdict meaningful for any
+    algorithm, not just ones that achieve the paper's bound. *)
+
+type episode_report = {
+  label : string;  (** from {!Gcs_sim.Fault_plan.episode} *)
+  start : float;
+  stop : float option;  (** heal/recover time; [None] if never healed *)
+  band : float;  (** steady-state skew band used for this episode *)
+  worst_transient : float;
+      (** max skew on affected edges over [[start, stop]] (to run end if
+          never healed) *)
+  time_to_resync : float option;
+      (** first sample time [tau >= stop] with skew on affected edges
+          [<= band] from [tau] through the end of the run, minus [stop];
+          [None] if the run never (or never durably) re-entered the band,
+          or the fault never healed *)
+}
+
+type report = {
+  episodes : episode_report list;
+  dropped_faults : int;  (** messages lost to partitions/crashes *)
+  duplicated : int;
+  corrupted : int;
+}
+
+val evaluate :
+  spec:Spec.t ->
+  graph:Gcs_graph.Graph.t ->
+  samples:Metrics.sample array ->
+  episodes:Gcs_sim.Fault_plan.episode list ->
+  dropped_faults:int ->
+  duplicated:int ->
+  corrupted:int ->
+  report
+
+val worst_transient : report -> float
+(** Max over episodes ([0.] if none). *)
+
+val max_time_to_resync : report -> float option
+(** Slowest recovery over the healed episodes: [None] if any healed episode
+    failed to resync (or there are no healed episodes), otherwise the
+    largest time-to-resync. *)
+
+val episode_to_string : episode_report -> string
+(** One human-readable line, e.g.
+    ["partition [40, 80) band 0.31 transient 2.74 resync 12.0"]. *)

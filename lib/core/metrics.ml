@@ -18,6 +18,14 @@ let local_skew_edges g values =
     (fun (u, v) -> Float.abs (values.(u) -. values.(v)))
     (Graph.edges g)
 
+let skew_on_edges g edge_ids values =
+  let ends = Graph.edges g in
+  List.fold_left
+    (fun acc e ->
+      let u, v = ends.(e) in
+      Float.max acc (Float.abs (values.(u) -. values.(v))))
+    0. edge_ids
+
 let real_time_skew ~time values =
   Array.fold_left (fun acc v -> Float.max acc (Float.abs (v -. time))) 0. values
 

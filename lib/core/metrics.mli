@@ -15,6 +15,10 @@ val local_skew : Gcs_graph.Graph.t -> float array -> float
 val local_skew_edges : Gcs_graph.Graph.t -> float array -> float array
 (** Per-edge |L_v - L_w|, indexed by edge id. *)
 
+val skew_on_edges : Gcs_graph.Graph.t -> int list -> float array -> float
+(** Max |L_v - L_w| over the given edge ids ([0.] for an empty list); the
+    restriction of local skew used by fault-recovery metrics. *)
+
 val real_time_skew : time:float -> float array -> float
 (** max_v |L_v - t|: offset to true time (meaningful only for experiments
     that compare against real time; internal synchronization cannot bound

@@ -10,6 +10,7 @@ type merged = {
   events : int;
   messages : int;
   dropped : int;
+  dropped_faults : int;
   jumps : Logical_clock.jump_stats;
 }
 
@@ -30,7 +31,8 @@ let merge (results : Runner.result array) =
   Array.stable_sort
     (fun (_, a) (_, b) -> compare a.Metrics.time b.Metrics.time)
     samples;
-  let events = ref 0 and messages = ref 0 and dropped = ref 0 in
+  let events = ref 0 and messages = ref 0 in
+  let dropped = ref 0 and dropped_faults = ref 0 in
   let jumps =
     ref { Logical_clock.count = 0; total_magnitude = 0.; max_magnitude = 0. }
   in
@@ -39,6 +41,7 @@ let merge (results : Runner.result array) =
       events := !events + r.Runner.events;
       messages := !messages + r.Runner.messages;
       dropped := !dropped + r.Runner.dropped;
+      dropped_faults := !dropped_faults + r.Runner.dropped_faults;
       let j = r.Runner.jumps in
       jumps :=
         {
@@ -57,5 +60,6 @@ let merge (results : Runner.result array) =
     events = !events;
     messages = !messages;
     dropped = !dropped;
+    dropped_faults = !dropped_faults;
     jumps = !jumps;
   }

@@ -32,6 +32,7 @@ type merged = {
   events : int;  (** total engine events across the batch *)
   messages : int;  (** total messages sent *)
   dropped : int;  (** total messages lost to loss laws *)
+  dropped_faults : int;  (** total messages lost to partitions/crashes *)
   jumps : Gcs_clock.Logical_clock.jump_stats;
       (** clock discontinuities aggregated across all runs *)
 }

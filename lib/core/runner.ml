@@ -1,5 +1,6 @@
 module Engine = Gcs_sim.Engine
 module Delay_model = Gcs_sim.Delay_model
+module Fault_plan = Gcs_sim.Fault_plan
 module Graph = Gcs_graph.Graph
 module Drift = Gcs_clock.Drift
 module Hardware_clock = Gcs_clock.Hardware_clock
@@ -31,13 +32,14 @@ type config = {
   seed : int;
   initial_value_of_node : int -> float;
   override : Algorithm.t option;
+  fault_plan : Fault_plan.t option;
 }
 
 let config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
     ?(drift_of_node = fun _ -> Drift.Random_constant)
     ?(delay_kind = Uniform_delays) ?(loss = No_loss) ?(horizon = 200.)
     ?(sample_period = 1.) ?warmup ?(seed = 42)
-    ?(initial_value_of_node = fun _ -> 0.) ?override graph =
+    ?(initial_value_of_node = fun _ -> 0.) ?override ?fault_plan graph =
   let warmup = match warmup with Some w -> w | None -> horizon /. 4. in
   if horizon <= 0. then invalid_arg "Runner.config: horizon must be > 0";
   if sample_period <= 0. then
@@ -59,6 +61,7 @@ let config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
     seed;
     initial_value_of_node;
     override;
+    fault_plan;
   }
 
 type live = {
@@ -77,7 +80,9 @@ type result = {
   events : int;
   messages : int;
   dropped : int;
+  dropped_faults : int;
   jumps : Logical_clock.jump_stats;
+  fault_report : Fault_metrics.report option;
 }
 
 let snapshot_values live =
@@ -86,6 +91,100 @@ let snapshot_values live =
 
 let snapshot live =
   { Metrics.time = Engine.now live.engine; values = snapshot_values live }
+
+(* Translate a fault plan into engine actions: control events for the
+   scheduled faults and a tamper hook for the message-level windows. All
+   tampering randomness comes from the engine's dedicated per-edge fault
+   streams (the [rng] each hook receives), so the node and link streams —
+   and with them any fault-free portion of the run — are untouched. *)
+let install_faults engine logical (cfg : config) plan =
+  (match Fault_plan.validate plan cfg.graph with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner: invalid fault plan: " ^ msg));
+  let g = cfg.graph in
+  let sched at f = Engine.schedule_control engine ~at f in
+  let m = Graph.m g in
+  let dup_w = Array.make m [] in
+  let reorder_w = Array.make m [] in
+  let corrupt_w = Array.make m [] in
+  let add_window arr edges w =
+    List.iter (fun e -> arr.(e) <- arr.(e) @ [ w ]) (Fault_plan.resolve_edges g edges)
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Fault_plan.Link_partition { at; edges } ->
+          let ids = Fault_plan.resolve_edges g edges in
+          sched at (fun () ->
+              List.iter (fun e -> Engine.set_edge_up engine ~edge:e ~up:false) ids)
+      | Fault_plan.Link_heal { at; edges } ->
+          let ids = Fault_plan.resolve_edges g edges in
+          sched at (fun () ->
+              List.iter (fun e -> Engine.set_edge_up engine ~edge:e ~up:true) ids)
+      | Fault_plan.Node_crash { at; node } ->
+          sched at (fun () -> Engine.crash_node engine ~node)
+      | Fault_plan.Node_recover { at; node; wipe } ->
+          sched at (fun () -> Engine.recover_node engine ~node ~wipe)
+      | Fault_plan.Clock_jump { at; node; delta } ->
+          sched at (fun () ->
+              Logical_clock.advance logical.(node) ~now:(Engine.now engine)
+                delta)
+      | Fault_plan.Clock_rate_fault { at; node; rate } ->
+          sched at (fun () -> Engine.set_node_rate engine ~node ~rate)
+      | Fault_plan.Msg_duplicate { from_; until; edges; prob } ->
+          add_window dup_w edges (from_, until, prob)
+      | Fault_plan.Msg_reorder { from_; until; edges; prob; extra } ->
+          add_window reorder_w edges (from_, until, (prob, extra))
+      | Fault_plan.Msg_corrupt { from_; until; edges; prob; magnitude } ->
+          add_window corrupt_w edges (from_, until, (prob, magnitude)))
+    (Fault_plan.events plan);
+  let has_windows a = Array.exists (fun l -> l <> []) a in
+  if has_windows dup_w || has_windows reorder_w || has_windows corrupt_w then
+    let active windows now =
+      List.find_map
+        (fun (from_, until, x) ->
+          if from_ <= now && now < until then Some x else None)
+        windows
+    in
+    Engine.set_tamper engine
+      {
+        Engine.extra_delay =
+          (fun ~edge ~now ~rng ->
+            match active reorder_w.(edge) now with
+            | None -> 0.
+            | Some (prob, extra) ->
+                if Prng.float rng 1.0 < prob then
+                  Prng.uniform rng ~lo:0. ~hi:extra
+                else 0.);
+        corrupt =
+          (fun ~edge ~now ~rng msg ->
+            match active corrupt_w.(edge) now with
+            | None -> None
+            | Some (prob, magnitude) ->
+                if Prng.float rng 1.0 >= prob then None
+                else
+                  (* Draw unconditionally so the stream advances the same
+                     way whatever the message variant. *)
+                  let delta =
+                    Prng.uniform rng ~lo:(-.magnitude) ~hi:magnitude
+                  in
+                  (match msg with
+                  | Message.Beacon { value } ->
+                      Some (Message.Beacon { value = value +. delta })
+                  | Message.Probe_reply { seq; h_send; remote_value } ->
+                      Some
+                        (Message.Probe_reply
+                           { seq; h_send; remote_value = remote_value +. delta })
+                  | Message.Flood { round; payload } ->
+                      Some (Message.Flood { round; payload = payload +. delta })
+                  | Message.Probe _ | Message.Report _ | Message.Reset _ ->
+                      None));
+        duplicate =
+          (fun ~edge ~now ~rng ->
+            match active dup_w.(edge) now with
+            | None -> false
+            | Some prob -> Prng.float rng 1.0 < prob);
+      }
 
 let prepare (cfg : config) =
   (match Spec.validate cfg.spec with
@@ -147,6 +246,9 @@ let prepare (cfg : config) =
         if next <= cfg.horizon +. 1e-9 then probe next)
   in
   probe t0;
+  (match cfg.fault_plan with
+  | None -> ()
+  | Some plan -> install_faults engine logical cfg plan);
   live
 
 let aggregate_jumps logical =
@@ -169,6 +271,17 @@ let complete live =
   Engine.run_until live.engine cfg.horizon;
   let samples = Array.of_list (List.rev !(live.samples_rev)) in
   let summary = Metrics.summarize cfg.graph samples ~after:cfg.warmup in
+  let fault_report =
+    match cfg.fault_plan with
+    | None -> None
+    | Some plan ->
+        Some
+          (Fault_metrics.evaluate ~spec:cfg.spec ~graph:cfg.graph ~samples
+             ~episodes:(Fault_plan.episodes plan cfg.graph)
+             ~dropped_faults:(Engine.messages_dropped_faults live.engine)
+             ~duplicated:(Engine.messages_duplicated live.engine)
+             ~corrupted:(Engine.messages_corrupted live.engine))
+  in
   {
     graph = cfg.graph;
     spec = cfg.spec;
@@ -177,7 +290,9 @@ let complete live =
     events = Engine.events_processed live.engine;
     messages = Engine.messages_sent live.engine;
     dropped = Engine.messages_dropped live.engine;
+    dropped_faults = Engine.messages_dropped_faults live.engine;
     jumps = aggregate_jumps live.logical;
+    fault_report;
   }
 
 let run cfg = complete (prepare cfg)

@@ -43,6 +43,10 @@ type config = {
   override : Algorithm.t option;
       (** when set, run this implementation instead of the one [algo] names
           (used for wrapped algorithms, e.g. {!Stabilize.wrap}) *)
+  fault_plan : Gcs_sim.Fault_plan.t option;
+      (** scheduled fault injection (partitions, crash-recover, message
+          tampering, clock faults); installed on the engine by [prepare]
+          and evaluated into [result.fault_report] by [complete] *)
 }
 
 val config :
@@ -57,11 +61,12 @@ val config :
   ?seed:int ->
   ?initial_value_of_node:(int -> float) ->
   ?override:Algorithm.t ->
+  ?fault_plan:Gcs_sim.Fault_plan.t ->
   Gcs_graph.Graph.t ->
   config
 (** Defaults: default spec, [Gradient_sync], random-constant drift per node,
     uniform delays, horizon 200, sampling every 1, warm-up 1/4 of the
-    horizon, seed 42, all clocks starting at 0. *)
+    horizon, seed 42, all clocks starting at 0, no faults. *)
 
 type live = {
   cfg : config;
@@ -81,10 +86,16 @@ type result = {
   events : int;
   messages : int;
   dropped : int;  (** messages lost to the loss law *)
+  dropped_faults : int;
+      (** messages lost to partitions or crashed receivers (zero without a
+          fault plan) *)
   jumps : Gcs_clock.Logical_clock.jump_stats;
       (** aggregate clock discontinuities across all nodes; non-zero only
           for jump-based algorithms, which thereby step outside the
           model's bounded-rate output requirement *)
+  fault_report : Fault_metrics.report option;
+      (** recovery metrics per fault episode; [Some] iff a fault plan was
+          configured *)
 }
 
 val prepare : config -> live

@@ -79,5 +79,7 @@ let controlled b ~default chooser =
         match !chooser with
         | Some choose -> choose ~edge ~src ~dst ~now
         | None -> default.draw_fn ~edge ~src ~dst ~now ~rng);
-    drop_fn = no_drop;
+    (* Keep the base model's loss law so a controlled adversary can overlay
+       a lossy model rather than silently disabling its drops. *)
+    drop_fn = default.drop_fn;
   }

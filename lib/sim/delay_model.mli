@@ -43,7 +43,9 @@ type chooser = edge:int -> src:int -> dst:int -> now:float -> float
 
 val controlled : bounds -> default:t -> chooser option ref -> t
 (** Delegates to the chooser when one is installed, otherwise to [default].
-    The adversary installs/uninstalls choosers as phases change. *)
+    The adversary installs/uninstalls choosers as phases change. The
+    [default]'s loss law is kept, so a controlled adversary composes with a
+    lossy base model. *)
 
 val drop_probability :
   t -> edge:int -> src:int -> dst:int -> now:float -> float

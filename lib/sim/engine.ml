@@ -19,7 +19,7 @@ type 'msg handlers = {
 }
 
 type 'msg event =
-  | Deliver of { dst : int; port : int; msg : 'msg }
+  | Deliver of { dst : int; port : int; edge : int; msg : 'msg }
   | Timer_fire of { node : int; timer_id : int }
   | Control of (unit -> unit)
 
@@ -31,6 +31,19 @@ type observation =
   | Obs_deliver of { dst : int; port : int }
   | Obs_timer of { node : int; tag : int }
   | Obs_rate_change of { node : int; rate : float }
+  | Obs_node_down of { node : int }
+  | Obs_node_up of { node : int; wipe : bool }
+  | Obs_edge_down of { edge : int }
+  | Obs_edge_up of { edge : int }
+  | Obs_fault_drop of { src : int; dst : int; edge : int }
+  | Obs_duplicate of { src : int; dst : int; edge : int }
+  | Obs_corrupt of { src : int; dst : int; edge : int }
+
+type 'msg tamper = {
+  extra_delay : edge:int -> now:float -> rng:Prng.t -> float;
+  corrupt : edge:int -> now:float -> rng:Prng.t -> 'msg -> 'msg option;
+  duplicate : edge:int -> now:float -> rng:Prng.t -> bool;
+}
 
 type 'msg t = {
   graph : Graph.t;
@@ -38,12 +51,21 @@ type 'msg t = {
   delays : Delay_model.t;
   heap : 'msg event Heap.t;
   handlers : 'msg handlers array;
+  make_node : int -> 'msg handlers; (* kept for state-wiping recovery *)
   mutable apis : 'msg api array;
   (* Pending timers per node, keyed by a global timer id. Rescheduling a
      node's timers after a rate change re-keys them, which implicitly
      invalidates the heap entries carrying the old ids. *)
   timers : (int, pending_timer) Hashtbl.t array;
   link_rngs : Prng.t array; (* one per edge, for delay draws *)
+  (* Dedicated per-edge streams for fault randomness (tampering draws,
+     duplicate-copy delays). Split from the engine rng *after* node and link
+     streams, so a run without faults is bit-identical to one on an engine
+     built before faults existed. *)
+  fault_rngs : Prng.t array;
+  node_up : bool array;
+  edge_up : bool array;
+  mutable tamper : 'msg tamper option;
   mutable now : float;
   mutable next_timer_id : int;
   mutable started : bool;
@@ -51,6 +73,9 @@ type 'msg t = {
   mutable messages_sent : int;
   mutable messages_delivered : int;
   mutable messages_dropped : int;
+  mutable messages_dropped_faults : int;
+  mutable messages_duplicated : int;
+  mutable messages_corrupted : int;
   mutable observer : (float -> observation -> unit) option;
 }
 
@@ -78,27 +103,78 @@ let make_api t v =
         let edge = Graph.edge_at_port g v port in
         let dst = Graph.neighbor_at_port g v port in
         let dst_port = Graph.port_of_neighbor g dst v in
-        t.messages_sent <- t.messages_sent + 1;
-        let drop_p =
-          Delay_model.drop_probability t.delays ~edge ~src:v ~dst ~now:t.now
-        in
-        let dropped =
-          drop_p > 0. && Prng.float t.link_rngs.(edge) 1.0 < drop_p
-        in
-        if dropped then begin
-          t.messages_dropped <- t.messages_dropped + 1;
-          observe t (Obs_drop { src = v; dst; edge })
-        end
+        (* A crashed node's handlers never run, so this guard is defensive:
+           nothing a down node "sends" may enter the network. *)
+        if not t.node_up.(v) then ()
         else begin
-          let delay =
-            Delay_model.draw t.delays ~edge ~src:v ~dst ~now:t.now
-              ~rng:t.link_rngs.(edge)
-          in
-          let b = Delay_model.edge_bounds t.delays edge in
-          assert (delay >= b.Delay_model.d_min && delay <= b.Delay_model.d_max);
-          observe t (Obs_send { src = v; dst; edge; delay });
-          Heap.push t.heap ~prio:(t.now +. delay)
-            (Deliver { dst; port = dst_port; msg })
+          t.messages_sent <- t.messages_sent + 1;
+          if not t.edge_up.(edge) then begin
+            t.messages_dropped_faults <- t.messages_dropped_faults + 1;
+            observe t (Obs_fault_drop { src = v; dst; edge })
+          end
+          else begin
+            let drop_p =
+              Delay_model.drop_probability t.delays ~edge ~src:v ~dst
+                ~now:t.now
+            in
+            let dropped =
+              drop_p > 0. && Prng.float t.link_rngs.(edge) 1.0 < drop_p
+            in
+            if dropped then begin
+              t.messages_dropped <- t.messages_dropped + 1;
+              observe t (Obs_drop { src = v; dst; edge })
+            end
+            else begin
+              let delay =
+                Delay_model.draw t.delays ~edge ~src:v ~dst ~now:t.now
+                  ~rng:t.link_rngs.(edge)
+              in
+              let b = Delay_model.edge_bounds t.delays edge in
+              if
+                delay < b.Delay_model.d_min || delay > b.Delay_model.d_max
+              then
+                invalid_arg
+                  (Printf.sprintf
+                     "Engine.send: delay %g outside bounds [%g, %g] on edge \
+                      %d (%d -> %d)"
+                     delay b.Delay_model.d_min b.Delay_model.d_max edge v dst);
+              (* Tampering applies after the bounds check: a reorder fault
+                 adds extra delay *by design* outside the paper's
+                 uncertainty model. *)
+              let delay, msg =
+                match t.tamper with
+                | None -> (delay, msg)
+                | Some tm ->
+                    let rng = t.fault_rngs.(edge) in
+                    let extra = tm.extra_delay ~edge ~now:t.now ~rng in
+                    let msg =
+                      match tm.corrupt ~edge ~now:t.now ~rng msg with
+                      | None -> msg
+                      | Some msg' ->
+                          t.messages_corrupted <- t.messages_corrupted + 1;
+                          observe t (Obs_corrupt { src = v; dst; edge });
+                          msg'
+                    in
+                    (delay +. extra, msg)
+              in
+              observe t (Obs_send { src = v; dst; edge; delay });
+              Heap.push t.heap ~prio:(t.now +. delay)
+                (Deliver { dst; port = dst_port; edge; msg });
+              match t.tamper with
+              | Some tm
+                when tm.duplicate ~edge ~now:t.now
+                       ~rng:t.fault_rngs.(edge) ->
+                  t.messages_duplicated <- t.messages_duplicated + 1;
+                  observe t (Obs_duplicate { src = v; dst; edge });
+                  let dup_delay =
+                    Delay_model.draw t.delays ~edge ~src:v ~dst ~now:t.now
+                      ~rng:t.fault_rngs.(edge)
+                  in
+                  Heap.push t.heap ~prio:(t.now +. dup_delay)
+                    (Deliver { dst; port = dst_port; edge; msg })
+              | _ -> ()
+            end
+          end
         end);
     set_timer =
       (fun ~h ~tag ->
@@ -120,6 +196,8 @@ let create ~graph ~clocks ~delays ~rng ~make_node ~t0 =
     clocks;
   let node_rngs = Prng.split_n rng n in
   let link_rngs = Prng.split_n rng (Graph.m graph) in
+  (* Must come after node and link streams: see the [fault_rngs] comment. *)
+  let fault_rngs = Prng.split_n rng (Graph.m graph) in
   let t =
     {
       graph;
@@ -127,9 +205,14 @@ let create ~graph ~clocks ~delays ~rng ~make_node ~t0 =
       delays;
       heap = Heap.create ();
       handlers = Array.init n make_node;
+      make_node;
       apis = [||];
       timers = Array.init n (fun _ -> Hashtbl.create 8);
       link_rngs;
+      fault_rngs;
+      node_up = Array.make n true;
+      edge_up = Array.make (Graph.m graph) true;
+      tamper = None;
       now = t0;
       next_timer_id = 0;
       started = false;
@@ -137,6 +220,9 @@ let create ~graph ~clocks ~delays ~rng ~make_node ~t0 =
       messages_sent = 0;
       messages_delivered = 0;
       messages_dropped = 0;
+      messages_dropped_faults = 0;
+      messages_duplicated = 0;
+      messages_corrupted = 0;
       observer = None;
     }
   in
@@ -155,10 +241,20 @@ let start t =
 let dispatch t event =
   t.events_processed <- t.events_processed + 1;
   match event with
-  | Deliver { dst; port; msg } ->
-      t.messages_delivered <- t.messages_delivered + 1;
-      observe t (Obs_deliver { dst; port });
-      t.handlers.(dst).on_message t.apis.(dst) ~port msg
+  | Deliver { dst; port; edge; msg } ->
+      (* Messages in flight when a partition starts or the receiver crashes
+         are lost at delivery time. *)
+      if (not t.node_up.(dst)) || not t.edge_up.(edge) then begin
+        t.messages_dropped_faults <- t.messages_dropped_faults + 1;
+        observe t
+          (Obs_fault_drop
+             { src = Graph.neighbor_at_port t.graph dst port; dst; edge })
+      end
+      else begin
+        t.messages_delivered <- t.messages_delivered + 1;
+        observe t (Obs_deliver { dst; port });
+        t.handlers.(dst).on_message t.apis.(dst) ~port msg
+      end
   | Timer_fire { node; timer_id } -> (
       match Hashtbl.find_opt t.timers.(node) timer_id with
       | None -> () (* rescheduled or already fired under an old id *)
@@ -218,6 +314,33 @@ let set_node_rate t ~node ~rate =
       push_timer_event t ~node ~timer_id ~h_target:p.h_target)
     pending
 
+let crash_node t ~node =
+  if t.node_up.(node) then begin
+    t.node_up.(node) <- false;
+    (* Dropping the table entries turns every pending heap entry for this
+       node into a no-op, exactly like the re-keying in [set_node_rate]. *)
+    Hashtbl.reset t.timers.(node);
+    observe t (Obs_node_down { node })
+  end
+
+let recover_node t ~node ~wipe =
+  if not t.node_up.(node) then begin
+    t.node_up.(node) <- true;
+    observe t (Obs_node_up { node; wipe });
+    if wipe then t.handlers.(node) <- t.make_node node;
+    t.handlers.(node).on_init t.apis.(node)
+  end
+
+let set_edge_up t ~edge ~up =
+  if t.edge_up.(edge) <> up then begin
+    t.edge_up.(edge) <- up;
+    observe t (if up then Obs_edge_up { edge } else Obs_edge_down { edge })
+  end
+
+let node_is_up t node = t.node_up.(node)
+let edge_is_up t edge = t.edge_up.(edge)
+let set_tamper t tamper = t.tamper <- Some tamper
+let clear_tamper t = t.tamper <- None
 let set_observer t f = t.observer <- Some f
 let clear_observer t = t.observer <- None
 let hardware_clock t v = t.clocks.(v)
@@ -226,4 +349,7 @@ let events_processed t = t.events_processed
 let messages_sent t = t.messages_sent
 let messages_delivered t = t.messages_delivered
 let messages_dropped t = t.messages_dropped
+let messages_dropped_faults t = t.messages_dropped_faults
+let messages_duplicated t = t.messages_duplicated
+let messages_corrupted t = t.messages_corrupted
 let pending_events t = Heap.size t.heap

@@ -72,6 +72,14 @@ type observation =
   | Obs_deliver of { dst : int; port : int }
   | Obs_timer of { node : int; tag : int }
   | Obs_rate_change of { node : int; rate : float }
+  | Obs_node_down of { node : int }
+  | Obs_node_up of { node : int; wipe : bool }
+  | Obs_edge_down of { edge : int }
+  | Obs_edge_up of { edge : int }
+  | Obs_fault_drop of { src : int; dst : int; edge : int }
+      (** lost to a partition or a crashed endpoint, not to the loss law *)
+  | Obs_duplicate of { src : int; dst : int; edge : int }
+  | Obs_corrupt of { src : int; dst : int; edge : int }
 
 val set_observer : 'msg t -> (float -> observation -> unit) -> unit
 (** Install the (single) observer; it receives the current simulation time
@@ -90,6 +98,45 @@ val set_node_rate : 'msg t -> node:int -> rate:float -> unit
     caller (drift layer or adversary) is responsible for respecting the
     drift band. *)
 
+val crash_node : _ t -> node:int -> unit
+(** Crash-stop [node] as of [now]: its pending timers are cancelled, its
+    handlers never run, and anything addressed to it is counted as a fault
+    drop until recovery. Idempotent while down. The node's hardware clock
+    keeps running — crash-stop kills the process, not the oscillator. *)
+
+val recover_node : 'msg t -> node:int -> wipe:bool -> unit
+(** Bring a crashed node back: with [wipe:true] its handlers are rebuilt
+    from the [make_node] factory (all algorithm state lost), otherwise the
+    old state is retained; either way [on_init] runs again so the algorithm
+    restarts its protocol machinery. No-op if the node is up. *)
+
+val set_edge_up : _ t -> edge:int -> up:bool -> unit
+(** Partition ([up:false]) or heal ([up:true]) one edge. While down, sends
+    on the edge and deliveries of messages already in flight are counted as
+    fault drops. *)
+
+val node_is_up : _ t -> int -> bool
+val edge_is_up : _ t -> int -> bool
+
+(** Delivery-side mutation hooks, consulted on every non-dropped send. All
+    randomness must come from the [rng] handed in — it is the edge's
+    dedicated fault stream, so tampering never perturbs delay or node
+    streams and runs stay bit-identical under sharding. *)
+type 'msg tamper = {
+  extra_delay : edge:int -> now:float -> rng:Gcs_util.Prng.t -> float;
+      (** added to the drawn delay, after the bounds check (a reorder fault
+          deliberately exceeds the model's delay bounds) *)
+  corrupt :
+    edge:int -> now:float -> rng:Gcs_util.Prng.t -> 'msg -> 'msg option;
+      (** [Some msg'] replaces the payload and counts as a corruption *)
+  duplicate : edge:int -> now:float -> rng:Gcs_util.Prng.t -> bool;
+      (** [true] enqueues a second copy with an independent delay drawn
+          from the fault stream *)
+}
+
+val set_tamper : 'msg t -> 'msg tamper -> unit
+val clear_tamper : _ t -> unit
+
 val hardware_clock : _ t -> int -> Gcs_clock.Hardware_clock.t
 (** Observer access to a node's hardware clock. *)
 
@@ -101,5 +148,12 @@ val messages_delivered : _ t -> int
 
 val messages_dropped : _ t -> int
 (** Messages lost to the delay model's loss law (never delivered). *)
+
+val messages_dropped_faults : _ t -> int
+(** Messages lost to partitions or crashed receivers — counted separately
+    from the loss law so fault attribution stays exact. *)
+
+val messages_duplicated : _ t -> int
+val messages_corrupted : _ t -> int
 
 val pending_events : _ t -> int

@@ -1,0 +1,118 @@
+(** Declarative, composable fault plans.
+
+    A fault plan is a time-sorted schedule of fault events injected into a
+    run from outside the algorithm: link partitions and heals, crash-stop
+    node failures with (optionally state-wiping) recovery, message-level
+    tampering windows (duplication, bounded reordering delay, beacon-value
+    corruption — a weak Byzantine mode), and clock faults (value jumps and
+    out-of-band rate changes). Plans are plain data: they carry no
+    randomness of their own — probabilistic faults (duplication, corruption)
+    draw from dedicated per-edge PRNG streams inside the engine, so a run
+    under a plan is reproducible bit-for-bit from its seed and identical
+    under {!Gcs_core.Parallel_run} sharding.
+
+    Plans serialize to and from a compact textual spec for the CLI
+    ([gcs-cli faults --plan ...], [gcs-cli sweep --fault-plan ...]):
+
+    {v
+    PLAN  ::= EVENT [';' EVENT ...]
+    EVENT ::= partition@T:EDGES          edges go down at time T
+            | heal@T:EDGES               edges come back up
+            | crash@T:node=V             crash-stop (no timers, no delivery)
+            | recover@T:node=V[:wipe]    rejoin; ':wipe' rebuilds node state
+            | dup@T1..T2:p=P[:EDGES]     duplicate msgs with prob P
+            | reorder@T1..T2:p=P:extra=X[:EDGES]
+                                         prob-P extra delay in [0, X]
+            | corrupt@T1..T2:p=P:mag=M[:EDGES]
+                                         prob-P value perturbation in [-M, M]
+            | jump@T:node=V:delta=X      logical clock jumps by X
+            | rate@T:node=V:rate=R       hardware clock rate forced to R
+    EDGES ::= all
+            | edges=U-V[,U-V...]         explicit endpoint pairs
+            | cut=V[,V...]               every edge between the set and
+                                         its complement (a graph cut)
+    v} *)
+
+(** Which edges an event applies to; resolved against the run's graph at
+    install time. *)
+type edge_spec =
+  | All_edges
+  | Edges of (int * int) list  (** explicit endpoint pairs *)
+  | Cut of int list
+      (** all edges with exactly one endpoint in the given node set *)
+
+type event =
+  | Link_partition of { at : float; edges : edge_spec }
+  | Link_heal of { at : float; edges : edge_spec }
+  | Node_crash of { at : float; node : int }
+  | Node_recover of { at : float; node : int; wipe : bool }
+  | Msg_duplicate of {
+      from_ : float;
+      until : float;
+      edges : edge_spec;
+      prob : float;
+    }
+  | Msg_reorder of {
+      from_ : float;
+      until : float;
+      edges : edge_spec;
+      prob : float;
+      extra : float;  (** extra delay drawn uniformly from [0, extra] *)
+    }
+  | Msg_corrupt of {
+      from_ : float;
+      until : float;
+      edges : edge_spec;
+      prob : float;
+      magnitude : float;  (** perturbation drawn from [-magnitude, magnitude] *)
+    }
+  | Clock_jump of { at : float; node : int; delta : float }
+  | Clock_rate_fault of { at : float; node : int; rate : float }
+
+type t
+(** A plan: events sorted by start time (stable on ties). *)
+
+val empty : t
+val events : t -> event list
+
+val of_events : event list -> t
+(** Sorts by start time, keeping the given order on ties. *)
+
+val compose : t -> t -> t
+(** Merge two plans into one schedule; on equal times, events of the first
+    plan come first. *)
+
+val event_start : event -> float
+
+val to_string : t -> string
+(** Render in the textual spec syntax; [of_string (to_string p)] has the
+    same events as [p]. *)
+
+val of_string : string -> (t, string) result
+(** Parse the textual spec syntax (see module doc). *)
+
+val validate : t -> Gcs_graph.Graph.t -> (unit, string) result
+(** Check every event against a graph: node ids in range, edge pairs
+    actually adjacent, times non-negative and ranges ordered, probabilities
+    in [0, 1], non-negative delays/magnitudes, positive rates. *)
+
+val resolve_edges : Gcs_graph.Graph.t -> edge_spec -> int list
+(** Edge ids an [edge_spec] names, sorted, without duplicates. Raises
+    [Invalid_argument] on a pair that is not an edge (use {!validate}
+    first). *)
+
+(** One contiguous fault exposure, extracted from a plan for recovery
+    metrics: the real-time window during which a set of edges was affected
+    by one fault. *)
+type episode = {
+  label : string;  (** e.g. ["partition"], ["crash:5 (wipe)"], ["corrupt"] *)
+  start : float;
+  stop : float option;  (** heal/recover/window-end; [None] if never *)
+  edges : int list;  (** affected edge ids (incident edges for node faults) *)
+}
+
+val episodes : t -> Gcs_graph.Graph.t -> episode list
+(** Extract fault episodes, sorted by start time: maximal down-intervals per
+    partitioned edge group, crash-to-recover intervals per node, tampering
+    windows, and instantaneous clock faults (for a rate fault the episode
+    closes at the next rate event on the same node, if any). *)

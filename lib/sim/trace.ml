@@ -10,6 +10,7 @@ type t = {
   mutable delivers : int;
   mutable timers : int;
   mutable rate_changes : int;
+  mutable fault_events : int;
 }
 
 let create ?(capacity = 4096) () =
@@ -24,6 +25,7 @@ let create ?(capacity = 4096) () =
     delivers = 0;
     timers = 0;
     rate_changes = 0;
+    fault_events = 0;
   }
 
 let record t time obs =
@@ -32,7 +34,11 @@ let record t time obs =
   | Engine.Obs_drop _ -> t.drops <- t.drops + 1
   | Engine.Obs_deliver _ -> t.delivers <- t.delivers + 1
   | Engine.Obs_timer _ -> t.timers <- t.timers + 1
-  | Engine.Obs_rate_change _ -> t.rate_changes <- t.rate_changes + 1);
+  | Engine.Obs_rate_change _ -> t.rate_changes <- t.rate_changes + 1
+  | Engine.Obs_node_down _ | Engine.Obs_node_up _ | Engine.Obs_edge_down _
+  | Engine.Obs_edge_up _ | Engine.Obs_fault_drop _ | Engine.Obs_duplicate _
+  | Engine.Obs_corrupt _ ->
+      t.fault_events <- t.fault_events + 1);
   t.ring.(t.next mod t.capacity) <- Some { time; obs };
   t.next <- t.next + 1;
   t.total <- t.total + 1
@@ -53,6 +59,7 @@ let count_drops t = t.drops
 let count_delivers t = t.delivers
 let count_timers t = t.timers
 let count_rate_changes t = t.rate_changes
+let count_fault_events t = t.fault_events
 
 let clear t =
   Array.fill t.ring 0 t.capacity None;
@@ -62,7 +69,8 @@ let clear t =
   t.drops <- 0;
   t.delivers <- 0;
   t.timers <- 0;
-  t.rate_changes <- 0
+  t.rate_changes <- 0;
+  t.fault_events <- 0
 
 let entry_to_string { time; obs } =
   match obs with
@@ -77,6 +85,21 @@ let entry_to_string { time; obs } =
       Printf.sprintf "%10.4f  timer    @ %d (tag %d)" time node tag
   | Engine.Obs_rate_change { node; rate } ->
       Printf.sprintf "%10.4f  rate     @ %d -> %.6f" time node rate
+  | Engine.Obs_node_down { node } ->
+      Printf.sprintf "%10.4f  down     @ %d" time node
+  | Engine.Obs_node_up { node; wipe } ->
+      Printf.sprintf "%10.4f  up       @ %d%s" time node
+        (if wipe then " (wiped)" else "")
+  | Engine.Obs_edge_down { edge } ->
+      Printf.sprintf "%10.4f  cut      edge %d" time edge
+  | Engine.Obs_edge_up { edge } ->
+      Printf.sprintf "%10.4f  healed   edge %d" time edge
+  | Engine.Obs_fault_drop { src; dst; edge } ->
+      Printf.sprintf "%10.4f  f-drop   %d -> %d (edge %d)" time src dst edge
+  | Engine.Obs_duplicate { src; dst; edge } ->
+      Printf.sprintf "%10.4f  dup      %d -> %d (edge %d)" time src dst edge
+  | Engine.Obs_corrupt { src; dst; edge } ->
+      Printf.sprintf "%10.4f  corrupt  %d -> %d (edge %d)" time src dst edge
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%s@." (entry_to_string e)) (entries t)

@@ -32,7 +32,10 @@ val count_drops : t -> int
 val count_delivers : t -> int
 val count_timers : t -> int
 val count_rate_changes : t -> int
-(** Running totals per kind (not limited by capacity). *)
+
+val count_fault_events : t -> int
+(** Node down/up, edge cut/heal, fault drops, duplications, corruptions.
+    Running totals per kind (not limited by capacity). *)
 
 val clear : t -> unit
 

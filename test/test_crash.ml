@@ -57,15 +57,18 @@ let test_phantom_hurts_without_expiry () =
     (without.Crash.live_local > with_expiry.Crash.live_local +. 0.2)
 
 let test_crashed_node_sends_nothing_after () =
-  (* Messages from the crashed node after its crash time are all dropped:
-     total drops must be positive and grow with earlier crash times. *)
+  (* A crash-stopped node sends nothing, and everything addressed to it is
+     counted as a fault drop: fault drops must be positive and grow with
+     earlier crash times. The loss-law counter stays untouched. *)
   let late = run [ (12, 900.) ] in
   let early = run [ (12, 100.) ] in
-  Alcotest.(check bool) "drops recorded" true
-    (late.Crash.result.Gcs_core.Runner.dropped > 0);
+  Alcotest.(check bool) "fault drops recorded" true
+    (late.Crash.result.Gcs_core.Runner.dropped_faults > 0);
+  Alcotest.(check int) "no loss-law drops" 0
+    late.Crash.result.Gcs_core.Runner.dropped;
   Alcotest.(check bool) "earlier crash, more drops" true
-    (early.Crash.result.Gcs_core.Runner.dropped
-    > late.Crash.result.Gcs_core.Runner.dropped)
+    (early.Crash.result.Gcs_core.Runner.dropped_faults
+    > late.Crash.result.Gcs_core.Runner.dropped_faults)
 
 let suite =
   [

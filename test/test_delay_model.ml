@@ -71,6 +71,19 @@ let test_base_models_never_drop () =
         (Dm.drop_probability m ~edge:0 ~src:0 ~dst:1 ~now:5.))
     [ Dm.fixed b; Dm.midpoint b; Dm.uniform b ]
 
+let test_controlled_keeps_default_loss () =
+  (* A controlled model delegates delays but must keep the default's loss
+     law, so an adversary composes with a lossy base model instead of
+     silently disabling it. *)
+  let lossy =
+    Dm.with_loss (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 0.7) (Dm.uniform b)
+  in
+  let chooser = ref (Some (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 1.2)) in
+  let m = Dm.controlled b ~default:lossy chooser in
+  Alcotest.(check (float 1e-12)) "loss law survives" 0.7
+    (Dm.drop_probability m ~edge:0 ~src:0 ~dst:1 ~now:0.);
+  Alcotest.(check (float 1e-12)) "chooser still wins on delay" 1.2 (draw m)
+
 let test_controlled_clamps_rogue_chooser () =
   let chooser = ref (Some (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 99.)) in
   let m = Dm.controlled b ~default:(Dm.midpoint b) chooser in
@@ -87,6 +100,8 @@ let suite =
     Alcotest.test_case "per edge" `Quick test_per_edge;
     Alcotest.test_case "controlled" `Quick test_controlled_defaults_and_overrides;
     Alcotest.test_case "controlled clamps" `Quick test_controlled_clamps_rogue_chooser;
+    Alcotest.test_case "controlled keeps default loss" `Quick
+      test_controlled_keeps_default_loss;
     Alcotest.test_case "loss law clamped" `Quick test_loss_law_clamped;
     Alcotest.test_case "base models never drop" `Quick test_base_models_never_drop;
     QCheck_alcotest.to_alcotest prop_uniform_in_bounds;

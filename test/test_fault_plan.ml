@@ -1,0 +1,255 @@
+module Fault_plan = Gcs_sim.Fault_plan
+module Topology = Gcs_graph.Topology
+module Graph = Gcs_graph.Graph
+
+let ring8 = Topology.ring 8
+
+let all_kinds_plan =
+  Fault_plan.of_events
+    [
+      Fault_plan.Link_partition
+        { at = 10.; edges = Fault_plan.Edges [ (0, 1); (2, 3) ] };
+      Fault_plan.Link_heal { at = 20.; edges = Fault_plan.Edges [ (0, 1); (2, 3) ] };
+      Fault_plan.Node_crash { at = 15.; node = 5 };
+      Fault_plan.Node_recover { at = 30.; node = 5; wipe = true };
+      Fault_plan.Msg_duplicate
+        { from_ = 5.; until = 12.; edges = Fault_plan.All_edges; prob = 0.25 };
+      Fault_plan.Msg_reorder
+        {
+          from_ = 6.;
+          until = 13.;
+          edges = Fault_plan.Cut [ 0 ];
+          prob = 0.5;
+          extra = 2.5;
+        };
+      Fault_plan.Msg_corrupt
+        {
+          from_ = 7.;
+          until = 14.;
+          edges = Fault_plan.Edges [ (4, 5) ];
+          prob = 0.1;
+          magnitude = 3.;
+        };
+      Fault_plan.Clock_jump { at = 40.; node = 2; delta = -1.5 };
+      Fault_plan.Clock_rate_fault { at = 45.; node = 3; rate = 1.004 };
+    ]
+
+let test_round_trip () =
+  let s = Fault_plan.to_string all_kinds_plan in
+  match Fault_plan.of_string s with
+  | Error msg -> Alcotest.failf "re-parse failed: %s (spec %S)" msg s
+  | Ok p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "events preserved through %S" s)
+        true
+        (Fault_plan.events p = Fault_plan.events all_kinds_plan)
+
+let test_of_string_examples () =
+  let ok s =
+    match Fault_plan.of_string s with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "%S rejected: %s" s msg
+  in
+  let p = ok "partition@40:cut=0; heal@60:cut=0" in
+  Alcotest.(check int) "two events" 2 (List.length (Fault_plan.events p));
+  (match Fault_plan.events (ok "recover@60:node=3:wipe") with
+  | [ Fault_plan.Node_recover { node = 3; wipe = true; at } ] ->
+      Alcotest.(check (float 0.)) "time" 60. at
+  | _ -> Alcotest.fail "recover parse");
+  (match Fault_plan.events (ok "dup@1.5..2.5:p=0.125") with
+  | [ Fault_plan.Msg_duplicate { from_; until; prob; edges = All_edges } ] ->
+      Alcotest.(check (float 0.)) "from" 1.5 from_;
+      Alcotest.(check (float 0.)) "until" 2.5 until;
+      Alcotest.(check (float 0.)) "prob" 0.125 prob
+  | _ -> Alcotest.fail "dup parse");
+  match Fault_plan.events (ok "reorder@0..10:p=1:extra=0.5:edges=1-2,3-4") with
+  | [ Fault_plan.Msg_reorder { edges = Edges [ (1, 2); (3, 4) ]; extra; _ } ] ->
+      Alcotest.(check (float 0.)) "extra" 0.5 extra
+  | _ -> Alcotest.fail "reorder parse"
+
+let test_of_string_rejects () =
+  let bad s =
+    match Fault_plan.of_string s with
+    | Ok _ -> Alcotest.failf "%S should have been rejected" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "explode@10:node=1";
+  bad "crash@10";
+  bad "partition@10";
+  bad "dup@5..3";
+  bad "dup@1..2";
+  (* missing p= *)
+  bad "partition@ten:all"
+
+let test_validate () =
+  let check_err plan =
+    match Fault_plan.validate plan ring8 with
+    | Ok () -> Alcotest.fail "expected validation error"
+    | Error _ -> ()
+  in
+  check_err
+    (Fault_plan.of_events [ Fault_plan.Node_crash { at = 1.; node = 8 } ]);
+  check_err
+    (Fault_plan.of_events
+       [ Fault_plan.Link_partition { at = 1.; edges = Fault_plan.Edges [ (0, 4) ] } ]);
+  check_err
+    (Fault_plan.of_events
+       [
+         Fault_plan.Msg_corrupt
+           {
+             from_ = 1.;
+             until = 2.;
+             edges = Fault_plan.All_edges;
+             prob = 1.5;
+             magnitude = 1.;
+           };
+       ]);
+  check_err
+    (Fault_plan.of_events
+       [ Fault_plan.Clock_rate_fault { at = 1.; node = 0; rate = 0. } ]);
+  Alcotest.(check bool) "good plan validates" true
+    (Fault_plan.validate all_kinds_plan ring8 = Ok ())
+
+let test_resolve_edges () =
+  (* Ring edges at node 0: (0,1) and (0,7). A cut around {0} is exactly its
+     incident edges. *)
+  let cut = Fault_plan.resolve_edges ring8 (Fault_plan.Cut [ 0 ]) in
+  Alcotest.(check int) "cut size" 2 (List.length cut);
+  let all = Fault_plan.resolve_edges ring8 Fault_plan.All_edges in
+  Alcotest.(check int) "all edges" (Graph.m ring8) (List.length all);
+  let pair = Fault_plan.resolve_edges ring8 (Fault_plan.Edges [ (1, 2) ]) in
+  (match pair with
+  | [ e ] ->
+      let u, v = Graph.edge_endpoints ring8 e in
+      Alcotest.(check (pair int int)) "endpoints" (1, 2) (u, v)
+  | _ -> Alcotest.fail "expected one edge");
+  (* A cut with both endpoints inside contributes nothing. *)
+  let inner =
+    Fault_plan.resolve_edges ring8 (Fault_plan.Cut [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+  in
+  Alcotest.(check int) "full set cuts nothing" 0 (List.length inner)
+
+let test_compose_sorts () =
+  let a =
+    Fault_plan.of_events [ Fault_plan.Node_crash { at = 30.; node = 1 } ]
+  in
+  let b =
+    Fault_plan.of_events
+      [
+        Fault_plan.Node_recover { at = 50.; node = 1; wipe = false };
+        Fault_plan.Link_partition { at = 10.; edges = Fault_plan.All_edges };
+      ]
+  in
+  match Fault_plan.events (Fault_plan.compose a b) with
+  | [
+      Fault_plan.Link_partition { at = 10.; _ };
+      Fault_plan.Node_crash { at = 30.; _ };
+      Fault_plan.Node_recover { at = 50.; _ };
+    ] ->
+      ()
+  | evs -> Alcotest.failf "unexpected order (%d events)" (List.length evs)
+
+let test_episodes () =
+  let plan =
+    Fault_plan.of_events
+      [
+        Fault_plan.Link_partition { at = 10.; edges = Fault_plan.Cut [ 0 ] };
+        Fault_plan.Link_heal { at = 25.; edges = Fault_plan.Cut [ 0 ] };
+        Fault_plan.Node_crash { at = 30.; node = 4 };
+        Fault_plan.Node_recover { at = 40.; node = 4; wipe = true };
+        Fault_plan.Node_crash { at = 50.; node = 6 };
+        (* node 6 never recovers *)
+        Fault_plan.Clock_rate_fault { at = 60.; node = 2; rate = 1.01 };
+        Fault_plan.Clock_rate_fault { at = 70.; node = 2; rate = 1.0 };
+      ]
+  in
+  let eps = Fault_plan.episodes plan ring8 in
+  (* partition, crash:4 (wipe), crash:6, and one episode per rate event —
+     the restore-to-1.0 is itself a rate fault (the plan cannot know a
+     node's nominal rate), so it opens an unclosed fifth episode. *)
+  Alcotest.(check int) "episode count" 5 (List.length eps);
+  let find label =
+    match List.find_opt (fun e -> e.Fault_plan.label = label) eps with
+    | Some e -> e
+    | None ->
+        Alcotest.failf "missing episode %s (have: %s)" label
+          (String.concat ", "
+             (List.map (fun e -> e.Fault_plan.label) eps))
+  in
+  let part = find "partition" in
+  Alcotest.(check (option (float 0.))) "partition heals" (Some 25.)
+    part.Fault_plan.stop;
+  Alcotest.(check int) "partition edges" 2 (List.length part.Fault_plan.edges);
+  let crash = find "crash:4 (wipe)" in
+  Alcotest.(check (option (float 0.))) "crash recovers" (Some 40.)
+    crash.Fault_plan.stop;
+  let dead = find "crash:6" in
+  Alcotest.(check (option (float 0.))) "never recovers" None
+    dead.Fault_plan.stop;
+  let rate = find "rate:2" in
+  Alcotest.(check (option (float 0.))) "rate closes at next rate event"
+    (Some 70.) rate.Fault_plan.stop
+
+(* Random plans over ring:8 round-trip through the textual spec. *)
+let qcheck_round_trip =
+  let open QCheck in
+  let edge_spec_gen =
+    Gen.oneof
+      [
+        Gen.return Fault_plan.All_edges;
+        Gen.map (fun v -> Fault_plan.Cut [ v ]) (Gen.int_range 0 7);
+        Gen.map
+          (fun v -> Fault_plan.Edges [ (v, (v + 1) mod 8) ])
+          (Gen.int_range 0 6);
+      ]
+  in
+  let time = Gen.map (fun i -> float_of_int i /. 4.) (Gen.int_range 0 400) in
+  let event_gen =
+    Gen.oneof
+      [
+        Gen.map2
+          (fun at edges -> Fault_plan.Link_partition { at; edges })
+          time edge_spec_gen;
+        Gen.map2
+          (fun at edges -> Fault_plan.Link_heal { at; edges })
+          time edge_spec_gen;
+        Gen.map2
+          (fun at node -> Fault_plan.Node_crash { at; node })
+          time (Gen.int_range 0 7);
+        Gen.map3
+          (fun at node wipe -> Fault_plan.Node_recover { at; node; wipe })
+          time (Gen.int_range 0 7) Gen.bool;
+        Gen.map3
+          (fun from_ d prob ->
+            Fault_plan.Msg_duplicate
+              { from_; until = from_ +. d; edges = Fault_plan.All_edges; prob })
+          time time (Gen.map (fun i -> float_of_int i /. 8.) (Gen.int_range 0 8));
+        Gen.map3
+          (fun at node delta -> Fault_plan.Clock_jump { at; node; delta })
+          time (Gen.int_range 0 7)
+          (Gen.map (fun i -> float_of_int i /. 2.) (Gen.int_range (-8) 8));
+      ]
+  in
+  let plan_gen =
+    Gen.map Fault_plan.of_events (Gen.list_size (Gen.int_range 1 8) event_gen)
+  in
+  let arb =
+    QCheck.make plan_gen ~print:(fun p -> Fault_plan.to_string p)
+  in
+  QCheck.Test.make ~count:100 ~name:"textual spec round-trips" arb (fun p ->
+      match Fault_plan.of_string (Fault_plan.to_string p) with
+      | Ok p' -> Fault_plan.events p' = Fault_plan.events p
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "round trip (all kinds)" `Quick test_round_trip;
+    Alcotest.test_case "of_string examples" `Quick test_of_string_examples;
+    Alcotest.test_case "of_string rejects" `Quick test_of_string_rejects;
+    Alcotest.test_case "validate" `Quick test_validate;
+    Alcotest.test_case "resolve_edges" `Quick test_resolve_edges;
+    Alcotest.test_case "compose sorts" `Quick test_compose_sorts;
+    Alcotest.test_case "episodes" `Quick test_episodes;
+    QCheck_alcotest.to_alcotest qcheck_round_trip;
+  ]

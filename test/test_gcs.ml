@@ -17,6 +17,7 @@ let () =
       ("clock.drift", Test_drift.suite);
       ("clock.logical", Test_logical_clock.suite);
       ("sim.delay_model", Test_delay_model.suite);
+      ("sim.fault_plan", Test_fault_plan.suite);
       ("sim.engine", Test_engine.suite);
       ("sim.trace", Test_trace.suite);
       ("sim.mobility", Test_mobility.suite);
@@ -40,6 +41,7 @@ let () =
       ("core.invariant", Test_invariant.suite);
       ("core.replicate", Test_replicate.suite);
       ("core.parallel_run", Test_parallel_run.suite);
+      ("core.faults", Test_faults.suite);
       ("core.golden", Test_golden.suite);
       ("integration", Test_integration.suite);
       ("adversarial.random", Test_adversarial_random.suite);

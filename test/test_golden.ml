@@ -104,6 +104,71 @@ let check_algo (algo, expected, messages) () =
     s.Metrics.samples_used;
   Alcotest.(check int) "messages" messages r.Runner.messages
 
+(* The same config under a standard fault battery (partition-heal, crash with
+   state wipe, a corruption window), pinned like the rows above. This extends
+   the determinism pin to the fault-injection path: the dedicated fault PRNG
+   streams, liveness gating, delivery-side tampering, and the recovery
+   metrics all have to reproduce these numbers bit-for-bit — on any machine
+   and under any Parallel_run sharding. *)
+let faulted_plan () =
+  match
+    Gcs_sim.Fault_plan.of_string
+      "partition@20:cut=0; heal@40:cut=0; crash@50:node=5; \
+       recover@60:node=5:wipe; corrupt@30..45:p=0.3:mag=1"
+  with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "golden fault plan did not parse: %s" msg
+
+let test_faulted_run_pinned () =
+  let cfg =
+    Runner.config
+      ~spec:(Spec.make ~kappa:0.5 ())
+      ~algo:Algorithm.Gradient_sync
+      ~drift_of_node:(fun v ->
+        if v < 4 then Drift.Extreme_high else Drift.Extreme_low)
+      ~horizon:80. ~seed:7 ~fault_plan:(faulted_plan ()) (Topology.ring 8)
+  in
+  let r = Runner.run cfg in
+  let s = r.Runner.summary in
+  let f = Alcotest.(check (float 1e-9)) in
+  f "max_global" 0x1.30636152c2f8p-1 s.Metrics.max_global;
+  f "max_local" 0x1.79e4614cb36p-2 s.Metrics.max_local;
+  f "mean_local" 0x1.04974d4b884f8p-2 s.Metrics.mean_local;
+  f "p99_local" 0x1.75af4f277edcdp-2 s.Metrics.p99_local;
+  f "final_global" 0x1.ccd04ca04d7p-2 s.Metrics.final_global;
+  f "final_local" 0x1.4651fd5e2adp-2 s.Metrics.final_local;
+  Alcotest.(check int) "samples_used" 61 s.Metrics.samples_used;
+  Alcotest.(check int) "messages" 1268 r.Runner.messages;
+  Alcotest.(check int) "dropped (loss law)" 0 r.Runner.dropped;
+  Alcotest.(check int) "dropped_faults" 105 r.Runner.dropped_faults;
+  match r.Runner.fault_report with
+  | None -> Alcotest.fail "no fault report"
+  | Some rep ->
+      let module Fm = Gcs_core.Fault_metrics in
+      Alcotest.(check int) "corrupted" 66 rep.Fm.corrupted;
+      Alcotest.(check int) "duplicated" 0 rep.Fm.duplicated;
+      let expected =
+        [
+          ("partition", 0x1p-1, 0x1.0211f997fa68p-2, Some 0x0p+0);
+          ("corrupt", 0x1p-1, 0x1.0211f997fa68p-2, Some 0x0p+0);
+          ("crash:5 (wipe)", 0x1p-1, 0x1.0d9b3620617p-2, Some 0x0p+0);
+        ]
+      in
+      Alcotest.(check int) "episode count" (List.length expected)
+        (List.length rep.Fm.episodes);
+      List.iter
+        (fun (label, band, transient, resync) ->
+          match
+            List.find_opt (fun e -> e.Fm.label = label) rep.Fm.episodes
+          with
+          | None -> Alcotest.failf "missing episode %s" label
+          | Some e ->
+              f (label ^ " band") band e.Fm.band;
+              f (label ^ " transient") transient e.Fm.worst_transient;
+              Alcotest.(check (option (float 1e-9)))
+                (label ^ " resync") resync e.Fm.time_to_resync)
+        expected
+
 let test_covers_registry () =
   (* A newly registered algorithm must get a golden row. *)
   Alcotest.(check int) "every registered algorithm is pinned"
@@ -120,6 +185,8 @@ let test_covers_registry () =
 let suite =
   Alcotest.test_case "golden table covers the registry" `Quick
     test_covers_registry
+  :: Alcotest.test_case "faulted run pinned: gradient" `Quick
+       test_faulted_run_pinned
   :: List.map
        (fun ((algo, _, _) as row) ->
          Alcotest.test_case
