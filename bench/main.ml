@@ -1,5 +1,5 @@
 (* Experiment harness: regenerates every "table and figure" of the
-   reproduction (E1-E18 in DESIGN.md). Run everything with
+   reproduction (E1-E21 in DESIGN.md). Run everything with
 
      dune exec bench/main.exe
 
@@ -990,6 +990,145 @@ let e20 () =
       ]
     ~rows
 
+(* E21: observer overhead. The same ring:48 config runs bare and under
+   several capture modes. Observers are pure — they never touch algorithm
+   state or randomness — so every instrumented summary must be identical to
+   the bare one (hard assertion, exit 1), and the always-on "flight
+   recorder" mode (bounded ring event log + series + sampled profiler) must
+   cost < 10% extra wall time (also asserted; the verdict is printed so the
+   target is auditable in the output). Trials are interleaved and each
+   mode's overhead is the median of per-pass ratios against the same pass's
+   bare run, which is robust to machine-speed drift. Runs are also rendered
+   through the shared Report.result_row schema, the same rows the sweep CSV
+   emits. *)
+let e21 () =
+  header "E21" "Observer overhead: capture modes vs bare run (ring:48)";
+  let module Capture = Gcs_obs.Capture in
+  let module Event_log = Gcs_obs.Event_log in
+  let module Series = Gcs_obs.Series in
+  let module Profiler = Gcs_obs.Profiler in
+  let module Report = Gcs_core.Report in
+  let graph = Topology.ring 48 in
+  let make_cfg obs =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync ~horizon:1000. ~seed:77
+      ~obs graph
+  in
+  (* The asserted mode is the always-on "flight recorder": bounded ring
+     event log, coarse series cadence, sampled profiler. The unbounded
+     export log pays extra fresh-memory traffic proportional to the run
+     and is reported but not held to the target. *)
+  let flight =
+    { (Capture.full ~series_period:5. ()) with events_capacity = Some 4096 }
+  in
+  let modes =
+    [|
+      ("bare", Capture.none);
+      ("flight", flight);
+      ("full", Capture.full ~series_period:2. ());
+      ("events", { Capture.none with events = true });
+    |]
+  in
+  let cfgs = Array.map (fun (_, obs) -> make_cfg obs) modes in
+  let n = Array.length modes in
+  let trials = 9 in
+  let walls = Array.make_matrix n trials 0. in
+  let results = Array.make n None in
+  (* Interleave the trials so machine-speed drift hits every mode equally,
+     then compare each mode against the bare run of the same sweep pass:
+     the median of the per-pass ratios is robust to a single lucky or
+     unlucky trial on either side. *)
+  for k = 0 to trials - 1 do
+    Array.iteri
+      (fun i cfg ->
+        let t0 = Unix.gettimeofday () in
+        let r = Runner.run cfg in
+        walls.(i).(k) <- Unix.gettimeofday () -. t0;
+        results.(i) <- Some r)
+      cfgs
+  done;
+  let results = Array.map Option.get results in
+  let r_bare = results.(0) in
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let wall i = median walls.(i) in
+  let overhead i =
+    let ratios =
+      Array.init trials (fun k -> walls.(i).(k) /. walls.(0).(k))
+    in
+    100. *. (median ratios -. 1.)
+  in
+  (* Control events of the series probe are counted in [events], so compare
+     the skew summaries, which instrumentation must not perturb. *)
+  let summaries_equal i = r_bare.Runner.summary = results.(i).Runner.summary in
+  let log_lines i =
+    match results.(i).Runner.obs.Capture.event_log with
+    | Some log -> Event_log.recorded log
+    | None -> 0
+  in
+  let series_points i =
+    match results.(i).Runner.obs.Capture.series with
+    | Some s -> Series.length s
+    | None -> 0
+  in
+  print_table ~name:"e21_observer_overhead"
+    ~title:
+      (Printf.sprintf
+         "capture modes vs bare, median of %d interleaved paired trials \
+          (flight = ring log + series + profiler)"
+         trials)
+    ~columns:
+      [
+        Table.column ~align:Table.Left "mode";
+        Table.column "wall s";
+        Table.column "overhead %";
+        Table.column "log lines";
+        Table.column "series pts";
+        Table.column "summary identical";
+      ]
+    ~rows:
+      (List.init n (fun i ->
+           let name, _ = modes.(i) in
+           [
+             name;
+             Table.fmt_float ~digits:4 (wall i);
+             (if i = 0 then "-" else Table.fmt_float ~digits:1 (overhead i));
+             string_of_int (log_lines i);
+             string_of_int (series_points i);
+             (if i = 0 then "-" else if summaries_equal i then "yes" else "NO");
+           ]));
+  Printf.printf "result rows (shared sweep schema):\n";
+  print_endline (Gcs_util.Csv.render_row (Report.result_header ()));
+  print_endline
+    (Gcs_util.Csv.render_row (Report.result_row ~label:"ring:48" cfgs.(0) r_bare));
+  print_endline
+    (Gcs_util.Csv.render_row
+       (Report.result_row ~label:"ring:48" cfgs.(1) results.(1)));
+  (match results.(1).Runner.obs.Capture.profile with
+  | None -> ()
+  | Some rep ->
+      Printf.printf "profiler (flight):\n";
+      List.iter (fun l -> Printf.printf "  %s\n" l) (Profiler.lines rep));
+  let flight_overhead = overhead 1 in
+  Printf.printf "flight-recorder overhead: %.1f%% (target <10%%: %s)\n"
+    flight_overhead
+    (if flight_overhead < 10. then "yes" else "NO");
+  let diverged = ref false in
+  for i = 1 to n - 1 do
+    if not (summaries_equal i) then begin
+      Printf.eprintf "E21: %s summary diverged from the bare run\n"
+        (fst modes.(i));
+      diverged := true
+    end
+  done;
+  if !diverged then exit 1;
+  if flight_overhead >= 10. then begin
+    prerr_endline "E21: flight-recorder overhead exceeded the 10% target";
+    exit 1
+  end
+
 (* E8: substrate micro-benchmarks (Bechamel). *)
 let e8 () =
   header "E8" "Substrate micro-benchmarks (ns per operation, OLS estimate)";
@@ -1070,7 +1209,7 @@ let experiments =
     ("e5", e5); ("e6", e6); ("e7", e7); ("e9", e9);
     ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
     ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18); ("e19", e19); ("e20", e20); ("e8", e8);
+    ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e8", e8);
   ]
 
 let () =

@@ -7,7 +7,11 @@
      bounds   - print the analytic bounds for a given instance
      faults   - one simulation under a fault plan, with recovery metrics
      sweep    - batched campaign over seeds x topologies x algorithms,
-                sharded across domains, emitted as one CSV *)
+                sharded across domains, emitted as one CSV
+     trace    - export the structured event log (JSONL/CSV) and skew
+                series of one or more runs; byte-identical across --jobs
+     report   - summary table, skew sparklines, fault episodes, and
+                profiler totals for a batch of runs *)
 
 open Cmdliner
 module Graph = Gcs_graph.Graph
@@ -27,6 +31,12 @@ module Table = Gcs_util.Table
 module Prng = Gcs_util.Prng
 module Fault_plan = Gcs_sim.Fault_plan
 module Fault_metrics = Gcs_core.Fault_metrics
+module Capture = Gcs_obs.Capture
+module Event_log = Gcs_obs.Event_log
+module Series = Gcs_obs.Series
+module Profiler = Gcs_obs.Profiler
+module Report = Gcs_core.Report
+module Parallel_run = Gcs_core.Parallel_run
 
 (* Shared argument converters *)
 
@@ -652,51 +662,10 @@ let sweep_cmd =
     in
     let row (topo, cfg) =
       let r = Runner.run cfg in
-      let graph = r.Runner.graph in
-      let s = r.Runner.summary in
-      let f x = Printf.sprintf "%.6f" x in
-      [
-        Topology.spec_name topo;
-        Algorithm.kind_name cfg.Runner.algo;
-        string_of_int cfg.Runner.seed;
-        string_of_int (Graph.n graph);
-        string_of_int (Graph.m graph);
-        string_of_int (Shortest_path.diameter graph);
-        f s.Metrics.max_local;
-        f s.Metrics.mean_local;
-        f s.Metrics.p99_local;
-        f s.Metrics.max_global;
-        f s.Metrics.final_local;
-        f s.Metrics.final_global;
-        string_of_int r.Runner.messages;
-        string_of_int r.Runner.dropped;
-        string_of_int r.Runner.events;
-        string_of_int r.Runner.jumps.Lc.count;
-      ]
-      @
-      match r.Runner.fault_report with
-      | None -> []
-      | Some rep ->
-          [
-            f (Fault_metrics.worst_transient rep);
-            string_of_int rep.Fault_metrics.dropped_faults;
-            (match Fault_metrics.max_time_to_resync rep with
-            | Some t -> f t
-            | None -> "never");
-          ]
+      Report.result_row ~label:(Topology.spec_name topo) cfg r
     in
     let rows = Array.to_list (Gcs_util.Pool.map ~jobs row configs) in
-    let header =
-      [
-        "topology"; "algorithm"; "seed"; "nodes"; "edges"; "diameter";
-        "max_local"; "mean_local"; "p99_local"; "max_global"; "final_local";
-        "final_global"; "messages"; "dropped"; "events"; "jumps";
-      ]
-      @
-      match fault_plan with
-      | None -> []
-      | Some _ -> [ "fault_transient"; "fault_drops"; "fault_resync" ]
-    in
+    let header = Report.result_header ~faults:(fault_plan <> None) () in
     if out = "-" then print_string (Gcs_util.Csv.render ~header ~rows)
     else begin
       Gcs_util.Csv.write ~path:out ~header ~rows;
@@ -718,43 +687,350 @@ let sweep_cmd =
           wall-clock time.")
     term
 
+(* Shared by trace and report: run --seeds replicate configs (seed,
+   seed+7919, ...) through the parallel runner with the given capture
+   request. Row/byte order is independent of --jobs. *)
+let run_batch ~spec ~topo ~algo ~horizon ~seed ~seeds ~jobs ~fault_plan ~obs =
+  if seeds <= 0 then or_die (Error "seeds must be > 0");
+  let jobs = if jobs = 0 then Gcs_util.Pool.default_jobs () else jobs in
+  if jobs < 0 then or_die (Error "jobs must be >= 0");
+  let seed_list = Gcs_core.Replicate.seeds ~base:seed seeds in
+  let configs =
+    Array.of_list
+      (List.map
+         (fun seed ->
+           let graph = build_graph topo seed in
+           (match fault_plan with
+           | Some plan -> (
+               match Fault_plan.validate plan graph with
+               | Ok () -> ()
+               | Error msg -> or_die (Error ("fault plan: " ^ msg)))
+           | None -> ());
+           Runner.config ~spec ~algo ~horizon ~seed ?fault_plan ~obs graph)
+         seed_list)
+  in
+  Parallel_run.run ~jobs configs
+
+let seeds_repl_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"Replicate over N runs seeded seed, seed+7919, ....")
+
+let jobs_repl_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Shard the runs across N domains (0 = one per core). Exports are \
+           byte-identical for every N.")
+
+let plan_repl_arg =
+  Arg.(
+    value
+    & opt (some fault_plan_conv) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:"Apply this fault plan to every run (faults subcommand syntax).")
+
+let series_period_arg =
+  Arg.(
+    value & opt float 1.
+    & info [ "series-period" ] ~docv:"P" ~doc:"Time-series sampling period.")
+
 let trace_cmd =
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"Export the event log to FILE (- for stdout).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("jsonl", Event_log.Jsonl); ("csv", Event_log.Csv) ])
+          Event_log.Jsonl
+      & info [ "format" ] ~docv:"FMT" ~doc:"Event export format: jsonl or csv.")
+  in
+  let series_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series" ] ~docv:"FILE"
+          ~doc:"Export the skew time series as CSV to FILE (- for stdout).")
+  in
+  let check_schema_flag =
+    Arg.(
+      value & flag
+      & info [ "check-schema" ]
+          ~doc:
+            "Validate every exported JSONL line: parse it and require the \
+             canonical re-encoding to reproduce the line byte for byte. \
+             Exits non-zero on any violation.")
+  in
   let tail_arg =
     Arg.(
-      value & opt int 30
-      & info [ "tail" ] ~docv:"N" ~doc:"How many trailing events to print.")
+      value & opt int 10
+      & info [ "tail" ] ~docv:"N"
+          ~doc:"Print the last N events of the first run (0 disables).")
   in
-  let action spec_result topo algo horizon seed tail =
+  let action spec_result topo algo horizon seed seeds jobs fault_plan events
+      format series series_period check_schema tail =
     let spec = or_die spec_result in
-    let graph = build_graph topo seed in
-    let cfg = Runner.config ~spec ~algo ~horizon ~seed graph in
-    let live = Runner.prepare cfg in
-    let trace = Gcs_sim.Trace.create ~capacity:(max tail 1) () in
-    Gcs_sim.Trace.attach trace live.Runner.engine;
-    let r = Runner.complete live in
-    Printf.printf "run: %s on %s, horizon %g\n" (Algorithm.kind_name algo)
-      (Topology.spec_name topo) horizon;
-    Printf.printf
-      "observations: %d sends, %d delivers, %d drops, %d timers, %d rate changes\n"
-      (Gcs_sim.Trace.count_sends trace)
-      (Gcs_sim.Trace.count_delivers trace)
-      (Gcs_sim.Trace.count_drops trace)
-      (Gcs_sim.Trace.count_timers trace)
-      (Gcs_sim.Trace.count_rate_changes trace);
-    Printf.printf "final skews: local %.4f, global %.4f\n"
-      r.Runner.summary.Metrics.final_local r.Runner.summary.Metrics.final_global;
-    Printf.printf "\nlast %d events:\n" (Gcs_sim.Trace.length trace);
-    List.iter
-      (fun e -> print_endline (Gcs_sim.Trace.entry_to_string e))
-      (Gcs_sim.Trace.entries trace)
+    let obs =
+      {
+        Capture.none with
+        Capture.events = true;
+        events_format = format;
+        series_period = (if series = None then None else Some series_period);
+      }
+    in
+    let results =
+      run_batch ~spec ~topo ~algo ~horizon ~seed ~seeds ~jobs ~fault_plan ~obs
+    in
+    let logs =
+      Array.map
+        (fun (r : Runner.result) ->
+          match r.Runner.obs.Capture.event_log with
+          | Some log -> log
+          | None -> or_die (Error "internal: no event log captured"))
+        results
+    in
+    let multi = Array.length logs > 1 in
+    (* Per-run logs are concatenated in input (seed) order with an explicit
+       run tag, so the export bytes do not depend on --jobs. *)
+    let lines =
+      List.concat
+        (Array.to_list
+           (Array.mapi
+              (fun i log ->
+                let run = if multi then Some i else None in
+                List.map
+                  (fun e -> Event_log.encode_line ?run format e)
+                  (Event_log.entries log))
+              logs))
+    in
+    (match events with
+    | None -> ()
+    | Some dest ->
+        let header =
+          match format with
+          | Event_log.Csv ->
+              [ Gcs_util.Csv.render_row (Event_log.csv_header ~run:multi ()) ]
+          | Event_log.Jsonl -> []
+        in
+        let all = header @ lines in
+        if dest = "-" then List.iter print_endline all
+        else begin
+          let oc = open_out dest in
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            all;
+          close_out oc;
+          Printf.eprintf "wrote %d event lines to %s\n" (List.length lines) dest
+        end);
+    if check_schema then begin
+      (match format with
+      | Event_log.Csv -> or_die (Error "--check-schema requires --format jsonl")
+      | Event_log.Jsonl -> ());
+      List.iteri
+        (fun i line ->
+          match Event_log.validate_line line with
+          | Ok _ -> ()
+          | Error msg ->
+              or_die
+                (Error (Printf.sprintf "schema violation on line %d: %s" (i + 1) msg)))
+        lines;
+      Printf.eprintf "schema: %d lines OK\n" (List.length lines)
+    end;
+    (match series with
+    | None -> ()
+    | Some dest ->
+        let merged = Parallel_run.merge results in
+        let widths =
+          if Array.length merged.Parallel_run.series = 0 then (0, 0, 0)
+          else
+            let _, p = merged.Parallel_run.series.(0) in
+            ( Array.length p.Series.values,
+              Array.length p.Series.rates,
+              Array.length p.Series.profile )
+        in
+        let values, rates, hops = widths in
+        let header =
+          "run" :: Series.csv_header ~values ~rates ~hops ()
+        in
+        let rows =
+          Array.to_list
+            (Array.map
+               (fun (i, p) ->
+                 Gcs_util.Csv.render_row
+                   (string_of_int i :: Series.csv_row p))
+               merged.Parallel_run.series)
+        in
+        let all = Gcs_util.Csv.render_row header :: rows in
+        if dest = "-" then List.iter print_endline all
+        else begin
+          let oc = open_out dest in
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            all;
+          close_out oc;
+          Printf.eprintf "wrote %d series rows to %s\n" (List.length rows) dest
+        end);
+    if events = None && series = None then begin
+      Printf.printf "run: %s on %s, horizon %g, %d run(s)\n"
+        (Algorithm.kind_name algo) (Topology.spec_name topo) horizon
+        (Array.length results);
+      (* Rebuild per-kind totals by replaying the structured log through a
+         counting trace — same numbers the old single-observer tracer kept. *)
+      let counter = Gcs_sim.Trace.create ~capacity:1 () in
+      Array.iter
+        (fun log ->
+          List.iter
+            (fun (e : Event_log.entry) ->
+              Gcs_sim.Trace.record counter e.Event_log.time e.Event_log.obs)
+            (Event_log.entries log))
+        logs;
+      let c = Gcs_sim.Trace.counts counter in
+      Printf.printf
+        "observations: %d sends, %d delivers, %d drops, %d timers, %d rate \
+         changes, %d fault events\n"
+        c.Gcs_sim.Trace.sends c.Gcs_sim.Trace.delivers c.Gcs_sim.Trace.drops
+        c.Gcs_sim.Trace.timers c.Gcs_sim.Trace.rate_changes
+        c.Gcs_sim.Trace.fault_events;
+      Array.iteri
+        (fun i (r : Runner.result) ->
+          Printf.printf "run %d: final skews local %.4f, global %.4f\n" i
+            r.Runner.summary.Metrics.final_local
+            r.Runner.summary.Metrics.final_global)
+        results;
+      if tail > 0 then begin
+        let entries = Event_log.entries logs.(0) in
+        let total = List.length entries in
+        let last =
+          if total <= tail then entries
+          else List.filteri (fun i _ -> i >= total - tail) entries
+        in
+        Printf.printf "\nlast %d events of run 0:\n" (List.length last);
+        List.iter
+          (fun (e : Event_log.entry) ->
+            print_endline
+              (Gcs_sim.Trace.entry_to_string
+                 { Gcs_sim.Trace.time = e.Event_log.time; obs = e.Event_log.obs }))
+          last
+      end
+    end
   in
   let term =
     Term.(
       const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
-      $ seed_arg $ tail_arg)
+      $ seed_arg $ seeds_repl_arg $ jobs_repl_arg $ plan_repl_arg $ events_arg
+      $ format_arg $ series_arg $ series_period_arg $ check_schema_flag
+      $ tail_arg)
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run a simulation and print its event trace tail.")
+    (Cmd.info "trace"
+       ~doc:
+         "Run simulations and export their structured event log (JSONL or \
+          CSV) and skew time series. Exports are deterministic: byte-identical \
+          for every --jobs value.")
+    term
+
+let report_cmd =
+  let action spec_result topo algo horizon seed seeds jobs fault_plan
+      series_period =
+    let spec = or_die spec_result in
+    let obs = Capture.full ~series_period () in
+    let results =
+      run_batch ~spec ~topo ~algo ~horizon ~seed ~seeds ~jobs ~fault_plan ~obs
+    in
+    let merged = Parallel_run.merge results in
+    Table.print
+      ~title:
+        (Printf.sprintf "%s on %s, horizon %g" (Algorithm.kind_name algo)
+           (Topology.spec_name topo) horizon)
+      ~columns:
+        [
+          Table.column ~align:Table.Left "run";
+          Table.column "seed";
+          Table.column "max local";
+          Table.column "mean local";
+          Table.column "max global";
+          Table.column "final local";
+          Table.column "final global";
+          Table.column "messages";
+          Table.column "events";
+        ]
+      ~rows:
+        (Array.to_list
+           (Array.mapi
+              (fun i (r : Runner.result) ->
+                let s = r.Runner.summary in
+                [
+                  string_of_int i;
+                  string_of_int (Gcs_core.Replicate.seeds ~base:seed seeds
+                                 |> fun l -> List.nth l i);
+                  Table.fmt_float ~digits:4 s.Metrics.max_local;
+                  Table.fmt_float ~digits:4 s.Metrics.mean_local;
+                  Table.fmt_float ~digits:4 s.Metrics.max_global;
+                  Table.fmt_float ~digits:4 s.Metrics.final_local;
+                  Table.fmt_float ~digits:4 s.Metrics.final_global;
+                  string_of_int r.Runner.messages;
+                  string_of_int r.Runner.events;
+                ])
+              results));
+    print_newline ();
+    Array.iteri
+      (fun i (r : Runner.result) ->
+        match r.Runner.obs.Capture.series with
+        | None -> ()
+        | Some s ->
+            let pts = Series.points s in
+            let g = Array.map (fun p -> p.Series.global_skew) pts in
+            let l = Array.map (fun p -> p.Series.local_skew) pts in
+            let glo, ghi = Gcs_util.Stats.minmax g in
+            let llo, lhi = Gcs_util.Stats.minmax l in
+            Printf.printf "run %d global %s [%.3f .. %.3f]\n" i
+              (Report.sparkline g) glo ghi;
+            Printf.printf "run %d local  %s [%.3f .. %.3f]\n" i
+              (Report.sparkline l) llo lhi)
+      results;
+    (match fault_plan with
+    | None -> ()
+    | Some plan ->
+        Printf.printf "\nfault plan: %s\n" (Fault_plan.to_string plan);
+        Array.iteri
+          (fun i (r : Runner.result) ->
+            match r.Runner.fault_report with
+            | None -> ()
+            | Some rep ->
+                Printf.printf "run %d episodes:\n" i;
+                List.iter
+                  (fun e ->
+                    Printf.printf "  %s\n" (Fault_metrics.episode_to_string e))
+                  rep.Fault_metrics.episodes)
+          results);
+    match merged.Parallel_run.profile with
+    | None -> ()
+    | Some rep ->
+        Printf.printf "\nprofiler (all runs):\n";
+        List.iter (fun l -> Printf.printf "  %s\n" l) (Profiler.lines rep)
+  in
+  let term =
+    Term.(
+      const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
+      $ seed_arg $ seeds_repl_arg $ jobs_repl_arg $ plan_repl_arg
+      $ series_period_arg)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run simulations with full capture and print a summary table, skew \
+          sparklines, fault episodes, and profiler totals.")
     term
 
 let () =
@@ -767,5 +1043,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; compare_cmd; attack_cmd; bounds_cmd; external_cmd;
-            trace_cmd; faults_cmd; sweep_cmd;
+            trace_cmd; report_cmd; faults_cmd; sweep_cmd;
           ]))

@@ -29,23 +29,62 @@ let skew_on_edges g edge_ids values =
 let real_time_skew ~time values =
   Array.fold_left (fun acc v -> Float.max acc (Float.abs (v -. time))) 0. values
 
-let gradient_profile ~dist values =
-  let n = Array.length values in
-  let diameter =
-    Array.fold_left
-      (fun acc row -> Array.fold_left (fun a d -> max a d) acc row)
-      0 dist
-  in
-  let profile = Array.make diameter 0. in
+(* Flattened pair list for repeated profiling (one entry per unordered
+   reachable pair). Building it costs one matrix scan; each subsequent
+   profile is a single pass over flat arrays with no row indirection and
+   no per-call diameter search — the time-series recorder calls this once
+   per series point. *)
+type profile_ctx = {
+  diameter : int;
+  pv : int array;
+  pw : int array;
+  pd : int array;  (** hop distance - 1, the profile slot *)
+}
+
+let profile_ctx ~dist =
+  let n = Array.length dist in
+  let diameter = ref 0 in
+  let count = ref 0 in
   for v = 0 to n - 1 do
     for w = v + 1 to n - 1 do
       let d = dist.(v).(w) in
-      if d >= 1 then
-        profile.(d - 1) <-
-          Float.max profile.(d - 1) (Float.abs (values.(v) -. values.(w)))
+      if d >= 1 then begin
+        incr count;
+        if d > !diameter then diameter := d
+      end
     done
   done;
+  let pv = Array.make !count 0
+  and pw = Array.make !count 0
+  and pd = Array.make !count 0 in
+  let k = ref 0 in
+  for v = 0 to n - 1 do
+    for w = v + 1 to n - 1 do
+      let d = dist.(v).(w) in
+      if d >= 1 then begin
+        pv.(!k) <- v;
+        pw.(!k) <- w;
+        pd.(!k) <- d - 1;
+        incr k
+      end
+    done
+  done;
+  { diameter = !diameter; pv; pw; pd }
+
+let gradient_profile_ctx ctx values =
+  let profile = Array.make ctx.diameter 0. in
+  for k = 0 to Array.length ctx.pv - 1 do
+    let s =
+      Float.abs
+        (Array.unsafe_get values (Array.unsafe_get ctx.pv k)
+        -. Array.unsafe_get values (Array.unsafe_get ctx.pw k))
+    in
+    let d = Array.unsafe_get ctx.pd k in
+    if s > Array.unsafe_get profile d then Array.unsafe_set profile d s
+  done;
   profile
+
+let gradient_profile ~dist values = gradient_profile_ctx (profile_ctx ~dist) values
 
 let global_skew_alive ~alive values =
   let lo = ref infinity and hi = ref neg_infinity in
@@ -76,15 +115,17 @@ type summary = {
   samples_used : int;
 }
 
-let qualifying samples ~after =
+let qualifying_opt samples ~after =
   let q = Array.of_list (List.filter (fun s -> s.time >= after)
                            (Array.to_list samples)) in
-  if Array.length q = 0 then
-    invalid_arg "Metrics.summarize: no samples after warm-up";
-  q
+  if Array.length q = 0 then None else Some q
 
-let summarize ?(alive = fun _ -> true) g samples ~after =
-  let q = qualifying samples ~after in
+let qualifying samples ~after =
+  match qualifying_opt samples ~after with
+  | Some q -> q
+  | None -> invalid_arg "Metrics.summarize: no samples after warm-up"
+
+let summarize_qualifying ~alive g q =
   let globals = Array.map (fun s -> global_skew_alive ~alive s.values) q in
   let locals = Array.map (fun s -> local_skew_alive g ~alive s.values) q in
   let last = q.(Array.length q - 1) in
@@ -97,6 +138,12 @@ let summarize ?(alive = fun _ -> true) g samples ~after =
     final_local = local_skew_alive g ~alive last.values;
     samples_used = Array.length q;
   }
+
+let summarize ?(alive = fun _ -> true) g samples ~after =
+  summarize_qualifying ~alive g (qualifying samples ~after)
+
+let summarize_opt ?(alive = fun _ -> true) g samples ~after =
+  Option.map (summarize_qualifying ~alive g) (qualifying_opt samples ~after)
 
 let max_gradient_profile g samples ~after =
   let q = qualifying samples ~after in

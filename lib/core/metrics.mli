@@ -37,6 +37,18 @@ val gradient_profile : dist:int array array -> float array -> float array
     [diameter] where [g.(k - 1)] is the maximum |L_v - L_w| over node pairs
     at hop distance exactly [k] — the empirical gradient function f(k). *)
 
+type profile_ctx
+(** Precomputed flat pair list for repeated profile evaluation. *)
+
+val profile_ctx : dist:int array array -> profile_ctx
+(** Build once per graph; amortises the distance-matrix scan so each
+    {!gradient_profile_ctx} call is a single flat pass over the pairs.
+    The time-series recorder evaluates a profile every series point. *)
+
+val gradient_profile_ctx : profile_ctx -> float array -> float array
+(** Same result as {!gradient_profile} for the matrix the context was
+    built from. *)
+
 type summary = {
   max_global : float;
   max_local : float;
@@ -56,6 +68,16 @@ val summarize :
 (** Aggregate over samples with [time >= after] (skipping warm-up),
     optionally restricted to alive nodes. Raises [Invalid_argument] if no
     sample qualifies. *)
+
+val summarize_opt :
+  ?alive:(int -> bool) ->
+  Gcs_graph.Graph.t ->
+  sample array ->
+  after:float ->
+  summary option
+(** Like {!summarize} but [None] when no sample qualifies — the total
+    variant for callers (e.g. runs with [horizon < warmup]) that want to
+    fall back rather than trap. *)
 
 val max_gradient_profile :
   Gcs_graph.Graph.t -> sample array -> after:float -> float array

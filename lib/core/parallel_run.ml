@@ -12,6 +12,8 @@ type merged = {
   dropped : int;
   dropped_faults : int;
   jumps : Logical_clock.jump_stats;
+  series : (int * Gcs_obs.Series.point) array;
+  profile : Gcs_obs.Profiler.report option;
 }
 
 let merge (results : Runner.result array) =
@@ -31,6 +33,31 @@ let merge (results : Runner.result array) =
   Array.stable_sort
     (fun (_, a) (_, b) -> compare a.Metrics.time b.Metrics.time)
     samples;
+  (* Series points merge exactly like samples: concatenate in input order,
+     tag with run index, stable-sort on time only. *)
+  let series =
+    Array.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i (r : Runner.result) ->
+              match r.Runner.obs.Gcs_obs.Capture.series with
+              | None -> [||]
+              | Some s -> Array.map (fun p -> (i, p)) (Gcs_obs.Series.points s))
+            results))
+  in
+  Array.stable_sort
+    (fun (_, (a : Gcs_obs.Series.point)) (_, (b : Gcs_obs.Series.point)) ->
+      compare a.Gcs_obs.Series.time b.Gcs_obs.Series.time)
+    series;
+  let profile =
+    match
+      Array.to_list results
+      |> List.filter_map (fun (r : Runner.result) ->
+             r.Runner.obs.Gcs_obs.Capture.profile)
+    with
+    | [] -> None
+    | reports -> Some (Gcs_obs.Profiler.merge reports)
+  in
   let events = ref 0 and messages = ref 0 in
   let dropped = ref 0 and dropped_faults = ref 0 in
   let jumps =
@@ -62,4 +89,6 @@ let merge (results : Runner.result array) =
     dropped = !dropped;
     dropped_faults = !dropped_faults;
     jumps = !jumps;
+    series;
+    profile;
   }

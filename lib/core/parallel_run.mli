@@ -35,6 +35,13 @@ type merged = {
   dropped_faults : int;  (** total messages lost to partitions/crashes *)
   jumps : Gcs_clock.Logical_clock.jump_stats;
       (** clock discontinuities aggregated across all runs *)
+  series : (int * Gcs_obs.Series.point) array;
+      (** all captured series points, merged like [samples]: tagged with
+          their run index and stable-sorted on time only; empty when no
+          run captured a series *)
+  profile : Gcs_obs.Profiler.report option;
+      (** {!Gcs_obs.Profiler.merge} of every captured profiler report;
+          [None] when no run profiled *)
 }
 
 val merge : Runner.result array -> merged

@@ -1,0 +1,81 @@
+module Graph = Gcs_graph.Graph
+module Shortest_path = Gcs_graph.Shortest_path
+module Lc = Gcs_clock.Logical_clock
+
+let result_header ?(faults = false) () =
+  [
+    "topology"; "algorithm"; "seed"; "nodes"; "edges"; "diameter"; "max_local";
+    "mean_local"; "p99_local"; "max_global"; "final_local"; "final_global";
+    "messages"; "dropped"; "events"; "jumps";
+  ]
+  @ if faults then [ "fault_transient"; "fault_drops"; "fault_resync" ] else []
+
+let result_row ~label (cfg : Runner.config) (r : Runner.result) =
+  let graph = r.Runner.graph in
+  let s = r.Runner.summary in
+  let f x = Printf.sprintf "%.6f" x in
+  [
+    label;
+    Algorithm.kind_name cfg.Runner.algo;
+    string_of_int cfg.Runner.seed;
+    string_of_int (Graph.n graph);
+    string_of_int (Graph.m graph);
+    string_of_int (Shortest_path.diameter graph);
+    f s.Metrics.max_local;
+    f s.Metrics.mean_local;
+    f s.Metrics.p99_local;
+    f s.Metrics.max_global;
+    f s.Metrics.final_local;
+    f s.Metrics.final_global;
+    string_of_int r.Runner.messages;
+    string_of_int r.Runner.dropped;
+    string_of_int r.Runner.events;
+    string_of_int r.Runner.jumps.Lc.count;
+  ]
+  @
+  match r.Runner.fault_report with
+  | None -> []
+  | Some rep ->
+      [
+        f (Fault_metrics.worst_transient rep);
+        string_of_int rep.Fault_metrics.dropped_faults;
+        (match Fault_metrics.max_time_to_resync rep with
+        | Some t -> f t
+        | None -> "never");
+      ]
+
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                     "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                     "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?(width = 40) xs =
+  let n = Array.length xs in
+  if n = 0 || width <= 0 then ""
+  else begin
+    (* Bucket the series down (or stretch it up) to [width] cells, then
+       map each cell's mean to one of eight block heights. *)
+    let cells =
+      Array.init width (fun i ->
+          let lo = i * n / width and hi = max ((i + 1) * n / width) (i * n / width + 1) in
+          let hi = min hi n in
+          let sum = ref 0. in
+          for j = lo to hi - 1 do
+            sum := !sum +. xs.(j)
+          done;
+          !sum /. float_of_int (hi - lo))
+    in
+    let lo, hi = Gcs_util.Stats.minmax cells in
+    let span = hi -. lo in
+    let buf = Buffer.create (width * 3) in
+    Array.iter
+      (fun x ->
+        let level =
+          if span <= 0. then 0
+          else
+            Stdlib.min 7
+              (int_of_float (Float.of_int 8 *. (x -. lo) /. span))
+        in
+        Buffer.add_string buf spark_levels.(level))
+      cells;
+    Buffer.contents buf
+  end

@@ -1,0 +1,21 @@
+(** Shared result presentation: the one CSV row layout for a completed
+    run, plus small console-rendering helpers.
+
+    The sweep subcommand and the bench harness used to each hand-roll the
+    same column list; this module is the single source of truth, so the
+    artifacts stay diffable against each other. *)
+
+val result_header : ?faults:bool -> unit -> string list
+(** Column names matching {!result_row}; [~faults:true] appends the three
+    fault-recovery columns. *)
+
+val result_row : label:string -> Runner.config -> Runner.result -> string list
+(** One CSV row for a completed run. [label] fills the [topology] column
+    (callers usually pass the topology spec name). Floats are rendered
+    with [%.6f]. The fault columns are present iff [result.fault_report]
+    is [Some] — pair with [result_header ~faults:true]. *)
+
+val sparkline : ?width:int -> float array -> string
+(** Render a series as a row of eight-level Unicode block characters,
+    resampled to [width] cells (default 40). Empty string on empty
+    input; a flat series renders at the lowest level. *)

@@ -6,6 +6,10 @@ module Drift = Gcs_clock.Drift
 module Hardware_clock = Gcs_clock.Hardware_clock
 module Logical_clock = Gcs_clock.Logical_clock
 module Prng = Gcs_util.Prng
+module Capture = Gcs_obs.Capture
+module Event_log = Gcs_obs.Event_log
+module Series = Gcs_obs.Series
+module Profiler = Gcs_obs.Profiler
 
 type delay_kind =
   | Uniform_delays
@@ -33,17 +37,23 @@ type config = {
   initial_value_of_node : int -> float;
   override : Algorithm.t option;
   fault_plan : Fault_plan.t option;
+  obs : Capture.request;
 }
 
 let config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
     ?(drift_of_node = fun _ -> Drift.Random_constant)
     ?(delay_kind = Uniform_delays) ?(loss = No_loss) ?(horizon = 200.)
     ?(sample_period = 1.) ?warmup ?(seed = 42)
-    ?(initial_value_of_node = fun _ -> 0.) ?override ?fault_plan graph =
+    ?(initial_value_of_node = fun _ -> 0.) ?override ?fault_plan
+    ?(obs = Capture.none) graph =
   let warmup = match warmup with Some w -> w | None -> horizon /. 4. in
   if horizon <= 0. then invalid_arg "Runner.config: horizon must be > 0";
   if sample_period <= 0. then
     invalid_arg "Runner.config: sample_period must be > 0";
+  (match obs.Capture.series_period with
+  | Some p when p <= 0. ->
+      invalid_arg "Runner.config: series period must be > 0"
+  | Some _ | None -> ());
   (match loss with
   | Uniform_loss p when p < 0. || p > 1. ->
       invalid_arg "Runner.config: loss probability out of [0, 1]"
@@ -62,6 +72,7 @@ let config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
     initial_value_of_node;
     override;
     fault_plan;
+    obs;
   }
 
 type live = {
@@ -70,6 +81,9 @@ type live = {
   logical : Logical_clock.t array;
   chooser : Delay_model.chooser option ref;
   samples_rev : Metrics.sample list ref;
+  event_log : Event_log.t option;
+  series : Series.t option;
+  profiler : Profiler.t option;
 }
 
 type result = {
@@ -83,6 +97,7 @@ type result = {
   dropped_faults : int;
   jumps : Logical_clock.jump_stats;
   fault_report : Fault_metrics.report option;
+  obs : Capture.captured;
 }
 
 let snapshot_values live =
@@ -238,7 +253,36 @@ let prepare (cfg : config) =
       ~t0
   in
   engine_cell := Some engine;
-  let live = { cfg; engine; logical; chooser; samples_rev = ref [] } in
+  (* Sinks are materialised fresh for every run from the pure [obs]
+     request, so captures never leak across the runs of a sweep. *)
+  let event_log =
+    if not cfg.obs.Capture.events then None
+    else
+      let log =
+        Event_log.create ?capacity:cfg.obs.Capture.events_capacity
+          ?stream:cfg.obs.Capture.events_stream
+          ~format_:cfg.obs.Capture.events_format ()
+      in
+      Event_log.attach log engine;
+      Some log
+  in
+  let series =
+    match cfg.obs.Capture.series_period with
+    | None -> None
+    | Some _ -> Some (Series.create ())
+  in
+  let profiler =
+    if not cfg.obs.Capture.profile then None
+    else begin
+      let p = Profiler.create () in
+      Profiler.attach p engine;
+      Some p
+    end
+  in
+  let live =
+    { cfg; engine; logical; chooser; samples_rev = ref []; event_log; series;
+      profiler }
+  in
   let rec probe at =
     Engine.schedule_control engine ~at (fun () ->
         live.samples_rev := snapshot live :: !(live.samples_rev);
@@ -246,6 +290,46 @@ let prepare (cfg : config) =
         if next <= cfg.horizon +. 1e-9 then probe next)
   in
   probe t0;
+  (match (series, cfg.obs.Capture.series_period) with
+  | Some series, Some period ->
+      let pctx =
+        if cfg.obs.Capture.series_profile then
+          Some
+            (Metrics.profile_ctx
+               ~dist:(Gcs_graph.Shortest_path.all_pairs cfg.graph))
+        else None
+      in
+      let point () =
+        let now = Engine.now engine in
+        let values = snapshot_values live in
+        let profile =
+          match pctx with
+          | None -> [||]
+          | Some ctx ->
+              Array.mapi
+                (fun i s -> (i + 1, s))
+                (Metrics.gradient_profile_ctx ctx values)
+        in
+        {
+          Series.time = now;
+          global_skew = Metrics.global_skew values;
+          local_skew = Metrics.local_skew cfg.graph values;
+          profile;
+          values = (if cfg.obs.Capture.series_values then values else [||]);
+          rates =
+            (if cfg.obs.Capture.series_rates then
+               Array.map (fun c -> Hardware_clock.rate_at c ~now) clocks
+             else [||]);
+        }
+      in
+      let rec sprobe at =
+        Engine.schedule_control engine ~at (fun () ->
+            Series.record series (point ());
+            let next = at +. period in
+            if next <= cfg.horizon +. 1e-9 then sprobe next)
+      in
+      sprobe t0
+  | _ -> ());
   (match cfg.fault_plan with
   | None -> ()
   | Some plan -> install_faults engine logical cfg plan);
@@ -268,9 +352,24 @@ let aggregate_jumps logical =
 
 let complete live =
   let cfg = live.cfg in
-  Engine.run_until live.engine cfg.horizon;
+  (match live.profiler with
+  | None -> Engine.run_until live.engine cfg.horizon
+  | Some prof ->
+      (* Same event sequence as a single run_until — the engine only ever
+         advances monotonically — but each window gets its own phase. *)
+      let split = Float.min (Float.max cfg.warmup 0.) cfg.horizon in
+      Profiler.phase prof "warmup" (fun () ->
+          Engine.run_until live.engine split);
+      Profiler.phase prof "measure" (fun () ->
+          Engine.run_until live.engine cfg.horizon));
   let samples = Array.of_list (List.rev !(live.samples_rev)) in
-  let summary = Metrics.summarize cfg.graph samples ~after:cfg.warmup in
+  let summary =
+    (* A horizon shorter than the warm-up leaves no qualifying samples;
+       fall back to summarizing everything instead of trapping. *)
+    match Metrics.summarize_opt cfg.graph samples ~after:cfg.warmup with
+    | Some s -> s
+    | None -> Metrics.summarize cfg.graph samples ~after:neg_infinity
+  in
   let fault_report =
     match cfg.fault_plan with
     | None -> None
@@ -293,6 +392,25 @@ let complete live =
     dropped_faults = Engine.messages_dropped_faults live.engine;
     jumps = aggregate_jumps live.logical;
     fault_report;
+    obs =
+      {
+        Capture.event_log = live.event_log;
+        series = live.series;
+        profile =
+          Option.map
+            (fun p ->
+              Profiler.finish p
+                ~events:(Engine.events_processed live.engine)
+                ~messages:(Engine.messages_sent live.engine)
+                ~deliver_count:
+                  (Engine.dispatch_count live.engine Engine.Dispatch_deliver)
+                ~timer_count:
+                  (Engine.dispatch_count live.engine Engine.Dispatch_timer)
+                ~control_count:
+                  (Engine.dispatch_count live.engine Engine.Dispatch_control)
+                ~heap_high_water:(Engine.heap_high_water live.engine))
+            live.profiler;
+      };
   }
 
 let run cfg = complete (prepare cfg)

@@ -47,6 +47,14 @@ type config = {
       (** scheduled fault injection (partitions, crash-recover, message
           tampering, clock faults); installed on the engine by [prepare]
           and evaluated into [result.fault_report] by [complete] *)
+  obs : Gcs_obs.Capture.request;
+      (** which observability sinks to install. [prepare] materialises
+          fresh sinks from this pure description for every run, so the
+          same request is safe to share across a sweep; the finished sinks
+          come back in [result.obs]. Sinks are engine observers: they
+          never touch algorithm state or randomness, so enabling them
+          changes no summary (only [result.events], since the series
+          probe schedules control events). *)
 }
 
 val config :
@@ -62,11 +70,13 @@ val config :
   ?initial_value_of_node:(int -> float) ->
   ?override:Algorithm.t ->
   ?fault_plan:Gcs_sim.Fault_plan.t ->
+  ?obs:Gcs_obs.Capture.request ->
   Gcs_graph.Graph.t ->
   config
 (** Defaults: default spec, [Gradient_sync], random-constant drift per node,
     uniform delays, horizon 200, sampling every 1, warm-up 1/4 of the
-    horizon, seed 42, all clocks starting at 0, no faults. *)
+    horizon, seed 42, all clocks starting at 0, no faults, no capture
+    ([Gcs_obs.Capture.none]). *)
 
 type live = {
   cfg : config;
@@ -76,6 +86,14 @@ type live = {
       (** Adversarial delay hook; only honoured under [Controlled_delays]. *)
   samples_rev : Metrics.sample list ref;
       (** Collected samples, newest first; consumed by [complete]. *)
+  event_log : Gcs_obs.Event_log.t option;
+      (** Installed when [cfg.obs.events]; already attached. *)
+  series : Gcs_obs.Series.t option;
+      (** Installed when [cfg.obs.series_period] is set; fed by its own
+          control-event probe at that cadence. *)
+  profiler : Gcs_obs.Profiler.t option;
+      (** Installed when [cfg.obs.profile]; wired to the engine's dispatch
+          hooks. [complete] finishes it into [result.obs.profile]. *)
 }
 
 type result = {
@@ -96,6 +114,11 @@ type result = {
   fault_report : Fault_metrics.report option;
       (** recovery metrics per fault episode; [Some] iff a fault plan was
           configured *)
+  obs : Gcs_obs.Capture.captured;
+      (** the sinks requested by [config.obs], now holding this run's
+          capture; [Gcs_obs.Capture.empty] when nothing was requested, so
+          results without capture still compare structurally equal (the
+          determinism checks rely on this) *)
 }
 
 val prepare : config -> live

@@ -1,0 +1,44 @@
+(** Sink configuration and per-run capture results.
+
+    A {!request} is a pure description of which sinks a run should
+    install; the runner materialises fresh sinks from it for every run.
+    Because the description carries no sink state, the same request can
+    be shared across a seed sweep and across domains without any
+    cross-run leakage — per-run byte identity of exports holds by
+    construction. The one exception is [events_stream]: a streaming
+    callback is shared mutable state, so it is only meaningful for
+    single-run use. *)
+
+type request = {
+  events : bool;  (** record an event log *)
+  events_format : Event_log.format;
+  events_capacity : int option;  (** ring capacity; [None] = unbounded *)
+  events_stream : (string -> unit) option;
+      (** streaming emit callback (single-run only); takes precedence over
+          [events_capacity] *)
+  series_period : float option;
+      (** record a skew series every this many time units; [None] = off *)
+  series_values : bool;  (** include per-node logical clock values *)
+  series_rates : bool;  (** include per-node hardware rates *)
+  series_profile : bool;  (** include the per-hop gradient profile *)
+  profile : bool;  (** run the sampled profiler *)
+}
+
+val none : request
+(** Nothing captured — the default, and exactly the pre-redesign
+    behaviour. *)
+
+val full : ?series_period:float -> unit -> request
+(** Event log (unbounded JSONL) + series (values, rates, profile; period
+    defaults to 1.) + profiler. *)
+
+type captured = {
+  event_log : Event_log.t option;
+  series : Series.t option;
+  profile : Profiler.report option;
+}
+(** What a completed run hands back, populated according to the request.
+    Always [empty] when the request was {!none}, which keeps
+    [Runner.result] structural equality intact for determinism checks. *)
+
+val empty : captured

@@ -1,0 +1,77 @@
+(** Sampled simulator profiler.
+
+    Attaches to the engine's dispatch hooks and measures where simulation
+    wall time goes without paying two clock reads per event: dispatch
+    counts are exact, but only every [sample_every]-th dispatch is timed,
+    and per-kind wall totals are scaled estimates. The hooks allocate
+    nothing, so profiling stays within the observer-overhead budget that
+    bench E21 asserts.
+
+    The profiler never touches algorithm state or randomness; enabling it
+    cannot change any simulation result. *)
+
+type t
+
+val create : ?sample_every:int -> unit -> t
+(** [sample_every] defaults to 64 and must be positive; [1] times every
+    dispatch (exact walls, higher overhead). The cost of one clock read
+    is calibrated once per process and subtracted from every sampled
+    interval, so syscall-backed clocks don't swamp cheap handlers. *)
+
+val sample_every : t -> int
+
+val hooks : t -> Gcs_sim.Engine.dispatch_hook
+(** Install with {!Gcs_sim.Engine.set_dispatch_hook} [~every:(sample_every
+    t)] — or just call {!attach}. The engine's sampling gate skips the
+    hook calls on unsampled dispatches and keeps the exact per-kind
+    counts, so the hooks themselves only start and stop the sample
+    timer. *)
+
+val attach : t -> 'msg Gcs_sim.Engine.t -> unit
+(** [set_dispatch_hook ~every:(sample_every t) engine (hooks t)]. *)
+
+val phase : t -> string -> (unit -> 'a) -> 'a
+(** [phase t name f] runs [f] and records its wall time under [name]
+    (recorded even if [f] raises). The runner wraps its warm-up and
+    measurement windows in phases. *)
+
+type report = {
+  events : int;  (** engine events processed (from the runner) *)
+  messages : int;  (** messages sent (from the runner) *)
+  deliver_count : int;
+  timer_count : int;
+  control_count : int;
+  deliver_wall : float;  (** estimated seconds in message handlers *)
+  timer_wall : float;  (** estimated seconds in timer handlers *)
+  control_wall : float;  (** estimated seconds in control callbacks *)
+  heap_high_water : int;  (** max pending events (from the engine) *)
+  total_wall : float;
+      (** sum of phase walls when phases were recorded, else the sum of
+          the per-kind estimates *)
+  phases : (string * float) list;  (** in recording order *)
+}
+
+val finish :
+  t ->
+  events:int ->
+  messages:int ->
+  deliver_count:int ->
+  timer_count:int ->
+  control_count:int ->
+  heap_high_water:int ->
+  report
+(** Exact counts come from the engine ({!Gcs_sim.Engine.dispatch_count})
+    or the caller's own bookkeeping; the profiler itself only holds the
+    sampled walls. *)
+
+val events_per_sec : report -> float
+(** [0.] when no wall time was recorded. *)
+
+val merge : report list -> report
+(** Sums counts and walls, takes the max heap high-water, and sums phase
+    walls by name (order taken from the first report). Used by the
+    parallel runner to aggregate shard reports deterministically. Raises
+    [Invalid_argument] on an empty list. *)
+
+val lines : report -> string list
+(** Human-readable summary, one line per string (no trailing newline). *)

@@ -1,0 +1,57 @@
+module Csv = Gcs_util.Csv
+
+type point = {
+  time : float;
+  global_skew : float;
+  local_skew : float;
+  profile : (int * float) array;
+  values : float array;
+  rates : float array;
+}
+
+type t = { mutable rev : point list; mutable length : int }
+
+let create () = { rev = []; length = 0 }
+
+let record t p =
+  t.rev <- p :: t.rev;
+  t.length <- t.length + 1
+
+let length t = t.length
+let points t = Array.of_list (List.rev t.rev)
+
+let fnum x = Printf.sprintf "%.17g" x
+
+let csv_header ?(values = 0) ?(rates = 0) ?(hops = 0) () =
+  [ "time"; "global_skew"; "local_skew" ]
+  @ List.init hops (fun h -> Printf.sprintf "skew_hop%d" (h + 1))
+  @ List.init values (fun i -> Printf.sprintf "value%d" i)
+  @ List.init rates (fun i -> Printf.sprintf "rate%d" i)
+
+let csv_row p =
+  [ fnum p.time; fnum p.global_skew; fnum p.local_skew ]
+  @ List.map (fun (_, s) -> fnum s) (Array.to_list p.profile)
+  @ List.map fnum (Array.to_list p.values)
+  @ List.map fnum (Array.to_list p.rates)
+
+let csv_rows t = List.map csv_row (List.rev t.rev)
+
+let write_csv t ~path =
+  let pts = points t in
+  let values, rates, hops =
+    if Array.length pts = 0 then (0, 0, 0)
+    else
+      let p = pts.(0) in
+      (Array.length p.values, Array.length p.rates, Array.length p.profile)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Csv.render_row (csv_header ~values ~rates ~hops ()));
+      output_char oc '\n';
+      Array.iter
+        (fun p ->
+          output_string oc (Csv.render_row (csv_row p));
+          output_char oc '\n')
+        pts)

@@ -45,6 +45,13 @@ type 'msg tamper = {
   duplicate : edge:int -> now:float -> rng:Prng.t -> bool;
 }
 
+type dispatch_kind = Dispatch_deliver | Dispatch_timer | Dispatch_control
+
+type dispatch_hook = {
+  before : dispatch_kind -> unit;
+  after : dispatch_kind -> unit;
+}
+
 type 'msg t = {
   graph : Graph.t;
   clocks : Hardware_clock.t array;
@@ -76,11 +83,29 @@ type 'msg t = {
   mutable messages_dropped_faults : int;
   mutable messages_duplicated : int;
   mutable messages_corrupted : int;
-  mutable observer : (float -> observation -> unit) option;
+  (* Any number of observer sinks; each sees every observation in emission
+     order. The empty array makes the uninstrumented fast path one load and
+     one comparison. *)
+  mutable observers : (float -> observation -> unit) array;
+  mutable dispatch_hook : dispatch_hook option;
+  (* Sampling gate for the hook: only every [hook_every]-th dispatch pays
+     the two indirect hook calls; the rest pay one countdown decrement.
+     Exact per-kind dispatch counts come from the engine's own lifetime
+     counters (messages_delivered / timers_fired / controls_run), so a
+     sampling profiler still reports exact counts. *)
+  mutable hook_every : int;
+  mutable hook_left : int;
+  mutable hook_armed : bool;
+  mutable timers_fired : int;
+  mutable controls_run : int;
+  mutable heap_high_water : int;
 }
 
 let observe t obs =
-  match t.observer with Some f -> f t.now obs | None -> ()
+  let fs = t.observers in
+  for i = 0 to Array.length fs - 1 do
+    fs.(i) t.now obs
+  done
 
 let push_timer_event t ~node ~timer_id ~h_target =
   let clock = t.clocks.(node) in
@@ -223,7 +248,14 @@ let create ~graph ~clocks ~delays ~rng ~make_node ~t0 =
       messages_dropped_faults = 0;
       messages_duplicated = 0;
       messages_corrupted = 0;
-      observer = None;
+      observers = [||];
+      dispatch_hook = None;
+      hook_every = 1;
+      hook_left = 1;
+      hook_armed = false;
+      timers_fired = 0;
+      controls_run = 0;
+      heap_high_water = 0;
     }
   in
   t.apis <-
@@ -237,6 +269,32 @@ let start t =
     t.started <- true;
     Array.iteri (fun v h -> h.on_init t.apis.(v)) t.handlers
   end
+
+(* Bracket an algorithm/control callback with the profiling hook (when
+   installed). The split before/after shape — rather than handing the hook a
+   thunk — keeps the instrumented path allocation-free, and the engine-side
+   sampling gate keeps the common unsampled dispatch to one countdown
+   decrement instead of two indirect calls. *)
+let[@inline] hook_before t kind =
+  match t.dispatch_hook with
+  | None -> ()
+  | Some h ->
+      let left = t.hook_left - 1 in
+      if left = 0 then begin
+        t.hook_left <- t.hook_every;
+        t.hook_armed <- true;
+        h.before kind
+      end
+      else t.hook_left <- left
+
+let[@inline] hook_after t kind =
+  match t.dispatch_hook with
+  | None -> ()
+  | Some h ->
+      if t.hook_armed then begin
+        t.hook_armed <- false;
+        h.after kind
+      end
 
 let dispatch t event =
   t.events_processed <- t.events_processed + 1;
@@ -253,7 +311,9 @@ let dispatch t event =
       else begin
         t.messages_delivered <- t.messages_delivered + 1;
         observe t (Obs_deliver { dst; port });
-        t.handlers.(dst).on_message t.apis.(dst) ~port msg
+        hook_before t Dispatch_deliver;
+        t.handlers.(dst).on_message t.apis.(dst) ~port msg;
+        hook_after t Dispatch_deliver
       end
   | Timer_fire { node; timer_id } -> (
       match Hashtbl.find_opt t.timers.(node) timer_id with
@@ -262,16 +322,28 @@ let dispatch t event =
           let h_now = Hardware_clock.value t.clocks.(node) ~now:t.now in
           if h_now +. 1e-9 >= h_target then begin
             Hashtbl.remove t.timers.(node) timer_id;
+            t.timers_fired <- t.timers_fired + 1;
             observe t (Obs_timer { node; tag });
-            t.handlers.(node).on_timer t.apis.(node) ~tag
+            hook_before t Dispatch_timer;
+            t.handlers.(node).on_timer t.apis.(node) ~tag;
+            hook_after t Dispatch_timer
           end
           else
             (* The clock slowed after this entry was pushed; re-aim. *)
             push_timer_event t ~node ~timer_id ~h_target)
-  | Control f -> f ()
+  | Control f ->
+      t.controls_run <- t.controls_run + 1;
+      hook_before t Dispatch_control;
+      f ();
+      hook_after t Dispatch_control
+
+let[@inline] note_heap_depth t =
+  let sz = Heap.size t.heap in
+  if sz > t.heap_high_water then t.heap_high_water <- sz
 
 let step t =
   start t;
+  note_heap_depth t;
   match Heap.pop t.heap with
   | None -> false
   | Some (time, event) ->
@@ -284,6 +356,7 @@ let run_until t horizon =
   start t;
   let continue = ref true in
   while !continue do
+    note_heap_depth t;
     match Heap.peek t.heap with
     | Some (time, _) when time <= horizon ->
         (match Heap.pop t.heap with
@@ -341,8 +414,25 @@ let node_is_up t node = t.node_up.(node)
 let edge_is_up t edge = t.edge_up.(edge)
 let set_tamper t tamper = t.tamper <- Some tamper
 let clear_tamper t = t.tamper <- None
-let set_observer t f = t.observer <- Some f
-let clear_observer t = t.observer <- None
+let set_observer t f = t.observers <- [| f |]
+let add_observer t f = t.observers <- Array.append t.observers [| f |]
+let clear_observer t = t.observers <- [||]
+let observer_count t = Array.length t.observers
+let set_dispatch_hook ?(every = 1) t h =
+  if every <= 0 then invalid_arg "Engine.set_dispatch_hook: every must be > 0";
+  t.hook_every <- every;
+  t.hook_left <- every;
+  t.hook_armed <- false;
+  t.dispatch_hook <- Some h
+
+let clear_dispatch_hook t =
+  t.dispatch_hook <- None;
+  t.hook_armed <- false
+
+let dispatch_count t = function
+  | Dispatch_deliver -> t.messages_delivered
+  | Dispatch_timer -> t.timers_fired
+  | Dispatch_control -> t.controls_run
 let hardware_clock t v = t.clocks.(v)
 let graph t = t.graph
 let events_processed t = t.events_processed
@@ -353,3 +443,4 @@ let messages_dropped_faults t = t.messages_dropped_faults
 let messages_duplicated t = t.messages_duplicated
 let messages_corrupted t = t.messages_corrupted
 let pending_events t = Heap.size t.heap
+let heap_high_water t = t.heap_high_water

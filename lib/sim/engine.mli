@@ -82,10 +82,47 @@ type observation =
   | Obs_corrupt of { src : int; dst : int; edge : int }
 
 val set_observer : 'msg t -> (float -> observation -> unit) -> unit
-(** Install the (single) observer; it receives the current simulation time
-    with each observation. *)
+(** Replace every installed observer with this one; it receives the current
+    simulation time with each observation. *)
+
+val add_observer : 'msg t -> (float -> observation -> unit) -> unit
+(** Append one more observer sink. The engine multiplexes each observation
+    to every installed observer, in installation order — this is how the
+    observability layer ({!Gcs_obs}) composes an event log, a counting
+    trace, and any ad-hoc probe on the same run. *)
 
 val clear_observer : 'msg t -> unit
+(** Remove every observer. *)
+
+val observer_count : _ t -> int
+
+(** Which kind of callback a dispatch is about to run; profiling hooks
+    bracket algorithm handlers ([Dispatch_deliver], [Dispatch_timer]) and
+    control closures ([Dispatch_control], the observer/adversary side). *)
+type dispatch_kind = Dispatch_deliver | Dispatch_timer | Dispatch_control
+
+type dispatch_hook = {
+  before : dispatch_kind -> unit;
+  after : dispatch_kind -> unit;
+}
+(** [before]/[after] run around the handler or closure of each dispatched
+    event (not around re-aimed timers or fault drops, which run no user
+    code). The split shape keeps the hot path allocation-free; a hook must
+    not raise. *)
+
+val set_dispatch_hook : ?every:int -> 'msg t -> dispatch_hook -> unit
+(** Install the (single) dispatch hook — the attachment point of
+    {!Gcs_obs.Profiler}. [every] (default 1, must be positive) makes only
+    every [every]-th dispatch call [before]/[after]; the engine still keeps
+    exact per-kind counts (see {!dispatch_count}), so a sampling profiler
+    pays two indirect calls only on sampled dispatches. *)
+
+val clear_dispatch_hook : _ t -> unit
+
+val dispatch_count : _ t -> dispatch_kind -> int
+(** Exact dispatches of a kind over the engine's lifetime (messages
+    delivered to a handler, timers fired, control closures run) —
+    maintained whether or not a hook is installed. *)
 
 val schedule_control : 'msg t -> at:float -> (unit -> unit) -> unit
 (** Run a closure at an absolute simulation time — the hook used by
@@ -157,3 +194,7 @@ val messages_duplicated : _ t -> int
 val messages_corrupted : _ t -> int
 
 val pending_events : _ t -> int
+
+val heap_high_water : _ t -> int
+(** Deepest the event queue has been (sampled before every dispatch) — the
+    capacity-planning number the profiler reports. *)

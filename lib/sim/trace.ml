@@ -43,7 +43,7 @@ let record t time obs =
   t.next <- t.next + 1;
   t.total <- t.total + 1
 
-let attach t engine = Engine.set_observer engine (record t)
+let attach t engine = Engine.add_observer engine (record t)
 
 let entries t =
   let start = if t.total > t.capacity then t.next else 0 in
@@ -54,12 +54,32 @@ let entries t =
 
 let length t = min t.total t.capacity
 let total t = t.total
-let count_sends t = t.sends
-let count_drops t = t.drops
-let count_delivers t = t.delivers
-let count_timers t = t.timers
-let count_rate_changes t = t.rate_changes
-let count_fault_events t = t.fault_events
+
+type counts = {
+  sends : int;
+  drops : int;
+  delivers : int;
+  timers : int;
+  rate_changes : int;
+  fault_events : int;
+}
+
+let counts (t : t) =
+  {
+    sends = t.sends;
+    drops = t.drops;
+    delivers = t.delivers;
+    timers = t.timers;
+    rate_changes = t.rate_changes;
+    fault_events = t.fault_events;
+  }
+
+let count_sends (t : t) = t.sends
+let count_drops (t : t) = t.drops
+let count_delivers (t : t) = t.delivers
+let count_timers (t : t) = t.timers
+let count_rate_changes (t : t) = t.rate_changes
+let count_fault_events (t : t) = t.fault_events
 
 let clear t =
   Array.fill t.ring 0 t.capacity None;

@@ -13,7 +13,8 @@ val create : ?capacity:int -> unit -> t
 (** Default capacity: 4096 entries. *)
 
 val attach : t -> 'msg Engine.t -> unit
-(** Install this trace as the engine's observer (replacing any other). *)
+(** Add this trace as one of the engine's observer sinks (it composes with
+    an event log, a series recorder, or any other observer). *)
 
 val record : t -> float -> Engine.observation -> unit
 (** Feed an observation directly (what [attach] wires up). *)
@@ -27,15 +28,37 @@ val length : t -> int
 val total : t -> int
 (** Number of observations ever recorded. *)
 
+(** Running totals per observation kind (not limited by capacity).
+    [fault_events] covers node down/up, edge cut/heal, fault drops,
+    duplications, and corruptions. *)
+type counts = {
+  sends : int;
+  drops : int;
+  delivers : int;
+  timers : int;
+  rate_changes : int;
+  fault_events : int;
+}
+
+val counts : t -> counts
+
 val count_sends : t -> int
+  [@@ocaml.deprecated "use Trace.counts"]
+
 val count_drops : t -> int
+  [@@ocaml.deprecated "use Trace.counts"]
+
 val count_delivers : t -> int
+  [@@ocaml.deprecated "use Trace.counts"]
+
 val count_timers : t -> int
+  [@@ocaml.deprecated "use Trace.counts"]
+
 val count_rate_changes : t -> int
+  [@@ocaml.deprecated "use Trace.counts"]
 
 val count_fault_events : t -> int
-(** Node down/up, edge cut/heal, fault drops, duplications, corruptions.
-    Running totals per kind (not limited by capacity). *)
+  [@@ocaml.deprecated "use Trace.counts"]
 
 val clear : t -> unit
 

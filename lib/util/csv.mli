@@ -8,6 +8,10 @@
 val escape_cell : string -> string
 (** Quote a cell if it contains a comma, quote, or newline. *)
 
+val render_row : string list -> string
+(** One CSV line (no trailing newline) — the building block the streaming
+    exporters (event logs, series) use to emit rows incrementally. *)
+
 val render : header:string list -> rows:string list list -> string
 (** CSV text with a trailing newline. Rows are not padded: callers are
     expected to pass rows matching the header (the table layer guarantees

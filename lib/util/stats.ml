@@ -19,6 +19,14 @@ let min xs =
 let max xs =
   if Array.length xs = 0 then nan else Array.fold_left Float.max xs.(0) xs
 
+let minmax xs =
+  if Array.length xs = 0 then (nan, nan)
+  else
+    Array.fold_left
+      (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+      (xs.(0), xs.(0))
+      xs
+
 let percentile xs p =
   let n = Array.length xs in
   if n = 0 then nan

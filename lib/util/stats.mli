@@ -18,6 +18,9 @@ val min : float array -> float
 val max : float array -> float
 (** Maximum; [nan] on empty input. *)
 
+val minmax : float array -> float * float
+(** Both extrema in one pass; [(nan, nan)] on empty input. *)
+
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0, 100], linear interpolation between
     order statistics. Does not mutate its argument. [nan] on empty input. *)

@@ -20,6 +20,7 @@ let () =
       ("sim.fault_plan", Test_fault_plan.suite);
       ("sim.engine", Test_engine.suite);
       ("sim.trace", Test_trace.suite);
+      ("obs.sinks", Test_obs.suite);
       ("sim.mobility", Test_mobility.suite);
       ("core.spec", Test_spec.suite);
       ("core.offset_estimator", Test_offset_estimator.suite);

@@ -93,6 +93,30 @@ let test_summarize_requires_samples () =
     (fun () ->
       ignore (Metrics.summarize g [| sample 0. [| 0.; 0. |] |] ~after:5.))
 
+let test_summarize_opt () =
+  let g = Topology.line 2 in
+  let samples = [| sample 0. [| 0.; 7. |]; sample 10. [| 0.; 2. |] |] in
+  (match Metrics.summarize_opt g samples ~after:5. with
+  | Some s -> checkf "post-warm-up summary" 2. s.Metrics.max_global
+  | None -> Alcotest.fail "expected a summary");
+  match Metrics.summarize_opt g samples ~after:50. with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None when nothing survives warm-up"
+
+(* The reusable profile context must agree exactly with the one-shot
+   gradient_profile on arbitrary graphs and values. *)
+let test_profile_ctx_equivalence =
+  QCheck.Test.make ~name:"gradient_profile_ctx = gradient_profile" ~count:100
+    QCheck.(pair (int_range 2 15) small_nat)
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      let g = Topology.random_gnp ~n ~p:0.4 ~rng in
+      let dist = Sp.all_pairs g in
+      let ctx = Metrics.profile_ctx ~dist in
+      let values = Array.init n (fun _ -> Prng.uniform rng ~lo:(-5.) ~hi:5.) in
+      Metrics.gradient_profile_ctx ctx values
+      = Metrics.gradient_profile ~dist values)
+
 let test_max_gradient_profile () =
   let g = Topology.line 3 in
   let samples =
@@ -109,9 +133,11 @@ let suite =
     Alcotest.test_case "gradient profile" `Quick test_gradient_profile_line;
     Alcotest.test_case "summarize" `Quick test_summarize;
     Alcotest.test_case "summarize empty" `Quick test_summarize_requires_samples;
+    Alcotest.test_case "summarize_opt" `Quick test_summarize_opt;
     Alcotest.test_case "max gradient profile" `Quick test_max_gradient_profile;
     Alcotest.test_case "alive masking" `Quick test_alive_masking;
     Alcotest.test_case "summarize alive" `Quick test_summarize_alive;
     QCheck_alcotest.to_alcotest test_local_le_global;
     QCheck_alcotest.to_alcotest test_gradient_profile_dominates_local;
+    QCheck_alcotest.to_alcotest test_profile_ctx_equivalence;
   ]

@@ -130,6 +130,52 @@ let test_merge () =
   Alcotest.(check int) "dropped total" (sum (fun r -> r.Runner.dropped))
     m.Parallel_run.dropped
 
+let test_merge_observability () =
+  let graph = Topology.ring 6 in
+  let obs = Gcs_obs.Capture.full ~series_period:10. () in
+  let cfgs =
+    Array.of_list
+      (List.map
+         (fun seed -> Runner.config ~horizon:30. ~seed ~obs graph)
+         [ 3; 14 ])
+  in
+  let results = Parallel_run.run ~jobs:2 cfgs in
+  let m = Parallel_run.merge results in
+  (* Series points: 4 per run (t = 0, 10, 20, 30), tagged by run index,
+     sorted by time with ties broken by run. *)
+  Alcotest.(check int) "series points merged" 8
+    (Array.length m.Parallel_run.series);
+  Array.iteri
+    (fun i (run, p) ->
+      Alcotest.(check bool) "run tag in range" true (run = 0 || run = 1);
+      if i > 0 then begin
+        let prev_run, prev = m.Parallel_run.series.(i - 1) in
+        Alcotest.(check bool) "series time sorted" true
+          (prev.Gcs_obs.Series.time <= p.Gcs_obs.Series.time);
+        if prev.Gcs_obs.Series.time = p.Gcs_obs.Series.time then
+          Alcotest.(check bool) "series stable on ties" true (prev_run <= run)
+      end)
+    m.Parallel_run.series;
+  (* The merged profile sums the per-run reports. *)
+  (match m.Parallel_run.profile with
+  | None -> Alcotest.fail "expected a merged profiler report"
+  | Some rep ->
+      let total =
+        Array.fold_left (fun acc r -> acc + r.Runner.events) 0 results
+      in
+      Alcotest.(check int) "profiled events total" total
+        rep.Gcs_obs.Profiler.events);
+  (* Without capture requests there is nothing to merge. *)
+  let bare =
+    Parallel_run.merge
+      (Parallel_run.run ~jobs:1
+         [| Runner.config ~horizon:30. ~seed:3 graph |])
+  in
+  Alcotest.(check int) "no series without capture" 0
+    (Array.length bare.Parallel_run.series);
+  Alcotest.(check bool) "no profile without capture" true
+    (bare.Parallel_run.profile = None)
+
 let test_replicate_jobs () =
   let graph = Topology.line 7 in
   let f seed =
@@ -147,6 +193,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_sharding_deterministic;
     QCheck_alcotest.to_alcotest prop_map_matches_run;
     Alcotest.test_case "merge is order-preserving and total" `Quick test_merge;
+    Alcotest.test_case "merge carries series and profile" `Quick
+      test_merge_observability;
     Alcotest.test_case "replicate ~jobs matches serial" `Quick
       test_replicate_jobs;
   ]

@@ -97,6 +97,22 @@ let test_warmup_excludes_transient () =
   Alcotest.(check bool) "transient excluded" true
     (r.Runner.summary.Metrics.max_global < 50.)
 
+let test_warmup_past_horizon () =
+  (* A warm-up at or beyond the horizon leaves no qualifying samples; the
+     runner must fall back to summarizing everything, not trap. *)
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync ~horizon:20.
+      ~warmup:50. ~seed:4 (Topology.ring 5)
+  in
+  let r = Runner.run cfg in
+  Alcotest.(check int) "all samples summarized" 21
+    r.Runner.summary.Metrics.samples_used
+
+let test_obs_empty_by_default () =
+  let r = Runner.run (base_cfg ()) in
+  Alcotest.(check bool) "no sinks captured" true
+    (r.Runner.obs = Gcs_obs.Capture.empty)
+
 let test_per_edge_delay_kind () =
   let bounds e =
     if e = 0 then Gcs_sim.Delay_model.bounds ~d_min:0.1 ~d_max:0.2
@@ -143,6 +159,8 @@ let suite =
     Alcotest.test_case "bad spec rejected" `Quick test_bad_spec_rejected;
     Alcotest.test_case "all delay kinds" `Quick test_delay_kinds_all_run;
     Alcotest.test_case "warmup excludes transient" `Quick test_warmup_excludes_transient;
+    Alcotest.test_case "warmup past horizon" `Quick test_warmup_past_horizon;
+    Alcotest.test_case "obs empty by default" `Quick test_obs_empty_by_default;
     Alcotest.test_case "per-edge delays" `Quick test_per_edge_delay_kind;
     Alcotest.test_case "override used" `Quick test_override_used;
   ]

@@ -25,11 +25,61 @@ let test_counts_by_kind () =
   Trace.record t 2. (Engine.Obs_deliver { dst = 1; port = 0 });
   Trace.record t 3. (Engine.Obs_timer { node = 0; tag = 7 });
   Trace.record t 4. (Engine.Obs_rate_change { node = 0; rate = 1.01 });
-  Alcotest.(check int) "sends" 1 (Trace.count_sends t);
-  Alcotest.(check int) "drops" 1 (Trace.count_drops t);
-  Alcotest.(check int) "delivers" 1 (Trace.count_delivers t);
-  Alcotest.(check int) "timers" 1 (Trace.count_timers t);
-  Alcotest.(check int) "rate changes" 1 (Trace.count_rate_changes t)
+  Trace.record t 5. (Engine.Obs_node_down { node = 0 });
+  let c = Trace.counts t in
+  Alcotest.(check int) "sends" 1 c.Trace.sends;
+  Alcotest.(check int) "drops" 1 c.Trace.drops;
+  Alcotest.(check int) "delivers" 1 c.Trace.delivers;
+  Alcotest.(check int) "timers" 1 c.Trace.timers;
+  Alcotest.(check int) "rate changes" 1 c.Trace.rate_changes;
+  Alcotest.(check int) "fault events" 1 c.Trace.fault_events
+
+(* The deprecated per-kind accessors must keep answering the same numbers
+   as the counts record. *)
+let test_deprecated_count_wrappers () =
+  let t = Trace.create () in
+  Trace.record t 0. (Engine.Obs_send { src = 0; dst = 1; edge = 0; delay = 1. });
+  Trace.record t 1. (Engine.Obs_timer { node = 0; tag = 7 });
+  let c = Trace.counts t in
+  let[@alert "-deprecated"] checks =
+    [
+      ("sends", Trace.count_sends t, c.Trace.sends);
+      ("drops", Trace.count_drops t, c.Trace.drops);
+      ("delivers", Trace.count_delivers t, c.Trace.delivers);
+      ("timers", Trace.count_timers t, c.Trace.timers);
+      ("rate changes", Trace.count_rate_changes t, c.Trace.rate_changes);
+      ("fault events", Trace.count_fault_events t, c.Trace.fault_events);
+    ]
+  in
+  List.iter (fun (l, a, b) -> Alcotest.(check int) l b a) checks
+
+(* Wraparound exactly at the capacity boundary: the ring is full but
+   nothing has been evicted yet, then one more record evicts the oldest. *)
+let test_ring_exact_capacity () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 4 do
+    let time, obs = send_obs (float_of_int i) in
+    Trace.record t time obs
+  done;
+  Alcotest.(check int) "retained at boundary" 4 (Trace.length t);
+  let times = List.map (fun e -> e.Trace.time) (Trace.entries t) in
+  Alcotest.(check (list (float 0.))) "all retained" [ 1.; 2.; 3.; 4. ] times;
+  let time, obs = send_obs 5. in
+  Trace.record t time obs;
+  let times = List.map (fun e -> e.Trace.time) (Trace.entries t) in
+  Alcotest.(check (list (float 0.))) "oldest evicted" [ 2.; 3.; 4.; 5. ] times
+
+let test_ring_capacity_one () =
+  let t = Trace.create ~capacity:1 () in
+  for i = 1 to 3 do
+    let time, obs = send_obs (float_of_int i) in
+    Trace.record t time obs
+  done;
+  Alcotest.(check int) "retained" 1 (Trace.length t);
+  Alcotest.(check int) "total" 3 (Trace.total t);
+  match Trace.entries t with
+  | [ e ] -> Alcotest.(check (float 0.)) "newest kept" 3. e.Trace.time
+  | _ -> Alcotest.fail "expected exactly one entry"
 
 let test_clear () =
   let t = Trace.create () in
@@ -37,7 +87,7 @@ let test_clear () =
   Trace.clear t;
   Alcotest.(check int) "length" 0 (Trace.length t);
   Alcotest.(check int) "total" 0 (Trace.total t);
-  Alcotest.(check int) "counts" 0 (Trace.count_timers t)
+  Alcotest.(check int) "counts" 0 (Trace.counts t).Trace.timers
 
 let test_attached_to_engine () =
   (* One message 0 -> 1: trace must see the send and the delivery. *)
@@ -57,8 +107,8 @@ let test_attached_to_engine () =
   let t = Trace.create () in
   Trace.attach t engine;
   Engine.run_until engine 5.;
-  Alcotest.(check int) "send observed" 1 (Trace.count_sends t);
-  Alcotest.(check int) "deliver observed" 1 (Trace.count_delivers t);
+  Alcotest.(check int) "send observed" 1 (Trace.counts t).Trace.sends;
+  Alcotest.(check int) "deliver observed" 1 (Trace.counts t).Trace.delivers;
   match Trace.entries t with
   | [ { Trace.obs = Engine.Obs_send { delay; _ }; time = t0 };
       { Trace.obs = Engine.Obs_deliver _; time = t1 } ] ->
@@ -84,8 +134,8 @@ let test_drop_observed () =
   let t = Trace.create () in
   Trace.attach t engine;
   Engine.run_until engine 5.;
-  Alcotest.(check int) "drop observed" 1 (Trace.count_drops t);
-  Alcotest.(check int) "nothing delivered" 0 (Trace.count_delivers t);
+  Alcotest.(check int) "drop observed" 1 (Trace.counts t).Trace.drops;
+  Alcotest.(check int) "nothing delivered" 0 (Trace.counts t).Trace.delivers;
   Alcotest.(check int) "engine counter" 1 (Engine.messages_dropped engine)
 
 let test_pp_renders_lines () =
@@ -111,6 +161,10 @@ let suite =
   [
     Alcotest.test_case "ring eviction" `Quick test_ring_buffer_eviction;
     Alcotest.test_case "counts by kind" `Quick test_counts_by_kind;
+    Alcotest.test_case "deprecated count wrappers" `Quick
+      test_deprecated_count_wrappers;
+    Alcotest.test_case "ring exact capacity" `Quick test_ring_exact_capacity;
+    Alcotest.test_case "ring capacity one" `Quick test_ring_capacity_one;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "attach to engine" `Quick test_attached_to_engine;
     Alcotest.test_case "drop observed" `Quick test_drop_observed;
