@@ -1,5 +1,5 @@
 (* Experiment harness: regenerates every "table and figure" of the
-   reproduction (E1-E21 in DESIGN.md). Run everything with
+   reproduction (E1-E22 in DESIGN.md). Run everything with
 
      dune exec bench/main.exe
 
@@ -1129,6 +1129,116 @@ let e21 () =
     exit 1
   end
 
+(* E22: warm-vs-cold cache-aware sweep. The same >= 200-cell faulted
+   campaign runs twice against one experiment store: the cold pass
+   simulates and persists every cell, the warm pass must be served
+   entirely from the store — zero misses, zero engine dispatches, rows
+   byte-identical — and at least 10x faster than simulating. *)
+let e22 () =
+  header "E22" "Experiment store: warm vs cold sweep (cache-aware execution)";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcs-e22-%d" (Unix.getpid ()))
+  in
+  (* Fresh store for every invocation: stale entries would turn the cold
+     pass into a warm one and void the measurement. *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let plan =
+    match
+      Gcs_sim.Fault_plan.of_string "partition@15:cut=0,1,2;heal@25:cut=0,1,2"
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let horizon = 60. in
+  let cells =
+    List.concat_map
+      (fun topo ->
+        List.concat_map
+          (fun algo ->
+            List.map (fun seed -> (topo, algo, seed))
+              (Gcs_core.Replicate.seeds 50))
+          [ Algorithm.Gradient_sync; Algorithm.Tree_sync ])
+      [ Topology.Ring 12; Topology.Line 13 ]
+  in
+  let keyed =
+    Array.of_list
+      (List.map
+         (fun (topo, algo, seed) ->
+           let graph =
+             Topology.build topo ~rng:(Prng.create ~seed:(seed lxor 0x5eed))
+           in
+           ( Some
+               (Runner.store_key ~fault_plan:plan ~spec ~topology:topo ~algo
+                  ~horizon ~seed ()),
+             Runner.config ~spec ~algo ~horizon ~seed ~fault_plan:plan graph ))
+         cells)
+  in
+  let rows_of outcomes =
+    List.mapi
+      (fun i (topo, algo, seed) ->
+        Gcs_core.Report.outcome_row
+          ~label:(Topology.spec_name topo)
+          ~algo:(Algorithm.kind_name algo) ~seed outcomes.(i))
+      cells
+  in
+  let pass () =
+    let store = Gcs_store.Store.open_ ~create:true dir in
+    let t0 = Unix.gettimeofday () in
+    let outcomes, stats =
+      Gcs_core.Parallel_run.run_cached ~jobs:!jobs ~store keyed
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Gcs_store.Store.close store;
+    (wall, outcomes, stats)
+  in
+  let t_cold, cold_out, cold = pass () in
+  let t_warm, warm_out, warm = pass () in
+  let identical = rows_of cold_out = rows_of warm_out in
+  let speedup = t_cold /. t_warm in
+  let row label wall (s : Gcs_core.Parallel_run.cache_stats) =
+    [
+      label;
+      Table.fmt_float ~digits:3 wall;
+      string_of_int s.Gcs_core.Parallel_run.hits;
+      string_of_int s.Gcs_core.Parallel_run.misses;
+      string_of_int s.Gcs_core.Parallel_run.fresh_dispatches;
+    ]
+  in
+  print_table ~name:"e22_store_warm_cold"
+    ~title:
+      (Printf.sprintf
+         "same %d-cell faulted sweep, cold then warm against one store"
+         (Array.length keyed))
+    ~columns:
+      [
+        Table.column ~align:Table.Left "pass";
+        Table.column "wall s";
+        Table.column "hits";
+        Table.column "misses";
+        Table.column "fresh dispatches";
+      ]
+    ~rows:[ row "cold" t_cold cold; row "warm" t_warm warm ];
+  Printf.printf "rows byte-identical: %s; warm/cold speedup: %.1fx\n"
+    (if identical then "yes" else "NO")
+    speedup;
+  let fail msg =
+    prerr_endline ("E22: " ^ msg);
+    exit 1
+  in
+  if cold.Gcs_core.Parallel_run.misses <> Array.length keyed then
+    fail "cold pass was not fully cold (stale store?)";
+  if warm.Gcs_core.Parallel_run.misses <> 0 then
+    fail "warm pass missed the cache";
+  if warm.Gcs_core.Parallel_run.fresh_dispatches <> 0 then
+    fail "warm pass dispatched engine events";
+  if not identical then fail "warm rows diverged from cold rows";
+  if speedup < 10. then
+    fail (Printf.sprintf "warm/cold speedup %.1fx below the 10x target" speedup)
+
 (* E8: substrate micro-benchmarks (Bechamel). *)
 let e8 () =
   header "E8" "Substrate micro-benchmarks (ns per operation, OLS estimate)";
@@ -1209,7 +1319,8 @@ let experiments =
     ("e5", e5); ("e6", e6); ("e7", e7); ("e9", e9);
     ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
     ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e8", e8);
+    ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
+    ("e8", e8);
   ]
 
 let () =

@@ -7,7 +7,10 @@
      bounds   - print the analytic bounds for a given instance
      faults   - one simulation under a fault plan, with recovery metrics
      sweep    - batched campaign over seeds x topologies x algorithms,
-                sharded across domains, emitted as one CSV
+                sharded across domains, emitted as one CSV; --store makes
+                it resumable and incremental via the experiment store
+     store    - inspect/maintain the experiment store and diff a sweep
+                CSV against a stored baseline (regression gate)
      trace    - export the structured event log (JSONL/CSV) and skew
                 series of one or more runs; byte-identical across --jobs
      report   - summary table, skew sparklines, fault episodes, and
@@ -619,15 +622,26 @@ let sweep_cmd =
              faults subcommand); adds fault_transient and fault_resync \
              columns.")
   in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Consult and fill the experiment store in DIR: cells already \
+             stored are served from it instead of simulating, fresh cells \
+             are persisted as they complete. Makes a killed sweep resumable \
+             and repeated sweeps incremental; output stays byte-identical \
+             to a storeless run.")
+  in
   let action spec_result topologies algos seeds seed_base jobs out horizon
-      loss fault_plan =
+      loss fault_plan store_dir =
     let spec = or_die spec_result in
     let jobs = if jobs = 0 then Gcs_util.Pool.default_jobs () else jobs in
     if jobs < 0 then or_die (Error "jobs must be >= 0");
     if seeds <= 0 then or_die (Error "seeds must be > 0");
-    let loss_law =
-      if loss <= 0. then Runner.No_loss else Runner.Uniform_loss loss
-    in
+    let loss = if loss <= 0. then 0. else loss in
+    let loss_law = if loss = 0. then Runner.No_loss else Runner.Uniform_loss loss in
     let seed_list = Gcs_core.Replicate.seeds ~base:seed_base seeds in
     (* The grid is laid out topology-major, then algorithm, then seed; the
        pool preserves this order, so the CSV row order — and therefore the
@@ -640,7 +654,7 @@ let sweep_cmd =
             algos)
         topologies
     in
-    let configs =
+    let keyed_configs =
       Array.of_list
         (List.map
            (fun (topo, algo, seed) ->
@@ -655,29 +669,46 @@ let sweep_cmd =
                           (Printf.sprintf "fault plan on %s: %s"
                              (Topology.spec_name topo) msg)))
              | None -> ());
-             ( topo,
+             ( Some
+                 (Runner.store_key ~loss ?fault_plan ~spec ~topology:topo ~algo
+                    ~horizon ~seed ()),
                Runner.config ~spec ~algo ~horizon ~loss:loss_law ~seed
                  ?fault_plan graph ))
            cells)
     in
-    let row (topo, cfg) =
-      let r = Runner.run cfg in
-      Report.result_row ~label:(Topology.spec_name topo) cfg r
+    let store = Option.map (Gcs_store.Store.open_ ~create:true) store_dir in
+    let outcomes, stats =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Gcs_store.Store.close store)
+        (fun () -> Parallel_run.run_cached ~jobs ?store keyed_configs)
     in
-    let rows = Array.to_list (Gcs_util.Pool.map ~jobs row configs) in
+    let rows =
+      List.mapi
+        (fun i (topo, algo, seed) ->
+          Report.outcome_row
+            ~label:(Topology.spec_name topo)
+            ~algo:(Algorithm.kind_name algo) ~seed outcomes.(i))
+        cells
+    in
+    if store_dir <> None then
+      Printf.eprintf "store: %d hits, %d misses (%d fresh dispatches)\n"
+        stats.Parallel_run.hits stats.Parallel_run.misses
+        stats.Parallel_run.fresh_dispatches;
     let header = Report.result_header ~faults:(fault_plan <> None) () in
     if out = "-" then print_string (Gcs_util.Csv.render ~header ~rows)
     else begin
       Gcs_util.Csv.write ~path:out ~header ~rows;
       Printf.printf "wrote %d rows to %s (%d configs, %d domains)\n"
-        (List.length rows) out (Array.length configs) jobs
+        (List.length rows) out
+        (Array.length keyed_configs)
+        jobs
     end
   in
   let term =
     Term.(
       const action $ spec_term $ topologies_arg $ algos_arg $ seeds_arg
       $ seed_base_arg $ jobs_arg $ out_arg $ horizon_arg $ loss_arg
-      $ sweep_plan_arg)
+      $ sweep_plan_arg $ store_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -1033,6 +1064,256 @@ let report_cmd =
           sparklines, fault episodes, and profiler totals.")
     term
 
+(* gcs-cli store ... : inspect and gate against the experiment store. *)
+
+module Store = Gcs_store.Store
+module Store_key = Gcs_store.Key
+module Outcome = Gcs_store.Outcome
+
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Store directory (default: \\$GCS_STORE_DIR, else \
+           ~/.cache/gcs).")
+
+let resolve_store_dir = function
+  | Some d -> d
+  | None -> Store.default_dir ()
+
+let store_stats_cmd =
+  let action dir =
+    let dir = resolve_store_dir dir in
+    let st = Store.open_ ~create:true dir in
+    Fun.protect
+      ~finally:(fun () -> Store.close st)
+      (fun () ->
+        Printf.printf "store     : %s\n" (Store.dir st);
+        Printf.printf "entries   : %d\n" (Store.length st);
+        Printf.printf "log bytes : %d\n" (Store.log_bytes st);
+        let by_schema = Hashtbl.create 4 and by_algo = Hashtbl.create 8 in
+        let bump tbl k =
+          Hashtbl.replace tbl k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+        in
+        Store.iter st (fun k _ ->
+            bump by_schema k.Store_key.schema_version;
+            bump by_algo k.Store_key.algo);
+        let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare in
+        List.iter
+          (fun (v, n) -> Printf.printf "schema %d  : %d entries\n" v n)
+          (sorted by_schema);
+        List.iter
+          (fun (a, n) -> Printf.printf "algo %-9s: %d entries\n" a n)
+          (sorted by_algo))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Entry counts and sizes of an experiment store.")
+    Term.(const action $ store_dir_arg)
+
+let store_verify_cmd =
+  let action dir =
+    let dir = resolve_store_dir dir in
+    let st = Store.open_ ~create:true dir in
+    let rep =
+      Fun.protect ~finally:(fun () -> Store.close st) (fun () -> Store.verify st)
+    in
+    Printf.printf "records    : %d\n" rep.Store.records;
+    Printf.printf "live       : %d\n" rep.Store.live;
+    Printf.printf "bytes      : %d\n" rep.Store.bytes;
+    Printf.printf "corrupt    : %d\n" rep.Store.corrupt;
+    Printf.printf "torn bytes : %d\n" rep.Store.torn_bytes;
+    Printf.printf "index      : %s\n" (if rep.Store.index_ok then "ok" else "rebuilt");
+    if rep.Store.corrupt > 0 then begin
+      prerr_endline "error: store holds corrupt records (re-run gc to drop them)";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Re-scan the record log, cross-check the index, and exit non-zero \
+          on corrupt records.")
+    Term.(const action $ store_dir_arg)
+
+let store_gc_cmd =
+  let keep_schema_arg =
+    Arg.(
+      value
+      & opt int Store_key.current_schema_version
+      & info [ "keep-schema" ] ~docv:"N"
+          ~doc:"Keep only records of this schema version (default: current).")
+  in
+  let action dir keep_schema =
+    let dir = resolve_store_dir dir in
+    let st = Store.open_ ~create:true dir in
+    Fun.protect
+      ~finally:(fun () -> Store.close st)
+      (fun () ->
+        let dropped = Store.gc ~keep_schema st in
+        Printf.printf "dropped %d records, %d live (%d bytes)\n" dropped
+          (Store.length st) (Store.log_bytes st))
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Compact the record log: drop superseded duplicates, corrupt \
+          records, and entries from other schema versions.")
+    Term.(const action $ store_dir_arg $ keep_schema_arg)
+
+let store_diff_cmd =
+  let csv_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CSV" ~doc:"Sweep CSV to check against the baseline.")
+  in
+  let tol_abs_arg =
+    Arg.(
+      value & opt float 1e-9
+      & info [ "tol-abs" ] ~docv:"X" ~doc:"Absolute tolerance per numeric cell.")
+  in
+  let tol_rel_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "tol-rel" ] ~docv:"X" ~doc:"Relative tolerance per numeric cell.")
+  in
+  let action dir csv_path tol_abs tol_rel =
+    let dir = resolve_store_dir dir in
+    let st =
+      try Store.open_ ~create:false dir
+      with Invalid_argument msg -> or_die (Error msg)
+    in
+    (* Index the baseline by the sweep's identity columns. A triple that
+       appears twice (same cell stored under different horizons or specs)
+       cannot be gated against unambiguously. *)
+    let baseline = Hashtbl.create 64 in
+    Fun.protect
+      ~finally:(fun () -> Store.close st)
+      (fun () ->
+        Store.iter st (fun k o ->
+            let triple =
+              (Topology.spec_name k.Store_key.topology, k.Store_key.algo,
+               k.Store_key.seed)
+            in
+            Hashtbl.replace baseline triple
+              (if Hashtbl.mem baseline triple then `Ambiguous else `One o)));
+    let content =
+      let ic = open_in_bin csv_path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let lines =
+      List.filter (fun l -> l <> "") (String.split_on_char '\n' content)
+    in
+    let header, data_rows =
+      match lines with
+      | [] -> or_die (Error "empty CSV")
+      | h :: rest -> (or_die (Gcs_util.Csv.parse_line h), rest)
+    in
+    let col name row =
+      let rec go names cells =
+        match (names, cells) with
+        | n :: _, c :: _ when n = name -> Some c
+        | _ :: ns, _ :: cs -> go ns cs
+        | _ -> None
+      in
+      go header row
+    in
+    let require name row =
+      match col name row with
+      | Some c -> c
+      | None -> or_die (Error (Printf.sprintf "CSV has no %s column" name))
+    in
+    let drift = ref 0 and missing = ref 0 and ambiguous = ref 0 in
+    let out_header =
+      [ "topology"; "algorithm"; "seed"; "column"; "baseline"; "measured"; "delta" ]
+    in
+    print_endline (Gcs_util.Csv.render_row out_header);
+    let close_enough a b =
+      Float.abs (a -. b)
+      <= tol_abs +. (tol_rel *. Float.max (Float.abs a) (Float.abs b))
+    in
+    List.iter
+      (fun line ->
+        let row = or_die (Gcs_util.Csv.parse_line line) in
+        let topo = require "topology" row in
+        let algo = require "algorithm" row in
+        let seed =
+          match int_of_string_opt (require "seed" row) with
+          | Some s -> s
+          | None -> or_die (Error ("bad seed in row: " ^ line))
+        in
+        match Hashtbl.find_opt baseline (topo, algo, seed) with
+        | None ->
+            incr missing;
+            Printf.eprintf "missing from baseline: %s %s seed %d\n" topo algo
+              seed
+        | Some `Ambiguous ->
+            incr ambiguous;
+            Printf.eprintf "ambiguous baseline (multiple entries): %s %s seed %d\n"
+              topo algo seed
+        | Some (`One o) ->
+            let expected =
+              Report.outcome_row ~label:topo ~algo ~seed o
+            in
+            let expected_header =
+              Report.result_header ~faults:(o.Outcome.fault <> None) ()
+            in
+            List.iteri
+              (fun i name ->
+                match (List.nth_opt expected i, col name row) with
+                | Some base, Some got when base <> got ->
+                    let numeric_ok =
+                      match
+                        (float_of_string_opt base, float_of_string_opt got)
+                      with
+                      | Some a, Some b -> close_enough a b
+                      | _ -> false
+                    in
+                    if not numeric_ok then begin
+                      incr drift;
+                      let delta =
+                        match
+                          (float_of_string_opt base, float_of_string_opt got)
+                        with
+                        | Some a, Some b -> Printf.sprintf "%.6g" (b -. a)
+                        | _ -> ""
+                      in
+                      print_endline
+                        (Gcs_util.Csv.render_row
+                           [
+                             topo; algo; string_of_int seed; name; base; got;
+                             delta;
+                           ])
+                    end
+                | _ -> ())
+              expected_header)
+      data_rows;
+    Printf.eprintf "diff: %d drifted cells, %d missing rows, %d ambiguous rows\n"
+      !drift !missing !ambiguous;
+    if !ambiguous > 0 then exit 2;
+    if !drift > 0 || !missing > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare a sweep CSV against a stored baseline, printing \
+          out-of-tolerance cells as CSV. Exits 1 on drift or rows missing \
+          from the baseline, 2 when the baseline is ambiguous for a row.")
+    Term.(const action $ store_dir_arg $ csv_arg $ tol_abs_arg $ tol_rel_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Inspect, maintain, and gate against the content-addressed \
+          experiment store that cache-aware sweeps fill.")
+    [ store_stats_cmd; store_verify_cmd; store_gc_cmd; store_diff_cmd ]
+
 let () =
   let info =
     Cmd.info "gcs-cli" ~version:"1.0.0"
@@ -1043,5 +1324,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; compare_cmd; attack_cmd; bounds_cmd; external_cmd;
-            trace_cmd; report_cmd; faults_cmd; sweep_cmd;
+            trace_cmd; report_cmd; faults_cmd; sweep_cmd; store_cmd;
           ]))

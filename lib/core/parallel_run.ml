@@ -4,6 +4,52 @@ module Logical_clock = Gcs_clock.Logical_clock
 let run ?jobs cfgs = Pool.map ?jobs Runner.run cfgs
 let map ?jobs ~f cfgs = Pool.map ?jobs (fun cfg -> f (Runner.run cfg)) cfgs
 
+type cache_stats = { hits : int; misses : int; fresh_dispatches : int }
+
+let run_cached ?jobs ?store cells =
+  let n = Array.length cells in
+  let outcomes : Gcs_store.Outcome.t option array = Array.make n None in
+  let miss_rev = ref [] in
+  Array.iteri
+    (fun i (key, _) ->
+      match (store, key) with
+      | Some st, Some k -> (
+          match Gcs_store.Store.find st k with
+          | Some o -> outcomes.(i) <- Some o
+          | None -> miss_rev := i :: !miss_rev)
+      | _ -> miss_rev := i :: !miss_rev)
+    cells;
+  let miss = Array.of_list (List.rev !miss_rev) in
+  (* Simulate only the misses, sharded like [run]; each worker persists
+     its cell as soon as it finishes, so an interrupted batch resumes
+     from whatever completed (the store serializes writers internally). *)
+  let fresh =
+    Pool.map ?jobs
+      (fun i ->
+        let key, cfg = cells.(i) in
+        let r = Runner.run cfg in
+        let o = Runner.outcome r in
+        (match (store, key) with
+        | Some st, Some k -> Gcs_store.Store.put st k o
+        | _ -> ());
+        (o, r.Runner.dispatches))
+      miss
+  in
+  let fresh_dispatches = ref 0 in
+  Array.iteri
+    (fun j i ->
+      let o, d = fresh.(j) in
+      outcomes.(i) <- Some o;
+      fresh_dispatches := !fresh_dispatches + d)
+    miss;
+  let outcomes = Array.map Option.get outcomes in
+  ( outcomes,
+    {
+      hits = n - Array.length miss;
+      misses = Array.length miss;
+      fresh_dispatches = !fresh_dispatches;
+    } )
+
 type merged = {
   summaries : Metrics.summary array;
   samples : (int * Metrics.sample) array;

@@ -21,6 +21,26 @@ val map : ?jobs:int -> f:(Runner.result -> 'a) -> Runner.config array -> 'a arra
     worker that produced it, so large intermediate results can be reduced
     to scalars without crossing domains. [f] must be pure. *)
 
+(** How a cached batch was served. [fresh_dispatches] sums
+    [Runner.result.dispatches] over the cells that actually simulated, so
+    a fully warm batch asserts as [misses = 0] {e and}
+    [fresh_dispatches = 0] — the cache provably did not run the engine. *)
+type cache_stats = { hits : int; misses : int; fresh_dispatches : int }
+
+val run_cached :
+  ?jobs:int ->
+  ?store:Gcs_store.Store.t ->
+  (Gcs_store.Key.t option * Runner.config) array ->
+  Gcs_store.Outcome.t array * cache_stats
+(** [run_cached ~store cells] serves each [(key, config)] cell from the
+    store when its key is present, and simulates the rest exactly as
+    {!run} would (same sharding, bit-identical results in input order).
+    Each worker persists its outcome the moment the run completes — not
+    at batch end — so a killed sweep keeps everything finished so far.
+    Cells with no key (configs a canonical key cannot describe) always
+    simulate and are never persisted. Without [?store] every cell is a
+    miss: the output equals [Array.map Runner.outcome (run cfgs)]. *)
+
 (** Order-preserving aggregate of a batch, merged deterministically. *)
 type merged = {
   summaries : Metrics.summary array;  (** one per config, input order *)

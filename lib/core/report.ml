@@ -1,7 +1,3 @@
-module Graph = Gcs_graph.Graph
-module Shortest_path = Gcs_graph.Shortest_path
-module Lc = Gcs_clock.Logical_clock
-
 let result_header ?(faults = false) () =
   [
     "topology"; "algorithm"; "seed"; "nodes"; "edges"; "diameter"; "max_local";
@@ -10,39 +6,42 @@ let result_header ?(faults = false) () =
   ]
   @ if faults then [ "fault_transient"; "fault_drops"; "fault_resync" ] else []
 
-let result_row ~label (cfg : Runner.config) (r : Runner.result) =
-  let graph = r.Runner.graph in
-  let s = r.Runner.summary in
+let outcome_row ~label ~algo ~seed (o : Gcs_store.Outcome.t) =
   let f x = Printf.sprintf "%.6f" x in
   [
     label;
-    Algorithm.kind_name cfg.Runner.algo;
-    string_of_int cfg.Runner.seed;
-    string_of_int (Graph.n graph);
-    string_of_int (Graph.m graph);
-    string_of_int (Shortest_path.diameter graph);
-    f s.Metrics.max_local;
-    f s.Metrics.mean_local;
-    f s.Metrics.p99_local;
-    f s.Metrics.max_global;
-    f s.Metrics.final_local;
-    f s.Metrics.final_global;
-    string_of_int r.Runner.messages;
-    string_of_int r.Runner.dropped;
-    string_of_int r.Runner.events;
-    string_of_int r.Runner.jumps.Lc.count;
+    algo;
+    string_of_int seed;
+    string_of_int o.Gcs_store.Outcome.nodes;
+    string_of_int o.Gcs_store.Outcome.edges;
+    string_of_int o.Gcs_store.Outcome.diameter;
+    f o.Gcs_store.Outcome.max_local;
+    f o.Gcs_store.Outcome.mean_local;
+    f o.Gcs_store.Outcome.p99_local;
+    f o.Gcs_store.Outcome.max_global;
+    f o.Gcs_store.Outcome.final_local;
+    f o.Gcs_store.Outcome.final_global;
+    string_of_int o.Gcs_store.Outcome.messages;
+    string_of_int o.Gcs_store.Outcome.dropped;
+    string_of_int o.Gcs_store.Outcome.events;
+    string_of_int o.Gcs_store.Outcome.jump_count;
   ]
   @
-  match r.Runner.fault_report with
+  match o.Gcs_store.Outcome.fault with
   | None -> []
-  | Some rep ->
+  | Some fr ->
       [
-        f (Fault_metrics.worst_transient rep);
-        string_of_int rep.Fault_metrics.dropped_faults;
-        (match Fault_metrics.max_time_to_resync rep with
+        f fr.Gcs_store.Outcome.transient;
+        string_of_int fr.Gcs_store.Outcome.fault_drops;
+        (match fr.Gcs_store.Outcome.resync with
         | Some t -> f t
         | None -> "never");
       ]
+
+let result_row ~label (cfg : Runner.config) (r : Runner.result) =
+  outcome_row ~label
+    ~algo:(Algorithm.kind_name cfg.Runner.algo)
+    ~seed:cfg.Runner.seed (Runner.outcome r)
 
 let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
                      "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";

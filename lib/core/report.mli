@@ -9,11 +9,19 @@ val result_header : ?faults:bool -> unit -> string list
 (** Column names matching {!result_row}; [~faults:true] appends the three
     fault-recovery columns. *)
 
+val outcome_row :
+  label:string -> algo:string -> seed:int -> Gcs_store.Outcome.t -> string list
+(** One CSV row from a stored outcome. Because outcomes round-trip floats
+    bit-for-bit, a cached row is byte-identical to the row of the fresh
+    run that produced it. The fault columns are present iff the outcome
+    carries a fault report. *)
+
 val result_row : label:string -> Runner.config -> Runner.result -> string list
 (** One CSV row for a completed run. [label] fills the [topology] column
     (callers usually pass the topology spec name). Floats are rendered
     with [%.6f]. The fault columns are present iff [result.fault_report]
-    is [Some] — pair with [result_header ~faults:true]. *)
+    is [Some] — pair with [result_header ~faults:true]. Equals
+    [outcome_row] applied to [Runner.outcome result]. *)
 
 val sparkline : ?width:int -> float array -> string
 (** Render a series as a row of eight-level Unicode block characters,

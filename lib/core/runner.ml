@@ -95,6 +95,7 @@ type result = {
   messages : int;
   dropped : int;
   dropped_faults : int;
+  dispatches : int;
   jumps : Logical_clock.jump_stats;
   fault_report : Fault_metrics.report option;
   obs : Capture.captured;
@@ -390,6 +391,10 @@ let complete live =
     messages = Engine.messages_sent live.engine;
     dropped = Engine.messages_dropped live.engine;
     dropped_faults = Engine.messages_dropped_faults live.engine;
+    dispatches =
+      Engine.dispatch_count live.engine Engine.Dispatch_deliver
+      + Engine.dispatch_count live.engine Engine.Dispatch_timer
+      + Engine.dispatch_count live.engine Engine.Dispatch_control;
     jumps = aggregate_jumps live.logical;
     fault_report;
     obs =
@@ -414,3 +419,44 @@ let complete live =
   }
 
 let run cfg = complete (prepare cfg)
+
+let store_key ?(drift = "random") ?(loss = 0.) ?(sample_period = 1.) ?warmup
+    ?fault_plan ~spec ~topology ~algo ~horizon ~seed () =
+  let warmup = match warmup with Some w -> w | None -> horizon /. 4. in
+  Gcs_store.Key.make ~drift ~loss ?fault_plan ~rho:spec.Spec.rho
+    ~mu:spec.Spec.mu ~d_min:(Spec.d_min spec) ~d_max:(Spec.d_max spec)
+    ~beacon_period:spec.Spec.beacon_period ~kappa:spec.Spec.kappa
+    ~staleness_limit:spec.Spec.staleness_limit ~topology
+    ~algo:(Algorithm.kind_name algo) ~horizon ~sample_period ~warmup ~seed ()
+
+let outcome (r : result) =
+  let fault =
+    Option.map
+      (fun rep ->
+        {
+          Gcs_store.Outcome.transient = Fault_metrics.worst_transient rep;
+          fault_drops = rep.Fault_metrics.dropped_faults;
+          resync = Fault_metrics.max_time_to_resync rep;
+        })
+      r.fault_report
+  in
+  {
+    Gcs_store.Outcome.nodes = Graph.n r.graph;
+    edges = Graph.m r.graph;
+    diameter = Gcs_graph.Shortest_path.diameter r.graph;
+    max_global = r.summary.Metrics.max_global;
+    max_local = r.summary.Metrics.max_local;
+    mean_local = r.summary.Metrics.mean_local;
+    p99_local = r.summary.Metrics.p99_local;
+    final_global = r.summary.Metrics.final_global;
+    final_local = r.summary.Metrics.final_local;
+    samples_used = r.summary.Metrics.samples_used;
+    messages = r.messages;
+    dropped = r.dropped;
+    dropped_faults = r.dropped_faults;
+    events = r.events;
+    jump_count = r.jumps.Logical_clock.count;
+    jump_total = r.jumps.Logical_clock.total_magnitude;
+    jump_max = r.jumps.Logical_clock.max_magnitude;
+    fault;
+  }

@@ -107,6 +107,11 @@ type result = {
   dropped_faults : int;
       (** messages lost to partitions or crashed receivers (zero without a
           fault plan) *)
+  dispatches : int;
+      (** total engine dispatches (deliveries + timers + control events)
+          this run performed — exactly zero for a result served from the
+          experiment store, which is how cache-correctness assertions
+          distinguish "simulated" from "recalled" *)
   jumps : Gcs_clock.Logical_clock.jump_stats;
       (** aggregate clock discontinuities across all nodes; non-zero only
           for jump-based algorithms, which thereby step outside the
@@ -134,3 +139,33 @@ val run : config -> result
 val snapshot : live -> Metrics.sample
 (** Current true logical clock values (observer access; usable from control
     closures while the run is live). *)
+
+val store_key :
+  ?drift:string ->
+  ?loss:float ->
+  ?sample_period:float ->
+  ?warmup:float ->
+  ?fault_plan:Gcs_sim.Fault_plan.t ->
+  spec:Spec.t ->
+  topology:Gcs_graph.Topology.spec ->
+  algo:Algorithm.kind ->
+  horizon:float ->
+  seed:int ->
+  unit ->
+  Gcs_store.Key.t
+(** The canonical store key of the run a [config] built from these inputs
+    would perform. Defaults mirror {!config}: [drift] ["random"]
+    (per-node random-constant), [loss] [0.], [sample_period] [1.],
+    [warmup] [horizon /. 4.]. A key exists only for describable runs —
+    topology by spec (the graph must be built from it with the sweep
+    convention, [Topology.build ~rng:(Prng.create ~seed:(seed lxor
+    0x5eed))]), drift by pattern string, loss by uniform probability — so
+    custom delay choosers, overrides, or bespoke graphs are simply
+    uncacheable, not mis-cached. *)
+
+val outcome : result -> Gcs_store.Outcome.t
+(** Flatten a result to the primitive record the store persists (summary,
+    counters, jump stats, fault report; the graph reduced to
+    nodes/edges/diameter). Lossless for everything a sweep row needs:
+    [Report.outcome_row] renders identical bytes from a fresh result and
+    its stored outcome. *)

@@ -10,6 +10,8 @@ type t = {
 }
 
 let uncertainty t = Delay_model.uncertainty t.delay
+let d_min t = t.delay.Delay_model.d_min
+let d_max t = t.delay.Delay_model.d_max
 let vartheta t = 1. +. t.rho
 let sigma t = if t.rho = 0. then infinity else t.mu /. t.rho
 

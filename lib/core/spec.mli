@@ -38,6 +38,11 @@ val make :
 val uncertainty : t -> float
 (** Per-hop delay uncertainty [u = d_max - d_min]. *)
 
+val d_min : t -> float
+val d_max : t -> float
+(** The delay-bound components, for callers (canonical store keys, key
+    grids) that flatten a spec to primitives. *)
+
 val vartheta : t -> float
 (** Maximum hardware rate [1 + rho]. *)
 

@@ -74,13 +74,6 @@ let counts (t : t) =
     fault_events = t.fault_events;
   }
 
-let count_sends (t : t) = t.sends
-let count_drops (t : t) = t.drops
-let count_delivers (t : t) = t.delivers
-let count_timers (t : t) = t.timers
-let count_rate_changes (t : t) = t.rate_changes
-let count_fault_events (t : t) = t.fault_events
-
 let clear t =
   Array.fill t.ring 0 t.capacity None;
   t.next <- 0;

@@ -42,24 +42,6 @@ type counts = {
 
 val counts : t -> counts
 
-val count_sends : t -> int
-  [@@ocaml.deprecated "use Trace.counts"]
-
-val count_drops : t -> int
-  [@@ocaml.deprecated "use Trace.counts"]
-
-val count_delivers : t -> int
-  [@@ocaml.deprecated "use Trace.counts"]
-
-val count_timers : t -> int
-  [@@ocaml.deprecated "use Trace.counts"]
-
-val count_rate_changes : t -> int
-  [@@ocaml.deprecated "use Trace.counts"]
-
-val count_fault_events : t -> int
-  [@@ocaml.deprecated "use Trace.counts"]
-
 val clear : t -> unit
 
 val entry_to_string : entry -> string

@@ -1,0 +1,40 @@
+(** The durable result of one run: everything a sweep row or a baseline
+    comparison needs, flattened to primitives so the store does not depend
+    on [gcs.core] (which sits above it and threads store handles through
+    its runners). [Gcs_core.Runner.outcome] bridges a runner result into
+    this record.
+
+    Encodes to a versioned line-oriented text block with [%.17g] floats, so
+    decoding reproduces the original values bit-for-bit — cached sweep rows
+    are byte-identical to freshly computed ones. *)
+
+type fault = {
+  transient : float;  (** worst transient skew across episodes *)
+  fault_drops : int;  (** messages lost to partitions/crashes *)
+  resync : float option;  (** max time-to-resync; [None] = never *)
+}
+
+type t = {
+  nodes : int;
+  edges : int;
+  diameter : int;
+  max_global : float;
+  max_local : float;
+  mean_local : float;
+  p99_local : float;
+  final_global : float;
+  final_local : float;
+  samples_used : int;
+  messages : int;
+  dropped : int;  (** messages lost to the loss law *)
+  dropped_faults : int;
+  events : int;
+  jump_count : int;
+  jump_total : float;
+  jump_max : float;
+  fault : fault option;  (** [Some] iff the run had a fault plan *)
+}
+
+val encode : t -> string
+val decode : string -> (t, string) result
+(** [decode (encode o) = Ok o], bit-for-bit on every float. *)

@@ -1,0 +1,340 @@
+let log_name = "log"
+let index_name = "index"
+let index_magic = "gcs.store:index:1"
+let frame_magic = "GCSR1"
+
+type entry = {
+  off : int;
+  len : int;  (** whole frame, header line through closing newline *)
+  mutable cached : (Key.t * Outcome.t) option;
+}
+
+type t = {
+  dir : string;
+  log_path : string;
+  index_path : string;
+  tbl : (string, entry) Hashtbl.t;  (** hash -> live record *)
+  mutable log_len : int;
+  mutable out : out_channel;
+  mutable inc : in_channel;
+  mutable open_index_ok : bool;
+  lock : Mutex.t;
+}
+
+let default_dir () =
+  match Sys.getenv_opt "GCS_STORE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Filename.concat d "gcs"
+      | _ -> (
+          match Sys.getenv_opt "HOME" with
+          | Some d when d <> "" ->
+              Filename.concat (Filename.concat d ".cache") "gcs"
+          | _ -> Filename.concat (Filename.get_temp_dir_name ()) "gcs"))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  if not (Sys.file_exists path) then ""
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
+
+(* Write [content] to [path] atomically: same-directory tmp + rename. *)
+let write_file_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     flush oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let frame key outcome =
+  let kb = Key.encode key in
+  let pb = Outcome.encode outcome in
+  let digest = Digest.to_hex (Digest.string (kb ^ pb)) in
+  Printf.sprintf "%s %d %d %s\n%s%s\n" frame_magic (String.length kb)
+    (String.length pb) digest kb pb
+
+(* One record starting at [off] in [content]:
+   [`Rec] well-formed, [`Skip] well-framed but corrupt (digest or decode),
+   [`Torn] cannot resync — everything from [off] is a torn tail. *)
+let parse_record content off =
+  let len = String.length content in
+  match String.index_from_opt content off '\n' with
+  | None -> `Torn
+  | Some nl -> (
+      let header = String.sub content off (nl - off) in
+      match String.split_on_char ' ' header with
+      | [ m; klen; plen; digest ] when m = frame_magic -> (
+          match (int_of_string_opt klen, int_of_string_opt plen) with
+          | Some klen, Some plen when klen >= 0 && plen >= 0 -> (
+              let body = nl + 1 in
+              let stop = body + klen + plen in
+              if stop >= len then `Torn
+              else if content.[stop] <> '\n' then `Torn
+              else
+                let frame_len = stop + 1 - off in
+                let kb = String.sub content body klen in
+                let pb = String.sub content (body + klen) plen in
+                if Digest.to_hex (Digest.string (kb ^ pb)) <> digest then
+                  `Skip (frame_len, "digest mismatch")
+                else
+                  match (Key.decode kb, Outcome.decode pb) with
+                  | Ok k, Ok o -> `Rec (k, o, frame_len)
+                  | Error e, _ -> `Skip (frame_len, "key: " ^ e)
+                  | _, Error e -> `Skip (frame_len, "outcome: " ^ e))
+          | _ -> `Torn)
+      | _ -> `Torn)
+
+type scan = {
+  scan_tbl : (string, entry) Hashtbl.t;
+  scan_records : int;  (** well-framed records (live and superseded) *)
+  scan_corrupt : int;
+  scan_end : int;  (** clean prefix length; bytes past it are torn *)
+}
+
+let scan_log content =
+  let tbl = Hashtbl.create 64 in
+  let records = ref 0 and corrupt = ref 0 in
+  let off = ref 0 in
+  let len = String.length content in
+  let stop = ref false in
+  while (not !stop) && !off < len do
+    match parse_record content !off with
+    | `Rec (k, o, flen) ->
+        incr records;
+        Hashtbl.replace tbl (Key.hash k)
+          { off = !off; len = flen; cached = Some (k, o) };
+        off := !off + flen
+    | `Skip (flen, _) ->
+        incr corrupt;
+        off := !off + flen
+    | `Torn -> stop := true
+  done;
+  {
+    scan_tbl = tbl;
+    scan_records = !records;
+    scan_corrupt = !corrupt;
+    scan_end = !off;
+  }
+
+let index_content t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s %d %d\n" index_magic t.log_len (Hashtbl.length t.tbl));
+  let rows =
+    Hashtbl.fold (fun h e acc -> (h, e.off, e.len) :: acc) t.tbl []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (h, off, len) -> Buffer.add_string b (Printf.sprintf "%s %d %d\n" h off len))
+    rows;
+  Buffer.contents b
+
+let write_index t = write_file_atomic t.index_path (index_content t)
+
+(* Load the index snapshot if it exactly covers the current log. *)
+let try_index path log_len =
+  match String.split_on_char '\n' (read_file path) with
+  | header :: rows -> (
+      match String.split_on_char ' ' header with
+      | [ m; ilen; count ]
+        when m = index_magic
+             && int_of_string_opt ilen = Some log_len ->
+          let count = int_of_string_opt count in
+          let tbl = Hashtbl.create 64 in
+          let ok =
+            List.for_all
+              (fun row ->
+                row = ""
+                ||
+                match String.split_on_char ' ' row with
+                | [ h; off; len ] -> (
+                    match (int_of_string_opt off, int_of_string_opt len) with
+                    | Some off, Some len
+                      when off >= 0 && len > 0 && off + len <= log_len ->
+                        Hashtbl.replace tbl h { off; len; cached = None };
+                        true
+                    | _ -> false)
+                | _ -> false)
+              rows
+          in
+          if ok && count = Some (Hashtbl.length tbl) then Some tbl else None
+      | _ -> None)
+  | [] -> None
+
+let reopen_channels t =
+  t.out <-
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+      t.log_path;
+  t.inc <- open_in_bin t.log_path
+
+let open_ ?(create = true) dir =
+  if create then mkdir_p dir
+  else if not (Sys.file_exists dir) then
+    invalid_arg (Printf.sprintf "Store.open_: no such directory %s" dir);
+  let log_path = Filename.concat dir log_name in
+  let index_path = Filename.concat dir index_name in
+  let content = read_file log_path in
+  let file_len = String.length content in
+  let tbl, log_len, index_ok =
+    match try_index index_path file_len with
+    | Some tbl -> (tbl, file_len, true)
+    | None ->
+        let s = scan_log content in
+        if s.scan_end < file_len then
+          (* Torn tail (crash mid-append): truncate back to the clean
+             prefix so the log is append-ready again. *)
+          Unix.truncate log_path s.scan_end;
+        ( s.scan_tbl,
+          s.scan_end,
+          file_len = 0 && not (Sys.file_exists index_path) )
+  in
+  let t =
+    {
+      dir;
+      log_path;
+      index_path;
+      tbl;
+      log_len;
+      out = stdout;
+      inc = stdin;
+      open_index_ok = index_ok;
+      lock = Mutex.create ();
+    }
+  in
+  reopen_channels t;
+  write_index t;
+  t
+
+let dir t = t.dir
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+let log_bytes t = Mutex.protect t.lock (fun () -> t.log_len)
+
+(* Load an entry's record from the log; caller holds the lock. *)
+let load t entry =
+  match entry.cached with
+  | Some kv -> kv
+  | None -> (
+      seek_in t.inc entry.off;
+      let bytes = really_input_string t.inc entry.len in
+      match parse_record bytes 0 with
+      | `Rec (k, o, _) ->
+          entry.cached <- Some (k, o);
+          (k, o)
+      | `Skip (_, e) -> failwith ("Store: corrupt indexed record: " ^ e)
+      | `Torn -> failwith "Store: truncated indexed record")
+
+let put t key outcome =
+  Mutex.protect t.lock (fun () ->
+      let fr = frame key outcome in
+      output_string t.out fr;
+      flush t.out;
+      Hashtbl.replace t.tbl (Key.hash key)
+        { off = t.log_len; len = String.length fr; cached = Some (key, outcome) };
+      t.log_len <- t.log_len + String.length fr)
+
+let find t key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl (Key.hash key) with
+      | None -> None
+      | Some e -> Some (snd (load t e)))
+
+let mem t key = Mutex.protect t.lock (fun () -> Hashtbl.mem t.tbl (Key.hash key))
+
+let sorted_entries t =
+  Hashtbl.fold (fun h e acc -> (h, e) :: acc) t.tbl [] |> List.sort compare
+
+let iter t f =
+  let kvs =
+    Mutex.protect t.lock (fun () ->
+        List.map (fun (_, e) -> load t e) (sorted_entries t))
+  in
+  List.iter (fun (k, o) -> f k o) kvs
+
+let gc ?(keep_schema = Key.current_schema_version) t =
+  Mutex.protect t.lock (fun () ->
+      (* Count what the log actually holds (including superseded and
+         corrupt records) so the dropped count is honest. *)
+      let before = scan_log (read_file t.log_path) in
+      let total = before.scan_records + before.scan_corrupt in
+      let keep =
+        List.filter_map
+          (fun (_, e) ->
+            let k, o = load t e in
+            if k.Key.schema_version = keep_schema then Some (k, o) else None)
+          (sorted_entries t)
+      in
+      let b = Buffer.create 4096 in
+      List.iter (fun (k, o) -> Buffer.add_string b (frame k o)) keep;
+      close_out_noerr t.out;
+      close_in_noerr t.inc;
+      write_file_atomic t.log_path (Buffer.contents b);
+      Hashtbl.reset t.tbl;
+      let off = ref 0 in
+      List.iter
+        (fun (k, o) ->
+          let flen = String.length (frame k o) in
+          Hashtbl.replace t.tbl (Key.hash k)
+            { off = !off; len = flen; cached = Some (k, o) };
+          off := !off + flen)
+        keep;
+      t.log_len <- !off;
+      reopen_channels t;
+      write_index t;
+      total - List.length keep)
+
+type verify_report = {
+  records : int;
+  live : int;
+  bytes : int;
+  corrupt : int;
+  torn_bytes : int;
+  index_ok : bool;
+}
+
+let verify t =
+  Mutex.protect t.lock (fun () ->
+      flush t.out;
+      let content = read_file t.log_path in
+      let s = scan_log content in
+      let agrees =
+        Hashtbl.length s.scan_tbl = Hashtbl.length t.tbl
+        && Hashtbl.fold
+             (fun h (e : entry) acc ->
+               acc
+               &&
+               match Hashtbl.find_opt t.tbl h with
+               | Some e' -> e'.off = e.off && e'.len = e.len
+               | None -> false)
+             s.scan_tbl true
+      in
+      {
+        records = s.scan_records;
+        live = Hashtbl.length s.scan_tbl;
+        bytes = String.length content;
+        corrupt = s.scan_corrupt;
+        torn_bytes = String.length content - s.scan_end;
+        index_ok = t.open_index_ok && agrees;
+      })
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      flush t.out;
+      write_index t;
+      close_out_noerr t.out;
+      close_in_noerr t.inc)

@@ -1,0 +1,76 @@
+(** Durable, content-addressed store of completed runs.
+
+    On disk a store directory holds two files:
+
+    - [log] — append-only record log. Each record is one framed
+      (key, outcome) pair: a header line
+      [GCSR1 <key-bytes> <payload-bytes> <md5-hex of key ^ payload>]
+      followed by the key encoding, the outcome encoding, and a closing
+      newline. Records are only ever appended; a crash mid-append leaves a
+      torn tail that {!open_} truncates away on the next open.
+    - [index] — a snapshot of (hash, offset, length) per live record plus
+      the log length it covers, rewritten atomically (tmp+rename) on close
+      and after maintenance. Opening verifies the snapshot against the log
+      and falls back to a full scan whenever anything disagrees, so the
+      index is purely an acceleration structure: deleting it loses
+      nothing.
+
+    Everything in both files is line-oriented text — auditable with a
+    pager, recoverable with a text editor.
+
+    A store handle is safe to share across domains: mutating operations
+    and lookups are serialized by an internal mutex (the simulation time
+    dwarfs the critical sections). *)
+
+type t
+
+val default_dir : unit -> string
+(** [$GCS_STORE_DIR], else [$XDG_CACHE_HOME/gcs], else [$HOME/.cache/gcs],
+    else a [gcs] directory under the system temp dir. *)
+
+val open_ : ?create:bool -> string -> t
+(** Open (and with [create], default true, make) a store directory.
+    Recovers from a torn tail record by truncating the log to the last
+    well-framed record; skips (but keeps counting) framed records whose
+    digest does not match. *)
+
+val close : t -> unit
+(** Flush the log and snapshot the index. The handle must not be used
+    afterwards. *)
+
+val dir : t -> string
+val length : t -> int
+(** Number of live (addressable) records. *)
+
+val log_bytes : t -> int
+(** Current log size in bytes. *)
+
+val put : t -> Key.t -> Outcome.t -> unit
+(** Persist one completed run. The record is flushed to the OS before
+    [put] returns. Re-putting an existing key replaces its entry (last
+    write wins; the log keeps both until [gc]). *)
+
+val find : t -> Key.t -> Outcome.t option
+val mem : t -> Key.t -> bool
+
+val iter : t -> (Key.t -> Outcome.t -> unit) -> unit
+(** Iterate over live records in hash order (deterministic). *)
+
+val gc : ?keep_schema:int -> t -> int
+(** Compact the log: drop superseded duplicates and every record whose
+    [schema_version] differs from [keep_schema] (default
+    {!Key.current_schema_version}). Rewrites log and index atomically.
+    Returns the number of records dropped. *)
+
+type verify_report = {
+  records : int;  (** well-framed records seen in the log *)
+  live : int;  (** addressable after duplicate resolution *)
+  bytes : int;  (** log size *)
+  corrupt : int;  (** framed records failing digest or decode *)
+  torn_bytes : int;  (** trailing bytes past the last whole record *)
+  index_ok : bool;  (** index snapshot agreed with the log at open *)
+}
+
+val verify : t -> verify_report
+(** Re-scan the log from scratch and cross-check against the in-memory
+    index. *)

@@ -31,7 +31,60 @@ let render ~header ~rows =
 let write ~path ~header ~rows =
   let dir = Filename.dirname path in
   if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (render ~header ~rows))
+  (* tmp + rename in the same directory: a crashed or killed writer leaves
+     at worst a stale .tmp, never a truncated CSV at [path]. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc (render ~header ~rows);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let parse_line line =
+  let n = String.length line in
+  let cells = ref [] in
+  let buf = Buffer.create 32 in
+  let push () =
+    cells := Buffer.contents buf :: !cells;
+    Buffer.clear buf
+  in
+  (* States: [`Plain] inside an unquoted cell (or at a cell boundary),
+     [`Quoted] inside quotes, [`Closed] just after a closing quote (only
+     a comma, end of line, or a doubled quote may follow). *)
+  let rec go i state =
+    if i >= n then
+      match state with
+      | `Quoted -> Error "unterminated quoted cell"
+      | `Plain | `Closed ->
+          push ();
+          Ok (List.rev !cells)
+    else
+      let c = line.[i] in
+      match (state, c) with
+      | `Plain, ',' | `Closed, ',' ->
+          push ();
+          go (i + 1) `Plain
+      | `Plain, '"' ->
+          if Buffer.length buf > 0 then
+            Error (Printf.sprintf "stray quote at offset %d" i)
+          else go (i + 1) `Quoted
+      | `Plain, c ->
+          Buffer.add_char buf c;
+          go (i + 1) `Plain
+      | `Quoted, '"' ->
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) `Quoted
+          end
+          else go (i + 1) `Closed
+      | `Quoted, c ->
+          Buffer.add_char buf c;
+          go (i + 1) `Quoted
+      | `Closed, c ->
+          Error (Printf.sprintf "unexpected %C after closing quote at offset %d" c i)
+  in
+  if n = 0 then Ok [ "" ] else go 0 `Plain

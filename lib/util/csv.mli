@@ -18,4 +18,14 @@ val render : header:string list -> rows:string list list -> string
     this). *)
 
 val write : path:string -> header:string list -> rows:string list list -> unit
-(** Write (creating parent directories up to one level if needed). *)
+(** Write (creating parent directories up to one level if needed). The
+    write is atomic — the content goes to [path ^ ".tmp"] and is renamed
+    into place — so an interrupted writer never leaves a truncated CSV
+    behind, only either the old file or the new one. *)
+
+val parse_line : string -> (string list, string) result
+(** Parse one CSV line (no trailing newline) back into its cells,
+    inverting {!render_row}: handles quoted cells, escaped quotes,
+    embedded commas and newlines, and empty fields. [Error] on a stray
+    quote inside an unquoted cell, text after a closing quote, or an
+    unterminated quoted cell. *)

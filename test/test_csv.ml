@@ -21,9 +21,84 @@ let test_write_roundtrip () =
   Sys.remove path;
   Alcotest.(check string) "file content" "a\n1\n2\n" content
 
+let test_escape_edge_cases () =
+  Alcotest.(check string) "empty stays bare" "" (Csv.escape_cell "");
+  Alcotest.(check string) "lone quote" "\"\"\"\"" (Csv.escape_cell "\"");
+  Alcotest.(check string)
+    "quotes and commas together" "\"he said \"\"a,b\"\"\""
+    (Csv.escape_cell "he said \"a,b\"");
+  Alcotest.(check string) "crlf" "\"a\r\nb\"" (Csv.escape_cell "a\r\nb");
+  Alcotest.(check string)
+    "row with empty fields" ",," (Csv.render_row [ ""; ""; "" ]);
+  Alcotest.(check string)
+    "empty field between quoted" "\"a,b\",,c"
+    (Csv.render_row [ "a,b"; ""; "c" ])
+
+let check_parse = Alcotest.(result (list string) string)
+
+let test_parse_line () =
+  Alcotest.check check_parse "plain" (Ok [ "a"; "b"; "c" ])
+    (Csv.parse_line "a,b,c");
+  Alcotest.check check_parse "empty line is one empty cell" (Ok [ "" ])
+    (Csv.parse_line "");
+  Alcotest.check check_parse "empty fields" (Ok [ ""; ""; "" ])
+    (Csv.parse_line ",,");
+  Alcotest.check check_parse "quoted comma" (Ok [ "a,b"; "c" ])
+    (Csv.parse_line "\"a,b\",c");
+  Alcotest.check check_parse "escaped quote" (Ok [ "a\"b" ])
+    (Csv.parse_line "\"a\"\"b\"");
+  Alcotest.check check_parse "embedded newline" (Ok [ "a\nb"; "c" ])
+    (Csv.parse_line "\"a\nb\",c");
+  Alcotest.check check_parse "quoted empty cell" (Ok [ ""; "x" ])
+    (Csv.parse_line "\"\",x")
+
+let test_parse_line_rejects () =
+  let fails s =
+    match Csv.parse_line s with
+    | Error _ -> ()
+    | Ok cells ->
+        Alcotest.failf "%S parsed as %s" s (String.concat "|" cells)
+  in
+  fails "a\"b";
+  fails "\"ab\"c";
+  fails "\"unterminated";
+  fails "\"a\"\"";
+  ()
+
+(* parse_line inverts render_row for arbitrary cell contents. *)
+let qcheck_parse_inverts_render =
+  let open QCheck in
+  let cell_gen =
+    Gen.string_size ~gen:(Gen.oneofl [ 'a'; 'z'; ','; '"'; '\n'; '\r'; ' ' ])
+      (Gen.int_range 0 6)
+  in
+  let row_gen = Gen.list_size (Gen.int_range 1 6) cell_gen in
+  let arb = QCheck.make row_gen ~print:(String.concat "|") in
+  QCheck.Test.make ~count:500 ~name:"parse_line inverts render_row" arb
+    (fun row -> Csv.parse_line (Csv.render_row row) = Ok row)
+
+let test_write_atomic () =
+  let path = Filename.temp_file "gcs_csv" ".csv" in
+  (* Overwrite an existing file: the old content must be fully replaced
+     and no .tmp sibling may survive the rename. *)
+  Csv.write ~path ~header:[ "a" ] ~rows:[ [ "old" ] ];
+  Csv.write ~path ~header:[ "a" ] ~rows:[ [ "new" ] ];
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let tmp_left = Sys.file_exists (path ^ ".tmp") in
+  Sys.remove path;
+  Alcotest.(check string) "replaced" "a\nnew\n" content;
+  Alcotest.(check bool) "no tmp file left" false tmp_left
+
 let suite =
   [
     Alcotest.test_case "escape" `Quick test_escape;
+    Alcotest.test_case "escape edge cases" `Quick test_escape_edge_cases;
     Alcotest.test_case "render" `Quick test_render;
     Alcotest.test_case "write roundtrip" `Quick test_write_roundtrip;
+    Alcotest.test_case "write atomic" `Quick test_write_atomic;
+    Alcotest.test_case "parse_line" `Quick test_parse_line;
+    Alcotest.test_case "parse_line rejects" `Quick test_parse_line_rejects;
+    QCheck_alcotest.to_alcotest qcheck_parse_inverts_render;
   ]

@@ -21,6 +21,7 @@ let () =
       ("sim.engine", Test_engine.suite);
       ("sim.trace", Test_trace.suite);
       ("obs.sinks", Test_obs.suite);
+      ("store", Test_store.suite);
       ("sim.mobility", Test_mobility.suite);
       ("core.spec", Test_spec.suite);
       ("core.offset_estimator", Test_offset_estimator.suite);

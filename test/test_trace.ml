@@ -34,25 +34,6 @@ let test_counts_by_kind () =
   Alcotest.(check int) "rate changes" 1 c.Trace.rate_changes;
   Alcotest.(check int) "fault events" 1 c.Trace.fault_events
 
-(* The deprecated per-kind accessors must keep answering the same numbers
-   as the counts record. *)
-let test_deprecated_count_wrappers () =
-  let t = Trace.create () in
-  Trace.record t 0. (Engine.Obs_send { src = 0; dst = 1; edge = 0; delay = 1. });
-  Trace.record t 1. (Engine.Obs_timer { node = 0; tag = 7 });
-  let c = Trace.counts t in
-  let[@alert "-deprecated"] checks =
-    [
-      ("sends", Trace.count_sends t, c.Trace.sends);
-      ("drops", Trace.count_drops t, c.Trace.drops);
-      ("delivers", Trace.count_delivers t, c.Trace.delivers);
-      ("timers", Trace.count_timers t, c.Trace.timers);
-      ("rate changes", Trace.count_rate_changes t, c.Trace.rate_changes);
-      ("fault events", Trace.count_fault_events t, c.Trace.fault_events);
-    ]
-  in
-  List.iter (fun (l, a, b) -> Alcotest.(check int) l b a) checks
-
 (* Wraparound exactly at the capacity boundary: the ring is full but
    nothing has been evicted yet, then one more record evicts the oldest. *)
 let test_ring_exact_capacity () =
@@ -161,8 +142,6 @@ let suite =
   [
     Alcotest.test_case "ring eviction" `Quick test_ring_buffer_eviction;
     Alcotest.test_case "counts by kind" `Quick test_counts_by_kind;
-    Alcotest.test_case "deprecated count wrappers" `Quick
-      test_deprecated_count_wrappers;
     Alcotest.test_case "ring exact capacity" `Quick test_ring_exact_capacity;
     Alcotest.test_case "ring capacity one" `Quick test_ring_capacity_one;
     Alcotest.test_case "clear" `Quick test_clear;
