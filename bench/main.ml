@@ -1,5 +1,5 @@
 (* Experiment harness: regenerates every "table and figure" of the
-   reproduction (E1-E22 in DESIGN.md). Run everything with
+   reproduction (E1-E23 in DESIGN.md). Run everything with
 
      dune exec bench/main.exe
 
@@ -1313,6 +1313,128 @@ let e8 () =
       ]
     ~rows
 
+(* E23: conformance-monitor overhead. The gcs.check online monitors ride
+   the observer multiplexer and check rate + monotonicity at every event;
+   the acceptance target is that this flight-recorder mode stays under
+   10% wall-time overhead (median of interleaved paired ratios, as in
+   E21) and perturbs no run summary. The skew-checking mode additionally
+   scans each node's neighborhood per event and is reported but not held
+   to the target. *)
+let e23 () =
+  header "E23" "Monitor overhead: online invariant monitors vs bare (ring:48)";
+  let module Monitor = Gcs_check.Monitor in
+  let module Check_run = Gcs_check.Check_run in
+  let graph = Topology.ring 48 in
+  let algo = Algorithm.Gradient_sync in
+  let cfg = Runner.config ~spec ~algo ~horizon:1000. ~seed:77 graph in
+  let envelope = Check_run.default_spec spec algo in
+  let with_skew =
+    Check_run.default_spec
+      ~skew_bound:
+        (Bounds.gradient_local_upper spec
+           ~diameter:(Shortest_path.diameter graph))
+      ~after:250. spec algo
+  in
+  let modes =
+    [|
+      ("bare", None);
+      ("monitor", Some envelope);
+      ("monitor+skew", Some with_skew);
+    |]
+  in
+  let n = Array.length modes in
+  let trials = 9 in
+  let walls = Array.make_matrix n trials 0. in
+  let results = Array.make n None in
+  let checks = Array.make n None in
+  (* Interleaved paired trials, exactly as in E21: machine-speed drift
+     hits every mode equally, and each mode is compared against the bare
+     run of the same pass. *)
+  for k = 0 to trials - 1 do
+    Array.iteri
+      (fun i (_, monitor) ->
+        let t0 = Unix.gettimeofday () in
+        (match monitor with
+        | None -> results.(i) <- Some (Runner.run cfg)
+        | Some monitor ->
+            let checked = Check_run.run ~monitor cfg in
+            results.(i) <- Some checked.Check_run.result;
+            checks.(i) <- Some checked);
+        walls.(i).(k) <- Unix.gettimeofday () -. t0)
+      modes
+  done;
+  let results = Array.map Option.get results in
+  let r_bare = results.(0) in
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let wall i = median walls.(i) in
+  let overhead i =
+    let ratios =
+      Array.init trials (fun k -> walls.(i).(k) /. walls.(0).(k))
+    in
+    100. *. (median ratios -. 1.)
+  in
+  let summaries_equal i = r_bare.Runner.summary = results.(i).Runner.summary in
+  let events_checked i =
+    match checks.(i) with
+    | Some c -> c.Check_run.events_checked
+    | None -> 0
+  in
+  let violated i =
+    match checks.(i) with
+    | Some { Check_run.violation = Some _; _ } -> true
+    | _ -> false
+  in
+  print_table ~name:"e23_monitor_overhead"
+    ~title:
+      (Printf.sprintf
+         "online monitors vs bare, median of %d interleaved paired trials"
+         trials)
+    ~columns:
+      [
+        Table.column ~align:Table.Left "mode";
+        Table.column "wall s";
+        Table.column "overhead %";
+        Table.column "events checked";
+        Table.column "violation";
+        Table.column "summary identical";
+      ]
+    ~rows:
+      (List.init n (fun i ->
+           let name, _ = modes.(i) in
+           [
+             name;
+             Table.fmt_float ~digits:4 (wall i);
+             (if i = 0 then "-" else Table.fmt_float ~digits:1 (overhead i));
+             string_of_int (events_checked i);
+             (if i = 0 then "-" else if violated i then "YES" else "none");
+             (if i = 0 then "-" else if summaries_equal i then "yes" else "NO");
+           ]));
+  let mon_overhead = overhead 1 in
+  Printf.printf "monitor overhead: %.1f%% (target <10%%: %s)\n" mon_overhead
+    (if mon_overhead < 10. then "yes" else "NO");
+  let failed = ref false in
+  for i = 1 to n - 1 do
+    if not (summaries_equal i) then begin
+      Printf.eprintf "E23: %s summary diverged from the bare run\n"
+        (fst modes.(i));
+      failed := true
+    end;
+    if violated i then begin
+      Printf.eprintf "E23: %s reported a violation on a conforming run\n"
+        (fst modes.(i));
+      failed := true
+    end
+  done;
+  if !failed then exit 1;
+  if mon_overhead >= 10. then begin
+    prerr_endline "E23: monitor overhead exceeded the 10% target";
+    exit 1
+  end
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4);
@@ -1320,6 +1442,7 @@ let experiments =
     ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
     ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
     ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
+    ("e23", e23);
     ("e8", e8);
   ]
 

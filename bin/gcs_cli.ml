@@ -1064,6 +1064,295 @@ let report_cmd =
           sparklines, fault episodes, and profiler totals.")
     term
 
+(* gcs-cli check ... : conformance harness (online monitors, shrinking,
+   repro artifacts). *)
+
+module Monitor = Gcs_check.Monitor
+module Check_run = Gcs_check.Check_run
+module Check_shrink = Gcs_check.Shrink
+module Repro = Gcs_check.Repro
+module Ckey = Gcs_store.Key
+
+let moves_conv =
+  let parse s = Repro.moves_of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf m = Format.pp_print_string ppf (Repro.moves_to_string m) in
+  Arg.conv (parse, print)
+
+let check_run_cmd =
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some fault_plan_conv) None
+      & info [ "plan"; "fault-plan" ] ~docv:"PLAN"
+          ~doc:"Fault plan to run under (faults subcommand syntax).")
+  in
+  let moves_arg =
+    Arg.(
+      value & opt moves_conv []
+      & info [ "moves" ] ~docv:"MOVES"
+          ~doc:
+            "Adversary move sequence, two letters per move (fast side L/R/N, \
+             delay bias F/B/N), ';'-separated, e.g. LF;RB;NN.")
+  in
+  let segment_len_arg =
+    Arg.(
+      value & opt float 20.
+      & info [ "segment-len" ] ~docv:"T"
+          ~doc:"Real-time length of each adversary move segment.")
+  in
+  let skew_flag =
+    Arg.(
+      value & flag
+      & info [ "skew" ]
+          ~doc:
+            "Also monitor the adjacent-pair skew against the analytic \
+             gradient envelope (checked after the warm-up quarter).")
+  in
+  let abort_flag =
+    Arg.(
+      value & flag
+      & info [ "abort" ]
+          ~doc:"Stop the run at the first violation instead of finishing.")
+  in
+  let shrink_flag =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "On violation, delta-debug the configuration down to a minimized \
+             counterexample before writing the repro.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write a .repro artifact of the (minimized) violation to FILE.")
+  in
+  let action spec_result topo algo horizon seed loss plan moves segment_len
+      skew abort shrink out =
+    let spec = or_die spec_result in
+    let loss = if loss <= 0. then 0. else loss in
+    let key =
+      Runner.store_key ~loss ?fault_plan:plan ~spec ~topology:topo ~algo
+        ~horizon ~seed ()
+    in
+    let cfg = or_die (Runner.config_of_key key) in
+    let skew_bound =
+      if not skew then None
+      else
+        let graph = build_graph topo seed in
+        Some (Bounds.gradient_local_upper spec ~diameter:(Shortest_path.diameter graph))
+    in
+    let monitor =
+      Check_run.default_spec
+        ~mode:(if abort then `Abort else `Record)
+        ?skew_bound ~after:(horizon /. 4.) spec algo
+    in
+    let checked =
+      try Check_run.run ~monitor ~moves ~segment_len cfg
+      with Invalid_argument msg -> or_die (Error msg)
+    in
+    Printf.printf "checked %s on %s: %d events monitored\n"
+      (Algorithm.kind_name algo) (Topology.spec_name topo)
+      checked.Check_run.events_checked;
+    match checked.Check_run.violation with
+    | None -> Printf.printf "verdict: CONFORMS\n"
+    | Some v ->
+        Printf.printf "verdict: VIOLATION\n  %s\n"
+          (Monitor.violation_to_string v);
+        let candidate = { Check_shrink.key; segment_len; moves } in
+        let candidate, violation =
+          if not shrink then (candidate, v)
+          else
+            match Check_shrink.shrink ~monitor candidate with
+            | None -> (candidate, v)
+            | Some o ->
+                Printf.printf
+                  "shrunk: size %d -> %d (%d evaluations), now %s seed %d \
+                   horizon %s\n"
+                  o.Check_shrink.initial_size o.Check_shrink.final_size
+                  o.Check_shrink.evaluations
+                  (Topology.spec_name
+                     o.Check_shrink.minimized.Check_shrink.key.Ckey.topology)
+                  o.Check_shrink.minimized.Check_shrink.key.Ckey.seed
+                  (Printf.sprintf "%g"
+                     o.Check_shrink.minimized.Check_shrink.key.Ckey.horizon);
+                (o.Check_shrink.minimized, o.Check_shrink.violation)
+        in
+        (match out with
+        | None -> ()
+        | Some path ->
+            Repro.save ~path
+              {
+                Repro.monitor = { monitor with Monitor.mode = `Record };
+                expected = violation;
+                segment_len = candidate.Check_shrink.segment_len;
+                moves = candidate.Check_shrink.moves;
+                key = candidate.Check_shrink.key;
+              };
+            Printf.printf "wrote repro to %s\n" path);
+        exit 1
+  in
+  let term =
+    Term.(
+      const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
+      $ seed_arg $ loss_arg $ plan_arg $ moves_arg $ segment_len_arg
+      $ skew_flag $ abort_flag $ shrink_flag $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run one simulation under an online invariant monitor; on \
+          violation, optionally shrink it and write a .repro artifact. \
+          Exits 1 on violation.")
+    term
+
+let check_replay_cmd =
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"REPRO" ~doc:".repro files to replay.")
+  in
+  let action files jobs =
+    let jobs = if jobs = 0 then Gcs_util.Pool.default_jobs () else jobs in
+    if jobs < 0 then or_die (Error "jobs must be >= 0");
+    let repros =
+      Array.of_list (List.map (fun f -> or_die (Repro.load f)) files)
+    in
+    (* Replays shard across domains; reports print in input order, so the
+       output bytes are independent of --jobs. *)
+    let outcomes = Gcs_util.Pool.map ~jobs Repro.replay repros in
+    let ok = ref true in
+    Array.iteri
+      (fun i t ->
+        print_string (Repro.report t outcomes.(i));
+        match outcomes.(i) with
+        | Ok Repro.Reproduced -> ()
+        | Ok (Repro.Diverged _) | Ok Repro.Missing | Error _ -> ok := false)
+      repros;
+    if not !ok then exit 1
+  in
+  let term = Term.(const action $ files_arg $ jobs_repl_arg) in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-simulate .repro counterexample artifacts and verify each \
+          reproduces its recorded violation exactly. Output is \
+          byte-identical for every --jobs value; exits 1 unless every \
+          artifact reproduces.")
+    term
+
+let check_battery_cmd =
+  let topologies_arg =
+    Arg.(
+      value
+      & opt (list topology_conv) [ Topology.Ring 8; Topology.Line 9 ]
+      & info [ "topologies" ] ~docv:"TOPO,..."
+          ~doc:"Comma-separated topology specs to sweep.")
+  in
+  let algos_arg =
+    Arg.(
+      value
+      & opt (list algo_conv) Algorithm.all_kinds
+      & info [ "algos" ] ~docv:"ALGO,..."
+          ~doc:"Comma-separated algorithms (default: all registered).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Seeds per (topology, algorithm) cell.")
+  in
+  let base_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "base-seed" ] ~docv:"SEED" ~doc:"First seed of each cell.")
+  in
+  let no_faults_flag =
+    Arg.(
+      value & flag
+      & info [ "no-faults" ]
+          ~doc:"Disable the benign fault plans on odd seed indices.")
+  in
+  let repro_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:"Write a .repro artifact per violating cell into DIR.")
+  in
+  let action spec_result topologies algos seeds base_seed no_faults horizon
+      jobs repro_dir =
+    let spec = or_die spec_result in
+    let jobs = if jobs = 0 then Gcs_util.Pool.default_jobs () else jobs in
+    if jobs < 0 then or_die (Error "jobs must be >= 0");
+    let cells =
+      try
+        Check_run.battery ~jobs ~spec ~algos ~faults:(not no_faults)
+          ~base_seed ~topologies ~seeds ~horizon ()
+      with Invalid_argument msg -> or_die (Error msg)
+    in
+    let events =
+      List.fold_left (fun a c -> a + c.Check_run.events_checked) 0 cells
+    in
+    Printf.printf "battery: %d cells (%d topologies x %d algorithms x %d \
+                   seeds), %d events monitored\n"
+      (List.length cells) (List.length topologies) (List.length algos) seeds
+      events;
+    match Check_run.violations cells with
+    | [] -> Printf.printf "verdict: all cells CONFORM\n"
+    | bad ->
+        Printf.printf "verdict: %d violating cell(s)\n" (List.length bad);
+        List.iteri
+          (fun i c ->
+            let v = Option.get c.Check_run.violation in
+            Printf.printf "  %s %s seed %d: %s\n"
+              (Topology.spec_name c.Check_run.key.Ckey.topology)
+              c.Check_run.key.Ckey.algo c.Check_run.key.Ckey.seed
+              (Monitor.violation_to_string v);
+            match repro_dir with
+            | None -> ()
+            | Some dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                let path =
+                  Filename.concat dir (Printf.sprintf "battery-%02d.repro" i)
+                in
+                Repro.save ~path
+                  {
+                    Repro.monitor = c.Check_run.monitor;
+                    expected = v;
+                    segment_len = 0.;
+                    moves = [];
+                    key = c.Check_run.key;
+                  };
+                Printf.printf "    wrote %s\n" path)
+          bad;
+        exit 1
+  in
+  let term =
+    Term.(
+      const action $ spec_term $ topologies_arg $ algos_arg $ seeds_arg
+      $ base_seed_arg $ no_faults_flag $ horizon_arg $ jobs_repl_arg
+      $ repro_dir_arg)
+  in
+  Cmd.v
+    (Cmd.info "battery"
+       ~doc:
+         "Sweep every algorithm over a grid of topologies, seeds, and \
+          benign fault plans with online monitors attached. Exits 1 if any \
+          cell violates its envelope.")
+    term
+
+let check_cmd =
+  Cmd.group
+    (Cmd.info "check"
+       ~doc:
+         "Conformance harness: monitored runs, counterexample shrinking, \
+          deterministic .repro artifacts, and the conformance battery.")
+    [ check_run_cmd; check_replay_cmd; check_battery_cmd ]
+
 (* gcs-cli store ... : inspect and gate against the experiment store. *)
 
 module Store = Gcs_store.Store
@@ -1325,4 +1614,5 @@ let () =
           [
             run_cmd; compare_cmd; attack_cmd; bounds_cmd; external_cmd;
             trace_cmd; report_cmd; faults_cmd; sweep_cmd; store_cmd;
+            check_cmd;
           ]))

@@ -51,6 +51,48 @@ let default_config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
   in
   { spec; n; algo; segments; segment_len; beam; seed }
 
+(* Wire a move sequence into a prepared run: the delay chooser follows the
+   current move's bias, and each segment boundary re-splits the node set
+   into a fast and a slow half. Everything the moves need (spec, node
+   count) comes from the live run's own config, so the same installer
+   drives both the beam search and counterexample replay/shrinking
+   (Gcs_check), where the run config was rebuilt from a store key. *)
+let install (live : Runner.live) ~segment_len plan =
+  let rc = live.Runner.cfg in
+  let spec = rc.Runner.spec in
+  let n = Gcs_graph.Graph.n rc.Runner.graph in
+  let b = spec.Spec.delay in
+  let mid = 0.5 *. (b.Delay_model.d_min +. b.Delay_model.d_max) in
+  let current = ref { fast_side = `None; bias = `Neutral } in
+  live.Runner.chooser :=
+    Some
+      (fun ~edge:_ ~src ~dst ~now:_ ->
+        let forward = dst > src in
+        match (!current).bias with
+        | `Neutral -> mid
+        | `Forward -> if forward then b.Delay_model.d_max else b.Delay_model.d_min
+        | `Backward -> if forward then b.Delay_model.d_min else b.Delay_model.d_max);
+  let midpoint = (n - 1) / 2 in
+  let apply_move move =
+    current := move;
+    for v = 0 to n - 1 do
+      let fast =
+        match move.fast_side with
+        | `None -> false
+        | `Left -> v <= midpoint
+        | `Right -> v > midpoint
+      in
+      Engine.set_node_rate live.Runner.engine ~node:v
+        ~rate:(if fast then Spec.vartheta spec else 1.)
+    done
+  in
+  List.iteri
+    (fun i move ->
+      Engine.schedule_control live.Runner.engine
+        ~at:(float_of_int i *. segment_len)
+        (fun () -> apply_move move))
+    plan
+
 (* Play a move sequence deterministically and return (local, global) skew
    maxima over the final segment. *)
 let evaluate cfg plan =
@@ -64,37 +106,7 @@ let evaluate cfg plan =
       ~warmup:0. ~seed:cfg.seed graph
   in
   let live = Runner.prepare run_cfg in
-  let b = cfg.spec.Spec.delay in
-  let mid = 0.5 *. (b.Delay_model.d_min +. b.Delay_model.d_max) in
-  let current = ref { fast_side = `None; bias = `Neutral } in
-  live.Runner.chooser :=
-    Some
-      (fun ~edge:_ ~src ~dst ~now:_ ->
-        let forward = dst > src in
-        match (!current).bias with
-        | `Neutral -> mid
-        | `Forward -> if forward then b.Delay_model.d_max else b.Delay_model.d_min
-        | `Backward -> if forward then b.Delay_model.d_min else b.Delay_model.d_max);
-  let midpoint = (cfg.n - 1) / 2 in
-  let apply_move move =
-    current := move;
-    for v = 0 to cfg.n - 1 do
-      let fast =
-        match move.fast_side with
-        | `None -> false
-        | `Left -> v <= midpoint
-        | `Right -> v > midpoint
-      in
-      Engine.set_node_rate live.Runner.engine ~node:v
-        ~rate:(if fast then Spec.vartheta cfg.spec else 1.)
-    done
-  in
-  List.iteri
-    (fun i move ->
-      Engine.schedule_control live.Runner.engine
-        ~at:(float_of_int i *. cfg.segment_len)
-        (fun () -> apply_move move))
-    plan;
+  install live ~segment_len:cfg.segment_len plan;
   let result = Runner.complete live in
   let tail_start = horizon -. cfg.segment_len in
   let tail =

@@ -57,6 +57,14 @@ val default_config :
   config
 (** Defaults: 6 segments of [4 * n * d_max] each, beam 12. *)
 
+val install : Gcs_core.Runner.live -> segment_len:float -> move list -> unit
+(** Wire a move sequence into a prepared run (built with
+    [Controlled_delays]): installs the bias-following delay chooser and
+    schedules each move's fast-half rate split at its segment boundary.
+    Node count and spec come from the live run's own config, so the same
+    installer serves the beam search and counterexample replay
+    ([Gcs_check]), where the config was rebuilt from a store key. *)
+
 val evaluate : config -> move list -> float * float
 (** [(max local, max global)] over the final segment of the execution that
     plays the given move sequence. Exposed for tests. *)

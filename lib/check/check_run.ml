@@ -1,0 +1,150 @@
+module Pool = Gcs_util.Pool
+module Prng = Gcs_util.Prng
+module Graph = Gcs_graph.Graph
+module Topology = Gcs_graph.Topology
+module Fault_plan = Gcs_sim.Fault_plan
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Invariant = Gcs_core.Invariant
+module Runner = Gcs_core.Runner
+module Registry = Gcs_core.Registry
+module Search = Gcs_adversary.Search
+
+type checked = {
+  result : Runner.result;
+  violation : Monitor.violation option;
+  events_checked : int;
+}
+
+let default_spec ?(mode = `Record) ?skew_bound ?(after = 0.) spec algo =
+  let env = Invariant.expected_envelope spec algo in
+  {
+    Monitor.rate_lo = env.Invariant.rate_lo;
+    rate_hi = env.Invariant.rate_hi;
+    check_rate = not env.Invariant.jumps_allowed;
+    check_monotonic = true;
+    skew_bound;
+    after;
+    mode;
+  }
+
+let run ?monitor ?(moves = []) ?(segment_len = 0.) (cfg : Runner.config) =
+  let cfg =
+    (* Adversary moves need the delay chooser; everything else about the
+       config (and hence its store key) is unchanged. *)
+    if moves = [] then cfg
+    else { cfg with Runner.delay_kind = Runner.Controlled_delays }
+  in
+  let mspec =
+    match monitor with
+    | Some s -> s
+    | None -> default_spec cfg.Runner.spec cfg.Runner.algo
+  in
+  let live = Runner.prepare cfg in
+  if moves <> [] then Search.install live ~segment_len moves;
+  let m = Monitor.attach mspec live in
+  let result = Runner.complete live in
+  let violation = Monitor.finalize m in
+  { result; violation; events_checked = Monitor.events_checked m }
+
+(* ---------------------------------------------------------------- *)
+(* Conformance battery                                              *)
+
+type cell = {
+  key : Gcs_store.Key.t;
+  algo : Algorithm.kind;
+  monitor : Monitor.spec;
+  violation : Monitor.violation option;
+  events_checked : int;
+}
+
+(* A benign fault plan drawn deterministically from the cell seed: faults
+   under which the rate/monotonicity envelopes genuinely hold (partitions
+   heal, crashed nodes recover, tampering never touches the logical
+   multiplier's clamp). Clock jump/rate faults are deliberately excluded —
+   those *should* violate, and are what the shrinker tests feed in. *)
+let benign_plan ~seed ~horizon ~nodes =
+  let rng = Prng.create ~seed:(seed lxor 0xFA17) in
+  let v = Prng.int rng nodes in
+  let q = horizon /. 4. in
+  let events =
+    match Prng.int rng 5 with
+    | 0 ->
+        [
+          Fault_plan.Link_partition { at = q; edges = Fault_plan.Cut [ v ] };
+          Fault_plan.Link_heal { at = 2. *. q; edges = Fault_plan.Cut [ v ] };
+        ]
+    | 1 ->
+        [
+          Fault_plan.Node_crash { at = q; node = v };
+          Fault_plan.Node_recover
+            { at = 2. *. q; node = v; wipe = Prng.bool rng };
+        ]
+    | 2 ->
+        [
+          Fault_plan.Msg_duplicate
+            { from_ = q; until = 2. *. q; edges = Fault_plan.All_edges;
+              prob = 0.5 };
+        ]
+    | 3 ->
+        [
+          Fault_plan.Msg_reorder
+            { from_ = q; until = 2. *. q; edges = Fault_plan.All_edges;
+              prob = 0.3; extra = 2. };
+        ]
+    | _ ->
+        [
+          Fault_plan.Msg_corrupt
+            { from_ = q; until = 2. *. q; edges = Fault_plan.All_edges;
+              prob = 0.2; magnitude = 0.05 };
+        ]
+  in
+  Fault_plan.of_events events
+
+let seed_stride = 7919
+
+let battery ?jobs ?(spec = Spec.make ()) ?(algos = Algorithm.all_kinds)
+    ?(faults = true) ?(base_seed = 1) ~topologies ~seeds ~horizon () =
+  if seeds < 1 then invalid_arg "Check_run.battery: seeds must be >= 1";
+  let cells =
+    List.concat_map
+      (fun topology ->
+        let nodes =
+          Graph.n
+            (Topology.build topology
+               ~rng:(Prng.create ~seed:(base_seed lxor 0x5eed)))
+        in
+        List.concat_map
+          (fun algo ->
+            List.init seeds (fun i ->
+                let seed = base_seed + (i * seed_stride) in
+                let fault_plan =
+                  if faults && i land 1 = 1 then
+                    Some (benign_plan ~seed ~horizon ~nodes)
+                  else None
+                in
+                let key =
+                  Runner.store_key ?fault_plan ~spec ~topology ~algo ~horizon
+                    ~seed ()
+                in
+                (key, algo)))
+          algos)
+      topologies
+  in
+  let run_cell (key, algo) =
+    let monitor = default_spec spec algo in
+    match Runner.config_of_key key with
+    | Error msg -> invalid_arg ("Check_run.battery: " ^ msg)
+    | Ok cfg ->
+        let checked = run ~monitor cfg in
+        {
+          key;
+          algo;
+          monitor;
+          violation = checked.violation;
+          events_checked = checked.events_checked;
+        }
+  in
+  Pool.map ?jobs run_cell (Array.of_list cells) |> Array.to_list
+
+let violations cells = List.filter (fun c -> c.violation <> None) cells

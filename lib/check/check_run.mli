@@ -1,0 +1,74 @@
+(** Monitored runs and the conformance battery.
+
+    [run] is the harness's one-call entry point: prepare a run, attach an
+    online {!Monitor}, optionally wire in an adversary move sequence
+    ({!Gcs_adversary.Search.install}), execute, and flush. [battery]
+    sweeps every registered algorithm over a grid of topologies, seeds,
+    and benign fault plans with monitors attached — the "correctness
+    oracle" mode used by the tier-1 conformance test and [gcs-cli check
+    battery]. *)
+
+type checked = {
+  result : Gcs_core.Runner.result;
+  violation : Monitor.violation option;  (** first violation, if any *)
+  events_checked : int;
+}
+
+val default_spec :
+  ?mode:[ `Record | `Abort ] ->
+  ?skew_bound:float ->
+  ?after:float ->
+  Gcs_core.Spec.t ->
+  Gcs_core.Algorithm.kind ->
+  Monitor.spec
+(** The monitor an algorithm's own {!Gcs_core.Invariant.expected_envelope}
+    implies: its rate envelope (disabled when the envelope allows jumps),
+    monotonicity always, and an optional adjacent-pair skew bound checked
+    from [after] on. Default mode [`Record]. *)
+
+val run :
+  ?monitor:Monitor.spec ->
+  ?moves:Gcs_adversary.Search.move list ->
+  ?segment_len:float ->
+  Gcs_core.Runner.config ->
+  checked
+(** Run the config under a monitor ([default_spec] of the config's own
+    spec and algorithm when not given). Non-empty [moves] switch the
+    config to [Controlled_delays] and install the adversary schedule with
+    the given [segment_len] before running. *)
+
+type cell = {
+  key : Gcs_store.Key.t;  (** canonical config — replayable on its own *)
+  algo : Gcs_core.Algorithm.kind;
+  monitor : Monitor.spec;
+  violation : Monitor.violation option;
+  events_checked : int;
+}
+
+val benign_plan :
+  seed:int -> horizon:float -> nodes:int -> Gcs_sim.Fault_plan.t
+(** A fault plan drawn deterministically from the seed, from the benign
+    family (partition+heal, crash+recover, duplicate/reorder/corrupt
+    windows) under which the rate and monotonicity envelopes must still
+    hold. Clock jump/rate faults are excluded by construction — those are
+    the violations the shrinker fixtures seed deliberately. *)
+
+val battery :
+  ?jobs:int ->
+  ?spec:Gcs_core.Spec.t ->
+  ?algos:Gcs_core.Algorithm.kind list ->
+  ?faults:bool ->
+  ?base_seed:int ->
+  topologies:Gcs_graph.Topology.spec list ->
+  seeds:int ->
+  horizon:float ->
+  unit ->
+  cell list
+(** One monitored run per topology x algorithm x seed, in deterministic
+    grid order regardless of [jobs] (default: all registered algorithms,
+    [faults] on — every odd seed index gets a {!benign_plan}). Cells are
+    built through [Runner.store_key] / [Runner.config_of_key], so any
+    failing cell's key can be written straight into a [.repro]. *)
+
+val violations : cell list -> cell list
+(** The cells whose monitor recorded a violation. *)

@@ -1,0 +1,211 @@
+module Engine = Gcs_sim.Engine
+module Trace = Gcs_sim.Trace
+module Graph = Gcs_graph.Graph
+module Logical_clock = Gcs_clock.Logical_clock
+module Runner = Gcs_core.Runner
+
+let eps = 1e-6
+
+(* Discrete rates over windows shorter than this are dominated by float
+   rounding of the clock values (a few ulp of a value ~1e3 divided by the
+   window), so the rate anchor only advances once the window is wide
+   enough to make the estimate trustworthy to well under [eps]. *)
+let rate_dt_min = 1e-3
+
+type kind = Rate | Monotonic | Skew
+
+let kind_name = function
+  | Rate -> "rate"
+  | Monotonic -> "monotonic"
+  | Skew -> "skew"
+
+let kind_of_string = function
+  | "rate" -> Ok Rate
+  | "monotonic" -> Ok Monotonic
+  | "skew" -> Ok Skew
+  | s -> Error (Printf.sprintf "unknown violation kind %S" s)
+
+type spec = {
+  rate_lo : float;
+  rate_hi : float;
+  check_rate : bool;
+  check_monotonic : bool;
+  skew_bound : float option;
+  after : float;
+  mode : [ `Record | `Abort ];
+}
+
+type violation = {
+  time : float;
+  kind : kind;
+  node : int;
+  peer : int option;
+  observed : float;
+  bound : float;
+  detail : string;
+  context : string;
+}
+
+let violation_to_string v =
+  let where =
+    match v.peer with
+    | Some p -> Printf.sprintf "nodes %d~%d" v.node p
+    | None -> Printf.sprintf "node %d" v.node
+  in
+  let ctx = if v.context = "" then "" else " | " ^ v.context in
+  Printf.sprintf "%s violation [t=%.6f, %s] %s%s" (kind_name v.kind) v.time
+    where v.detail ctx
+
+type t = {
+  spec : spec;
+  engine : Gcs_core.Message.t Engine.t;
+  logical : Logical_clock.t array;
+  adj : int array array;  (** neighbor node ids, own copy (hot path) *)
+  mono_v : float array;  (** last seen value per node (every event) *)
+  rate_t : float array;  (** rate-anchor time per node *)
+  rate_v : float array;  (** rate-anchor value per node *)
+  mutable events_checked : int;
+  mutable violation : violation option;
+  mutable finalized : bool;
+}
+
+let events_checked t = t.events_checked
+let first_violation t = t.violation
+
+let record t v =
+  if t.violation = None then begin
+    t.violation <- Some v;
+    match t.spec.mode with
+    | `Abort -> Engine.request_stop t.engine
+    | `Record -> ()
+  end
+
+(* Run every enabled check for [node] at time [now]. [context] renders the
+   observation that triggered the check as a single line (empty for the
+   final flush); it is a thunk so the render — by far the most expensive
+   step — is only paid on the rare event that actually violates.
+   Observations are emitted *before* the handler runs, so the value read
+   here reflects the node's state as of its previous event — a
+   discontinuity introduced by event k is therefore detected at the
+   node's next event, or by [finalize]. *)
+let check_node t ~now ~context node =
+  let cur = Logical_clock.value t.logical.(node) ~now in
+  (if t.spec.check_monotonic && cur < t.mono_v.(node) -. eps then
+     record t
+       {
+         time = now;
+         kind = Monotonic;
+         node;
+         peer = None;
+         observed = cur;
+         bound = t.mono_v.(node);
+         detail =
+           Printf.sprintf "clock went backwards: %.17g -> %.17g"
+             t.mono_v.(node) cur;
+         context = context ();
+       });
+  t.mono_v.(node) <- cur;
+  let dt = now -. t.rate_t.(node) in
+  if dt >= rate_dt_min then begin
+    (if t.spec.check_rate then begin
+       let rate = (cur -. t.rate_v.(node)) /. dt in
+       if rate < t.spec.rate_lo -. eps || rate > t.spec.rate_hi +. eps then
+         record t
+           {
+             time = now;
+             kind = Rate;
+             node;
+             peer = None;
+             observed = rate;
+             bound =
+               (if rate < t.spec.rate_lo then t.spec.rate_lo
+                else t.spec.rate_hi);
+             detail =
+               Printf.sprintf "rate %.17g outside [%.17g, %.17g]" rate
+                 t.spec.rate_lo t.spec.rate_hi;
+             context = context ();
+           }
+     end);
+    t.rate_t.(node) <- now;
+    t.rate_v.(node) <- cur
+  end;
+  match t.spec.skew_bound with
+  | Some bound when now >= t.spec.after ->
+      let nbrs = t.adj.(node) in
+      for i = 0 to Array.length nbrs - 1 do
+        let u = nbrs.(i) in
+        let d = Float.abs (cur -. Logical_clock.value t.logical.(u) ~now) in
+        if d > bound +. eps then
+          record t
+            {
+              time = now;
+              kind = Skew;
+              node = min node u;
+              peer = Some (max node u);
+              observed = d;
+              bound;
+              detail =
+                Printf.sprintf "local skew %.17g exceeds bound %.17g" d bound;
+              context = context ();
+            }
+      done
+  | Some _ | None -> ()
+
+let on_observation t time obs =
+  if t.violation = None then
+    match obs with
+    | Engine.Obs_deliver { dst; _ } ->
+        t.events_checked <- t.events_checked + 1;
+        check_node t ~now:time
+          ~context:(fun () -> Trace.entry_to_string { Trace.time; obs })
+          dst
+    | Engine.Obs_timer { node; _ } ->
+        t.events_checked <- t.events_checked + 1;
+        check_node t ~now:time
+          ~context:(fun () -> Trace.entry_to_string { Trace.time; obs })
+          node
+    | _ -> ()
+
+let attach spec (live : Runner.live) =
+  let engine = live.Runner.engine in
+  let g = live.Runner.cfg.Runner.graph in
+  let n = Graph.n g in
+  let now = Engine.now engine in
+  let values =
+    Array.init n (fun v -> Logical_clock.value live.Runner.logical.(v) ~now)
+  in
+  let t =
+    {
+      spec;
+      engine;
+      logical = live.Runner.logical;
+      adj = Array.init n (fun v -> Array.map fst (Graph.neighbors g v));
+      mono_v = Array.copy values;
+      rate_t = Array.make n now;
+      rate_v = values;
+      events_checked = 0;
+      violation = None;
+      finalized = false;
+    }
+  in
+  Engine.add_observer engine (fun time obs -> on_observation t time obs);
+  t
+
+let finalize t =
+  if not t.finalized then begin
+    t.finalized <- true;
+    (* Flush: events only let us see a node's state as of its previous
+       event, so a violation introduced by a node's very last event (or by
+       a control-scheduled fault after it) is caught here, at the final
+       clock reading. *)
+    if t.violation = None then begin
+      let now = Engine.now t.engine in
+      let n = Array.length t.mono_v in
+      let v = ref 0 in
+      while t.violation = None && !v < n do
+        check_node t ~now ~context:(fun () -> "") !v;
+        incr v
+      done
+    end
+  end;
+  t.violation

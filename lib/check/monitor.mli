@@ -1,0 +1,67 @@
+(** Online invariant monitors: event-granularity conformance checking.
+
+    {!Gcs_core.Invariant} checks a *sampled* trajectory after the run; a
+    violation between two samples is invisible to it. A monitor instead
+    rides the engine's observer multiplexer and re-checks the involved
+    node's logical clock at every delivery and timer event, so the first
+    violation is caught within one event of where it happened and comes
+    with its full event context (time, node, the observation that
+    triggered the check). In [`Abort] mode the monitor also stops the run
+    cooperatively ({!Gcs_sim.Engine.request_stop}) so a long simulation
+    does not keep running past a found counterexample.
+
+    Monitors are observers: they never touch algorithm state, timers, or
+    any PRNG stream, so an attached monitor changes no run summary — the
+    property bench E23 asserts, along with the <10% overhead budget. *)
+
+type kind = Rate | Monotonic | Skew
+
+val kind_name : kind -> string
+val kind_of_string : string -> (kind, string) result
+
+type spec = {
+  rate_lo : float;  (** minimum discrete logical rate *)
+  rate_hi : float;  (** maximum discrete logical rate *)
+  check_rate : bool;  (** off for jump-based algorithms *)
+  check_monotonic : bool;
+  skew_bound : float option;
+      (** when set, adjacent-pair skew must stay within this bound *)
+  after : float;  (** skew checks only at times [>= after] (warm-up) *)
+  mode : [ `Record | `Abort ];
+      (** [`Record] = flight recorder: keep the first violation, let the
+          run finish. [`Abort] = also request an engine stop on it. *)
+}
+
+type violation = {
+  time : float;
+  kind : kind;
+  node : int;  (** for [Skew], the lower id of the offending pair *)
+  peer : int option;  (** the other node of a skew pair *)
+  observed : float;  (** offending rate / value / skew *)
+  bound : float;  (** the envelope edge or bound it crossed *)
+  detail : string;  (** human-readable, [%.17g] floats (repro-exact) *)
+  context : string;
+      (** single-line rendering of the triggering observation; [""] when
+          the violation surfaced in the final flush *)
+}
+
+val violation_to_string : violation -> string
+
+type t
+
+val attach : spec -> Gcs_core.Runner.live -> t
+(** Install a monitor on a prepared run (between [Runner.prepare] and
+    [Runner.complete]). Seeds its per-node state from the logical clock
+    values at the engine's current time. *)
+
+val finalize : t -> violation option
+(** Flush: observations fire *before* handlers, so each event's effect is
+    only visible at the node's next event — the final flush re-checks
+    every node at the engine's current time to close that gap. Returns the
+    first violation (idempotent). *)
+
+val first_violation : t -> violation option
+(** The first violation recorded so far, without flushing. *)
+
+val events_checked : t -> int
+(** Delivery/timer events the monitor has checked. *)

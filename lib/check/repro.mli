@@ -1,0 +1,55 @@
+(** Deterministic, versioned counterexample artifacts ([.repro] files).
+
+    A repro packages everything needed to re-run a violating execution
+    bit-for-bit: the run's canonical {!Gcs_store.Key} (which pins spec,
+    topology, seed, drift/loss laws, and fault plan), the adversary move
+    sequence (if any), the monitor that caught the violation, and the
+    violation itself with [%.17g] floats. [replay] re-simulates from the
+    key alone and compares the fresh violation to the expected one with
+    structural equality — determinism makes that exact, so a verdict of
+    {!Reproduced} means byte-for-byte the same failure, on any machine,
+    for any [--jobs]. *)
+
+type t = {
+  monitor : Monitor.spec;  (** mode is normalised to [`Record] on parse *)
+  expected : Monitor.violation;
+  segment_len : float;  (** adversary segment length (0 without moves) *)
+  moves : Gcs_adversary.Search.move list;
+  key : Gcs_store.Key.t;
+}
+
+type verdict =
+  | Reproduced  (** replay hit the identical violation *)
+  | Diverged of Monitor.violation  (** replay violated differently *)
+  | Missing  (** replay ran clean *)
+
+val magic : string
+(** First line of every repro file: ["gcs.check:repro:1"]. *)
+
+val to_string : t -> string
+(** Canonical encoding: versioned header lines, then [key:] followed by
+    the key's own canonical encoding verbatim. Same repro, same bytes. *)
+
+val of_string : string -> (t, string) result
+(** Parse {!to_string}'s output. [of_string (to_string t) = Ok t]. *)
+
+val save : path:string -> t -> unit
+(** Write atomically (tmp + rename). *)
+
+val load : string -> (t, string) result
+
+val replay : t -> (verdict, string) result
+(** Rebuild the config from the key ({!Gcs_core.Runner.config_of_key}),
+    re-install the moves, re-run under the recorded monitor in record
+    mode, and compare. [Error] if the key no longer describes a runnable
+    config (e.g. a schema change). *)
+
+val report : t -> (verdict, string) result -> string
+(** Deterministic multi-line rendering of a replay outcome — the bytes
+    the golden-fixture test and [gcs-cli check replay] emit. *)
+
+val moves_to_string : Gcs_adversary.Search.move list -> string
+val moves_of_string :
+  string -> (Gcs_adversary.Search.move list, string) result
+(** Compact move codec: two characters per move (fast side [L]/[R]/[N],
+    bias [F]/[B]/[N]), [';']-separated; [""] is the empty sequence. *)

@@ -1,0 +1,210 @@
+module Key = Gcs_store.Key
+module Topology = Gcs_graph.Topology
+module Fault_plan = Gcs_sim.Fault_plan
+module Runner = Gcs_core.Runner
+module Search = Gcs_adversary.Search
+
+type candidate = {
+  key : Key.t;
+  segment_len : float;
+  moves : Search.move list;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Size measure: nodes + fault episodes + adversary moves + horizon
+   units. Every accepted reduction strictly decreases it, which is the
+   shrink loop's termination argument. *)
+
+let topo_nodes = function
+  | Topology.Line n | Topology.Ring n | Topology.Complete n | Topology.Star n
+    ->
+      n
+  | Topology.Grid (r, c) | Topology.Torus (r, c) -> r * c
+  | Topology.Binary_tree d -> (1 lsl (d + 1)) - 1
+  | Topology.Hypercube d -> 1 lsl d
+  | Topology.Random_gnp (n, _) | Topology.Random_geometric (n, _) -> n
+
+let horizon_units h = int_of_float (Float.ceil (h /. 50.))
+
+let plan_events k =
+  match k.Key.fault_plan with
+  | None -> 0
+  | Some p -> List.length (Fault_plan.events p)
+
+let size c =
+  topo_nodes c.key.Key.topology
+  + plan_events c.key
+  + List.length c.moves
+  + horizon_units c.key.Key.horizon
+
+(* ---------------------------------------------------------------- *)
+(* Reduction generators. Every candidate re-derives its canonical key via
+   [Key.make], so a shrunk config is exactly as replayable/storable as the
+   original. Structural validity against the smaller topology is NOT
+   checked here: the oracle rejects configs whose fault plan or moves no
+   longer make sense (plan validation raises inside [Runner.prepare]). *)
+
+let rekey (k : Key.t) ?topology ?horizon ~fault_plan () =
+  let topology = Option.value topology ~default:k.Key.topology in
+  let horizon = Option.value horizon ~default:k.Key.horizon in
+  (* Keep the warm-up at the same fraction of the run when the horizon
+     shrinks (the sweep convention is warmup = horizon / 4). *)
+  let warmup =
+    if horizon = k.Key.horizon then k.Key.warmup
+    else k.Key.warmup *. (horizon /. k.Key.horizon)
+  in
+  Key.make ~schema_version:k.Key.schema_version ~drift:k.Key.drift
+    ~loss:k.Key.loss ?fault_plan ~rho:k.Key.rho ~mu:k.Key.mu
+    ~d_min:k.Key.d_min ~d_max:k.Key.d_max ~beacon_period:k.Key.beacon_period
+    ~kappa:k.Key.kappa ~staleness_limit:k.Key.staleness_limit ~topology
+    ~algo:k.Key.algo ~horizon ~sample_period:k.Key.sample_period ~warmup
+    ~seed:k.Key.seed ()
+
+(* Halve and decrement each size-carrying parameter, respecting family
+   minima (line/star/complete/gnp/geometric need 2 nodes, rings and torus
+   dimensions 3, trees and hypercubes a positive depth/dimension). *)
+let topo_candidates t =
+  let sizes ~min_ n = List.filter (fun x -> x >= min_ && x < n) [ n / 2; n - 1 ] in
+  let specs =
+    match t with
+    | Topology.Line n -> List.map (fun n -> Topology.Line n) (sizes ~min_:2 n)
+    | Topology.Ring n -> List.map (fun n -> Topology.Ring n) (sizes ~min_:3 n)
+    | Topology.Complete n ->
+        List.map (fun n -> Topology.Complete n) (sizes ~min_:2 n)
+    | Topology.Star n -> List.map (fun n -> Topology.Star n) (sizes ~min_:2 n)
+    | Topology.Grid (r, c) ->
+        List.map (fun r -> Topology.Grid (r, c)) (sizes ~min_:1 r)
+        @ List.map (fun c -> Topology.Grid (r, c)) (sizes ~min_:1 c)
+        |> List.filter (fun s -> topo_nodes s >= 2)
+    | Topology.Torus (r, c) ->
+        List.map (fun r -> Topology.Torus (r, c)) (sizes ~min_:3 r)
+        @ List.map (fun c -> Topology.Torus (r, c)) (sizes ~min_:3 c)
+    | Topology.Binary_tree d ->
+        List.map (fun d -> Topology.Binary_tree d) (sizes ~min_:1 d)
+    | Topology.Hypercube d ->
+        List.map (fun d -> Topology.Hypercube d) (sizes ~min_:1 d)
+    | Topology.Random_gnp (n, p) ->
+        List.map (fun n -> Topology.Random_gnp (n, p)) (sizes ~min_:2 n)
+    | Topology.Random_geometric (n, r) ->
+        List.map (fun n -> Topology.Random_geometric (n, r)) (sizes ~min_:2 n)
+  in
+  List.sort_uniq compare specs
+
+let candidates c =
+  let k = c.key in
+  let topo =
+    List.map
+      (fun t ->
+        { c with key = rekey k ~topology:t ~fault_plan:k.Key.fault_plan () })
+      (topo_candidates k.Key.topology)
+  in
+  let plans =
+    match k.Key.fault_plan with
+    | None -> []
+    | Some p ->
+        let evs = Fault_plan.events p in
+        List.mapi
+          (fun i _ ->
+            let evs' = List.filteri (fun j _ -> j <> i) evs in
+            let fault_plan =
+              if evs' = [] then None else Some (Fault_plan.of_events evs')
+            in
+            { c with key = rekey k ~fault_plan () })
+          evs
+  in
+  let moves =
+    match c.moves with
+    | [] -> []
+    | ms ->
+        let n = List.length ms in
+        let half = List.filteri (fun i _ -> i < n / 2) ms in
+        let drops =
+          List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) ms) ms
+        in
+        List.map (fun moves -> { c with moves }) (half :: drops)
+  in
+  let horizons =
+    List.filter_map
+      (fun h ->
+        if h >= 1. && horizon_units h < horizon_units k.Key.horizon then
+          Some { c with key = rekey k ~horizon:h ~fault_plan:k.Key.fault_plan () }
+        else None)
+      [ k.Key.horizon /. 2.; k.Key.horizon *. 0.75 ]
+  in
+  topo @ plans @ moves @ horizons
+
+(* ---------------------------------------------------------------- *)
+
+type outcome = {
+  minimized : candidate;
+  violation : Monitor.violation;
+  evaluations : int;
+  initial_size : int;
+  final_size : int;
+}
+
+(* The oracle: does this candidate still produce a matching violation?
+   Structurally invalid reductions (a fault plan or adversary midpoint
+   referring to nodes the smaller topology no longer has) surface as
+   [Invalid_argument] from config validation or [Error] from key
+   reconstruction — both count as "violation not preserved". *)
+let violates ~monitor ~matches c =
+  match Runner.config_of_key c.key with
+  | Error _ -> None
+  | Ok cfg -> (
+      try
+        let checked =
+          Check_run.run ~monitor ~moves:c.moves ~segment_len:c.segment_len cfg
+        in
+        match checked.Check_run.violation with
+        | Some v when matches v -> Some v
+        | Some _ | None -> None
+      with Invalid_argument _ -> None)
+
+let shrink ?(max_evaluations = 400) ~monitor c0 =
+  (* Abort mode: the oracle only needs the first violation, so stop each
+     probe run as soon as it is found. The recorded violation is identical
+     to record mode's (same deterministic run, same first event). *)
+  let monitor = { monitor with Monitor.mode = `Abort } in
+  let evals = ref 0 in
+  let probe matches c =
+    if !evals >= max_evaluations then None
+    else begin
+      incr evals;
+      violates ~monitor ~matches c
+    end
+  in
+  match probe (fun _ -> true) c0 with
+  | None -> None
+  | Some v0 ->
+      (* A reduction must preserve the violation *kind*; time, node, and
+         magnitude are free to move as the config shrinks. *)
+      let matches v = v.Monitor.kind = v0.Monitor.kind in
+      let best = ref c0 and best_v = ref v0 in
+      let improved = ref true in
+      while !improved && !evals < max_evaluations do
+        improved := false;
+        (* First-accept greedy pass: take the first strictly smaller
+           still-violating reduction, then rescan from the new best. *)
+        try
+          List.iter
+            (fun c ->
+              if size c < size !best then
+                match probe matches c with
+                | Some v ->
+                    best := c;
+                    best_v := v;
+                    improved := true;
+                    raise Exit
+                | None -> ())
+            (candidates !best)
+        with Exit -> ()
+      done;
+      Some
+        {
+          minimized = !best;
+          violation = !best_v;
+          evaluations = !evals;
+          initial_size = size c0;
+          final_size = size !best;
+        }

@@ -1,0 +1,43 @@
+(** Delta-debugging shrinker for violating configurations.
+
+    Given a violating candidate (canonical key + adversary moves), greedily
+    search for a smaller configuration that still violates: fewer nodes
+    (topology halving/decrement within each family's minimum), fewer fault
+    events, fewer adversary moves, shorter horizon. Each reduction is
+    re-simulated deterministically through the same oracle as the original
+    ({!Check_run.run} under the caller's monitor); only reductions that
+    preserve a violation of the same kind are kept. The loop terminates
+    because every accepted reduction strictly decreases the integer
+    {!size} measure (and an evaluation budget bounds it regardless). *)
+
+type candidate = {
+  key : Gcs_store.Key.t;
+  segment_len : float;
+  moves : Gcs_adversary.Search.move list;
+}
+
+val size : candidate -> int
+(** The shrinker's measure: topology nodes + fault-plan events + adversary
+    moves + horizon units (one unit per 50 time units, rounded up). *)
+
+val candidates : candidate -> candidate list
+(** All one-step reductions of a candidate, in deterministic order.
+    Structural validity against the smaller topology is not checked here —
+    the oracle rejects reductions whose fault plan or moves no longer fit
+    (exposed for the qcheck soundness property). *)
+
+type outcome = {
+  minimized : candidate;
+  violation : Monitor.violation;  (** the minimized config's violation *)
+  evaluations : int;  (** simulations executed, including the initial *)
+  initial_size : int;
+  final_size : int;
+}
+
+val shrink :
+  ?max_evaluations:int -> monitor:Monitor.spec -> candidate -> outcome option
+(** Greedy first-accept shrink. [None] if the initial candidate does not
+    violate under the monitor (nothing to shrink). Probe runs use abort
+    mode, so each evaluation stops at its first violation; the recorded
+    violation is identical to what record mode would report. Default
+    budget: 400 evaluations. *)

@@ -1,7 +1,12 @@
 module Graph = Gcs_graph.Graph
 module Shortest_path = Gcs_graph.Shortest_path
 
-type violation = { time : float; node : int; what : string }
+type violation = {
+  time : float;
+  node : int;
+  peer : int option;
+  what : string;
+}
 
 let eps = 1e-6
 
@@ -19,6 +24,7 @@ let check_rate_envelope (samples : Metrics.sample array) ~lo ~hi =
               {
                 time = cur.Metrics.time;
                 node = v;
+                peer = None;
                 what =
                   Printf.sprintf "rate %.6f outside [%.6f, %.6f]" rate lo hi;
               }
@@ -38,6 +44,7 @@ let check_monotonic (samples : Metrics.sample array) =
             {
               time = cur.Metrics.time;
               node = v;
+              peer = None;
               what =
                 Printf.sprintf "clock went backwards: %.6f -> %.6f"
                   prev.Metrics.values.(v) x;
@@ -46,6 +53,31 @@ let check_monotonic (samples : Metrics.sample array) =
       cur.Metrics.values
   done;
   List.rev !violations
+
+(* Argmax skew pair: the adjacent pair realizing the local skew, or the
+   (max, min) clock-value pair realizing the global skew. Returned with
+   the lower node id first so reports are stable across metrics. *)
+let worst_local_pair graph values =
+  let best = ref neg_infinity and bu = ref 0 and bv = ref 0 in
+  Array.iter
+    (fun (u, v) ->
+      let s = Float.abs (values.(u) -. values.(v)) in
+      if s > !best then begin
+        best := s;
+        bu := min u v;
+        bv := max u v
+      end)
+    (Graph.edges graph);
+  (!bu, !bv)
+
+let worst_global_pair values =
+  let lo = ref 0 and hi = ref 0 in
+  Array.iteri
+    (fun v x ->
+      if x < values.(!lo) then lo := v;
+      if x > values.(!hi) then hi := v)
+    values;
+  (min !lo !hi, max !lo !hi)
 
 let check_skew_bound graph (samples : Metrics.sample array) ~after ~bound
     metric =
@@ -58,16 +90,23 @@ let check_skew_bound graph (samples : Metrics.sample array) ~after ~bound
           | `Local -> (Metrics.local_skew graph s.Metrics.values, "local")
           | `Global -> (Metrics.global_skew s.Metrics.values, "global")
         in
-        if value > bound +. eps then
+        if value > bound +. eps then begin
+          let u, v =
+            match metric with
+            | `Local -> worst_local_pair graph s.Metrics.values
+            | `Global -> worst_global_pair s.Metrics.values
+          in
           violations :=
             {
               time = s.Metrics.time;
-              node = -1;
+              node = u;
+              peer = Some v;
               what =
                 Printf.sprintf "%s skew %.6f exceeds bound %.6f" name value
                   bound;
             }
             :: !violations
+        end
       end)
     samples;
   List.rev !violations
@@ -121,6 +160,9 @@ let check_result (r : Runner.result) ~algo =
   in
   monotonic @ rates @ skew
 
-let to_string { time; node; what } =
-  if node < 0 then Printf.sprintf "[t=%.3f] %s" time what
-  else Printf.sprintf "[t=%.3f, node %d] %s" time node what
+let to_string { time; node; peer; what } =
+  match peer with
+  | Some p -> Printf.sprintf "[t=%.3f, nodes %d~%d] %s" time node p what
+  | None ->
+      if node < 0 then Printf.sprintf "[t=%.3f] %s" time what
+      else Printf.sprintf "[t=%.3f, node %d] %s" time node what

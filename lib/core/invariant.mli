@@ -16,6 +16,9 @@
 type violation = {
   time : float;  (** sample time at which the violation was detected *)
   node : int;  (** offending node, or [-1] for whole-system checks *)
+  peer : int option;
+      (** for pairwise checks (skew bounds), the other node of the worst
+          offending pair; [node] then holds the lower id of the pair *)
   what : string;  (** human-readable description *)
 }
 
@@ -34,7 +37,11 @@ val check_skew_bound :
   bound:float ->
   [ `Local | `Global ] ->
   violation list
-(** The chosen skew metric stays [<= bound] at every sample past [after]. *)
+(** The chosen skew metric stays [<= bound] at every sample past [after].
+    A violation names the worst offending pair: the adjacent pair
+    realizing the local skew, or the (argmin, argmax) clock-value pair
+    realizing the global skew — lower node id in [node], the other in
+    [peer]. *)
 
 type envelope = {
   rate_lo : float;

@@ -429,6 +429,44 @@ let store_key ?(drift = "random") ?(loss = 0.) ?(sample_period = 1.) ?warmup
     ~staleness_limit:spec.Spec.staleness_limit ~topology
     ~algo:(Algorithm.kind_name algo) ~horizon ~sample_period ~warmup ~seed ()
 
+(* The inverse of [store_key] over the describable subset: rebuild the
+   runnable config a canonical key denotes. The graph is reconstructed with
+   the sweep convention (seed lxor 0x5eed), so re-simulating the config
+   reproduces the run the key addresses bit for bit. *)
+let config_of_key (key : Gcs_store.Key.t) =
+  match
+    ( Algorithm.kind_of_string key.Gcs_store.Key.algo,
+      Drift.pattern_of_string key.Gcs_store.Key.drift )
+  with
+  | Error msg, _ -> Error ("config_of_key: " ^ msg)
+  | _, Error msg -> Error ("config_of_key: " ^ msg)
+  | Ok algo, Ok pattern -> (
+      try
+        let spec =
+          Spec.make ~rho:key.Gcs_store.Key.rho ~mu:key.Gcs_store.Key.mu
+            ~d_min:key.Gcs_store.Key.d_min ~d_max:key.Gcs_store.Key.d_max
+            ~beacon_period:key.Gcs_store.Key.beacon_period
+            ~kappa:key.Gcs_store.Key.kappa
+            ~staleness_limit:key.Gcs_store.Key.staleness_limit ()
+        in
+        let graph =
+          Gcs_graph.Topology.build key.Gcs_store.Key.topology
+            ~rng:(Prng.create ~seed:(key.Gcs_store.Key.seed lxor 0x5eed))
+        in
+        let loss =
+          if key.Gcs_store.Key.loss > 0. then
+            Uniform_loss key.Gcs_store.Key.loss
+          else No_loss
+        in
+        Ok
+          (config ~spec ~algo
+             ~drift_of_node:(fun _ -> pattern)
+             ~loss ~horizon:key.Gcs_store.Key.horizon
+             ~sample_period:key.Gcs_store.Key.sample_period
+             ~warmup:key.Gcs_store.Key.warmup ~seed:key.Gcs_store.Key.seed
+             ?fault_plan:key.Gcs_store.Key.fault_plan graph)
+      with Invalid_argument msg -> Error ("config_of_key: " ^ msg))
+
 let outcome (r : result) =
   let fault =
     Option.map

@@ -163,6 +163,16 @@ val store_key :
     custom delay choosers, overrides, or bespoke graphs are simply
     uncacheable, not mis-cached. *)
 
+val config_of_key : Gcs_store.Key.t -> (config, string) Stdlib.result
+(** The inverse of {!store_key} over the describable subset: rebuild the
+    runnable config a canonical key denotes, reconstructing the graph from
+    the topology spec with the sweep convention, the drift law from its
+    pattern string, and the loss law from its probability. Re-running the
+    config reproduces the addressed run bit for bit — this is how the
+    conformance harness replays and shrinks counterexamples from a
+    [.repro] artifact alone. [Error] on unparseable algorithm or drift
+    names and on spec/config values {!config} would reject. *)
+
 val outcome : result -> Gcs_store.Outcome.t
 (** Flatten a result to the primitive record the store persists (summary,
     counters, jump stats, fault report; the graph reduced to

@@ -99,6 +99,11 @@ type 'msg t = {
   mutable timers_fired : int;
   mutable controls_run : int;
   mutable heap_high_water : int;
+  (* Cooperative early termination: set by an observer or control closure
+     (e.g. an online invariant monitor that has seen enough); [run_until]
+     checks it between dispatches, so the event being processed always
+     finishes cleanly. *)
+  mutable stop_requested : bool;
 }
 
 let observe t obs =
@@ -256,6 +261,7 @@ let create ~graph ~clocks ~delays ~rng ~make_node ~t0 =
       timers_fired = 0;
       controls_run = 0;
       heap_high_water = 0;
+      stop_requested = false;
     }
   in
   t.apis <-
@@ -355,7 +361,7 @@ let step t =
 let run_until t horizon =
   start t;
   let continue = ref true in
-  while !continue do
+  while !continue && not t.stop_requested do
     note_heap_depth t;
     match Heap.peek t.heap with
     | Some (time, _) when time <= horizon ->
@@ -366,7 +372,9 @@ let run_until t horizon =
         | None -> assert false)
     | Some _ | None -> continue := false
   done;
-  t.now <- Float.max t.now horizon
+  (* A stopped run keeps [now] at the last processed event so the caller
+     can see where execution was cut short. *)
+  if not t.stop_requested then t.now <- Float.max t.now horizon
 
 let schedule_control t ~at f =
   Heap.push t.heap ~prio:(Float.max at t.now) (Control f)
@@ -410,6 +418,8 @@ let set_edge_up t ~edge ~up =
     observe t (if up then Obs_edge_up { edge } else Obs_edge_down { edge })
   end
 
+let request_stop t = t.stop_requested <- true
+let stop_requested t = t.stop_requested
 let node_is_up t node = t.node_up.(node)
 let edge_is_up t edge = t.edge_up.(edge)
 let set_tamper t tamper = t.tamper <- Some tamper

@@ -64,6 +64,16 @@ val run_until : 'msg t -> float -> unit
 val step : 'msg t -> bool
 (** Process a single event; [false] if the queue was empty. *)
 
+val request_stop : _ t -> unit
+(** Ask [run_until] to return after the event currently being dispatched —
+    the cooperative cancellation used by online monitors that have seen
+    enough (e.g. an invariant violation in abort mode). The flag is sticky:
+    once set, every later [run_until] call returns immediately, and [now]
+    stays at the last processed event instead of advancing to the horizon. *)
+
+val stop_requested : _ t -> bool
+(** Whether [request_stop] has been called on this engine. *)
+
 (** Engine-level happenings an observer (tracer, debugger, metrics
     collector) can subscribe to. Observation is invisible to algorithms. *)
 type observation =

@@ -1,0 +1,357 @@
+(* Tests for the gcs.check conformance harness: online invariant
+   monitors, the delta-debugging shrinker, .repro artifacts, and the
+   conformance battery. *)
+
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Topology = Gcs_graph.Topology
+module Fault_plan = Gcs_sim.Fault_plan
+module Search = Gcs_adversary.Search
+module Monitor = Gcs_check.Monitor
+module Check_run = Gcs_check.Check_run
+module Shrink = Gcs_check.Shrink
+module Repro = Gcs_check.Repro
+module Key = Gcs_store.Key
+
+let spec = Spec.make ()
+
+let plan s =
+  match Fault_plan.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad plan %S: %s" s e
+
+let key ?fault_plan ?(topology = Topology.Ring 8)
+    ?(algo = Algorithm.Gradient_sync) ?(horizon = 100.) ?(seed = 42) () =
+  Runner.store_key ?fault_plan ~spec ~topology ~algo ~horizon ~seed ()
+
+let config k =
+  match Runner.config_of_key k with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "config_of_key: %s" e
+
+let algo_of_key k =
+  match Algorithm.kind_of_string k.Key.algo with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "algo_of_string: %s" e
+
+let kind = Alcotest.testable
+    (fun ppf k -> Format.pp_print_string ppf (Monitor.kind_name k))
+    ( = )
+
+let violation_of (checked : Check_run.checked) =
+  match checked.Check_run.violation with
+  | Some v -> v
+  | None -> Alcotest.fail "expected a violation, run was clean"
+
+(* A negative clock jump is exactly what the monotonicity monitor must
+   catch: the engine observation fires before the handler, so detection
+   lands on the node's next event after the jump. *)
+let test_monitor_detects_jump () =
+  let k = key ~fault_plan:(plan "jump@50:node=3:delta=-5") () in
+  let v = violation_of (Check_run.run (config k)) in
+  Alcotest.check kind "kind" Monitor.Monotonic v.Monitor.kind;
+  Alcotest.(check int) "node" 3 v.Monitor.node;
+  Alcotest.(check bool) "after the jump" true (v.Monitor.time >= 50.);
+  Alcotest.(check bool) "went backwards" true
+    (v.Monitor.observed < v.Monitor.bound)
+
+let test_monitor_detects_rate_fault () =
+  let k = key ~fault_plan:(plan "rate@25:node=2:rate=2.0") () in
+  let v = violation_of (Check_run.run (config k)) in
+  Alcotest.check kind "kind" Monitor.Rate v.Monitor.kind;
+  Alcotest.(check int) "node" 2 v.Monitor.node;
+  Alcotest.(check bool) "rate above envelope" true
+    (v.Monitor.observed > v.Monitor.bound)
+
+(* Flight-recorder promise: monitoring a conforming run reports nothing
+   and perturbs nothing — the monitored summary is identical to the bare
+   run's. *)
+let test_clean_run_identical_summary () =
+  let k = key () in
+  let bare = Runner.run (config k) in
+  let monitor =
+    Check_run.default_spec ~skew_bound:10. spec Algorithm.Gradient_sync
+  in
+  let checked = Check_run.run ~monitor (config k) in
+  (match checked.Check_run.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "clean run violated: %s" (Monitor.violation_to_string v));
+  Alcotest.(check bool) "events were checked" true
+    (checked.Check_run.events_checked > 0);
+  Alcotest.(check bool) "summary identical" true
+    (bare.Runner.summary = checked.Check_run.result.Runner.summary)
+
+(* Abort mode must find the *same* first violation as record mode (the
+   run is deterministic, the monitor sees the same event stream) while
+   processing strictly fewer events afterwards. *)
+let test_abort_stops_early () =
+  let k = key ~fault_plan:(plan "jump@30:node=1:delta=-4") ~horizon:200. () in
+  let record = Check_run.run (config k) in
+  let monitor =
+    Check_run.default_spec ~mode:`Abort spec Algorithm.Gradient_sync
+  in
+  let abort = Check_run.run ~monitor (config k) in
+  Alcotest.(check bool) "same first violation" true
+    (record.Check_run.violation = abort.Check_run.violation);
+  (* The monitor stops *checking* at the first violation in both modes;
+     abort additionally stops the *engine*, so the run itself dispatches
+     fewer events. *)
+  Alcotest.(check bool) "abort dispatched fewer events" true
+    (abort.Check_run.result.Runner.dispatches
+    < record.Check_run.result.Runner.dispatches)
+
+let test_skew_monitor_fires () =
+  let monitor =
+    Check_run.default_spec ~skew_bound:1e-9 spec Algorithm.Gradient_sync
+  in
+  let v = violation_of (Check_run.run ~monitor (config (key ()))) in
+  Alcotest.check kind "kind" Monitor.Skew v.Monitor.kind;
+  (match v.Monitor.peer with
+  | Some p -> Alcotest.(check bool) "pair ordered" true (v.Monitor.node < p)
+  | None -> Alcotest.fail "skew violation must name a pair")
+
+(* [config_of_key] must be a true inverse of [store_key] over the
+   describable subset: rebuilding the config from the key reproduces the
+   original run bit-for-bit. *)
+let test_config_of_key_roundtrip () =
+  let graph =
+    Topology.build (Topology.Ring 8)
+      ~rng:(Gcs_util.Prng.create ~seed:(42 lxor 0x5eed))
+  in
+  let direct =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync ~horizon:100. ~seed:42
+      graph
+  in
+  let rebuilt = config (key ()) in
+  Alcotest.(check bool) "same summary" true
+    ((Runner.run direct).Runner.summary = (Runner.run rebuilt).Runner.summary)
+
+(* The ISSUE's acceptance bar: on the seeded violating configuration the
+   shrinker must cut the size measure by at least half. *)
+let test_shrink_halves_seeded_config () =
+  let fault_plan =
+    plan
+      "partition@20:cut=5;heal@40:cut=5;dup@10..60:all:p=0.3;jump@50:node=3:delta=-5"
+  in
+  let k = key ~topology:(Topology.Ring 32) ~horizon:200. ~fault_plan () in
+  let monitor = Check_run.default_spec spec Algorithm.Gradient_sync in
+  let c0 = { Shrink.key = k; segment_len = 0.; moves = [] } in
+  match Shrink.shrink ~monitor c0 with
+  | None -> Alcotest.fail "seeded config did not violate"
+  | Some o ->
+      Alcotest.(check bool) "reduced by >= 50%" true
+        (2 * o.Shrink.final_size <= o.Shrink.initial_size);
+      Alcotest.check kind "violation kind preserved" Monitor.Monotonic
+        o.Shrink.violation.Monitor.kind;
+      (* The minimized candidate is replayable on its own: re-running it
+         cold reproduces the recorded violation exactly. *)
+      let fresh =
+        Check_run.run
+          ~monitor:{ monitor with Monitor.mode = `Record }
+          ~moves:o.Shrink.minimized.Shrink.moves
+          ~segment_len:o.Shrink.minimized.Shrink.segment_len
+          (config o.Shrink.minimized.Shrink.key)
+      in
+      Alcotest.(check bool) "minimized violation reproduces" true
+        (fresh.Check_run.violation = Some o.Shrink.violation)
+
+(* Shrinker soundness, property-tested over seeded violating configs: the
+   minimized candidate still violates with the same kind, is strictly no
+   larger, and the greedy loop terminates within its budget. *)
+let prop_shrink_sound =
+  QCheck.Test.make ~name:"shrink: still violates, no larger, terminates"
+    ~count:6 QCheck.small_nat (fun i ->
+      let n = 6 + (i mod 5) in
+      let node = i mod n in
+      let at = 20. +. float_of_int (i mod 3) *. 10. in
+      let horizon = 60. +. float_of_int (i mod 3) *. 20. in
+      let fault_plan =
+        plan
+          (Printf.sprintf "dup@5..30:all:p=0.4;jump@%g:node=%d:delta=-%d" at
+             node
+             (2 + (i mod 3)))
+      in
+      let k =
+        key ~topology:(Topology.Ring n) ~horizon ~seed:(100 + i) ~fault_plan ()
+      in
+      let monitor = Check_run.default_spec spec Algorithm.Gradient_sync in
+      let c0 = { Shrink.key = k; segment_len = 0.; moves = [] } in
+      match Shrink.shrink ~max_evaluations:120 ~monitor c0 with
+      | None -> QCheck.Test.fail_report "seeded config did not violate"
+      | Some o ->
+          if o.Shrink.final_size > o.Shrink.initial_size then
+            QCheck.Test.fail_report "minimized candidate grew";
+          if o.Shrink.evaluations > 120 then
+            QCheck.Test.fail_report "budget exceeded";
+          let fresh =
+            Check_run.run ~monitor (config o.Shrink.minimized.Shrink.key)
+          in
+          (match fresh.Check_run.violation with
+          | Some v when v.Monitor.kind = o.Shrink.violation.Monitor.kind -> ()
+          | Some _ -> QCheck.Test.fail_report "violation kind changed"
+          | None -> QCheck.Test.fail_report "minimized candidate ran clean");
+          true)
+
+let test_moves_codec () =
+  let all = Search.all_moves in
+  let s = Repro.moves_to_string all in
+  (match Repro.moves_of_string s with
+  | Ok ms -> Alcotest.(check bool) "roundtrip" true (ms = all)
+  | Error e -> Alcotest.failf "decode: %s" e);
+  (match Repro.moves_of_string "" with
+  | Ok [] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "empty string is the empty sequence");
+  match Repro.moves_of_string "XQ" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad move must not parse"
+
+let test_repro_roundtrip () =
+  let k = key ~fault_plan:(plan "jump@50:node=3:delta=-5") () in
+  let v = violation_of (Check_run.run (config k)) in
+  let t =
+    {
+      Repro.monitor =
+        Check_run.default_spec ~skew_bound:3.25 ~after:25.
+          spec Algorithm.Gradient_sync;
+      expected = v;
+      segment_len = 20.;
+      moves =
+        [
+          { Search.fast_side = `Left; bias = `Forward };
+          { Search.fast_side = `None; bias = `Neutral };
+        ];
+      key = k;
+    }
+  in
+  match Repro.of_string (Repro.to_string t) with
+  | Error e -> Alcotest.failf "of_string: %s" e
+  | Ok t' ->
+      Alcotest.(check bool) "roundtrip" true (t = t');
+      Alcotest.(check string) "re-encoding is canonical" (Repro.to_string t)
+        (Repro.to_string t')
+
+let test_replay_reproduces () =
+  let k = key ~fault_plan:(plan "jump@50:node=3:delta=-5") () in
+  let monitor = Check_run.default_spec spec Algorithm.Gradient_sync in
+  let v = violation_of (Check_run.run ~monitor (config k)) in
+  let t =
+    { Repro.monitor; expected = v; segment_len = 0.; moves = []; key = k }
+  in
+  (match Repro.replay t with
+  | Ok Repro.Reproduced -> ()
+  | Ok (Repro.Diverged v') ->
+      Alcotest.failf "diverged: %s" (Monitor.violation_to_string v')
+  | Ok Repro.Missing -> Alcotest.fail "replay ran clean"
+  | Error e -> Alcotest.failf "replay: %s" e);
+  (* A tampered expectation must be flagged, not blindly accepted. *)
+  let tampered = { t with Repro.expected = { v with Monitor.node = 99 } } in
+  match Repro.replay tampered with
+  | Ok (Repro.Diverged _) -> ()
+  | Ok Repro.Reproduced -> Alcotest.fail "tampered repro reproduced"
+  | Ok Repro.Missing -> Alcotest.fail "tampered replay ran clean"
+  | Error e -> Alcotest.failf "replay: %s" e
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* The committed minimized fixtures: each must parse, re-encode to the
+   exact committed bytes, replay to [Reproduced], and render the exact
+   committed report. This is the CI contract for repro artifacts. *)
+let check_fixture name =
+  let raw = read_file (Filename.concat "fixtures" (name ^ ".repro")) in
+  match Repro.of_string raw with
+  | Error e -> Alcotest.failf "%s: %s" name e
+  | Ok t ->
+      Alcotest.(check string) "artifact bytes are canonical" raw
+        (Repro.to_string t);
+      let outcome = Repro.replay t in
+      (match outcome with
+      | Ok Repro.Reproduced -> ()
+      | Ok (Repro.Diverged v) ->
+          Alcotest.failf "%s diverged: %s" name (Monitor.violation_to_string v)
+      | Ok Repro.Missing -> Alcotest.failf "%s ran clean" name
+      | Error e -> Alcotest.failf "%s: %s" name e);
+      Alcotest.(check string) "report bytes"
+        (read_file (Filename.concat "fixtures" (name ^ ".report")))
+        (Repro.report t outcome)
+
+let test_golden_monotonic () = check_fixture "monotonic-jump"
+let test_golden_rate () = check_fixture "rate-fault"
+
+(* The conformance battery as a tier-1 gate: every registered algorithm,
+   over a randomized topology mix, deterministic seeds, and benign fault
+   plans on odd seed indices, must pass its own expected envelope. *)
+let test_battery_conforms () =
+  let cells =
+    Check_run.battery ~jobs:2
+      ~topologies:
+        [ Topology.Ring 6; Topology.Line 5; Topology.Random_gnp (8, 0.5) ]
+      ~seeds:2 ~horizon:60. ()
+  in
+  Alcotest.(check int) "grid size"
+    (3 * List.length Algorithm.all_kinds * 2)
+    (List.length cells);
+  match Check_run.violations cells with
+  | [] -> ()
+  | c :: _ ->
+      let v = Option.get c.Check_run.violation in
+      Alcotest.failf "%s %s seed %d: %s"
+        (Topology.spec_name c.Check_run.key.Key.topology)
+        c.Check_run.key.Key.algo c.Check_run.key.Key.seed
+        (Monitor.violation_to_string v)
+
+(* Battery results are a pure function of the grid — sharding across
+   domains must not change a single cell. *)
+let test_battery_jobs_invariant () =
+  let run jobs =
+    Check_run.battery ~jobs ~topologies:[ Topology.Ring 6 ] ~seeds:2
+      ~horizon:40. ()
+  in
+  Alcotest.(check bool) "jobs=1 = jobs=4" true (run 1 = run 4)
+
+(* Battery cells violate like any other config: seeding a clock-rate
+   fault through a cell's key yields a Rate violation that the cell's own
+   monitor catches, and the key round-trips into a working repro. *)
+let test_battery_cell_violation_is_reproable () =
+  let fault_plan = plan "rate@20:node=1:rate=2.0" in
+  let k = key ~topology:(Topology.Line 5) ~horizon:60. ~fault_plan () in
+  let monitor = Check_run.default_spec spec (algo_of_key k) in
+  let v = violation_of (Check_run.run ~monitor (config k)) in
+  let t =
+    { Repro.monitor; expected = v; segment_len = 0.; moves = []; key = k }
+  in
+  match Repro.replay t with
+  | Ok Repro.Reproduced -> ()
+  | _ -> Alcotest.fail "battery-style cell did not replay"
+
+let suite =
+  [
+    Alcotest.test_case "monitor detects negative jump" `Quick
+      test_monitor_detects_jump;
+    Alcotest.test_case "monitor detects rate fault" `Quick
+      test_monitor_detects_rate_fault;
+    Alcotest.test_case "clean run: no violation, identical summary" `Quick
+      test_clean_run_identical_summary;
+    Alcotest.test_case "abort mode stops early, same violation" `Quick
+      test_abort_stops_early;
+    Alcotest.test_case "skew monitor reports a pair" `Quick
+      test_skew_monitor_fires;
+    Alcotest.test_case "config_of_key inverts store_key" `Quick
+      test_config_of_key_roundtrip;
+    Alcotest.test_case "shrinker halves the seeded config" `Quick
+      test_shrink_halves_seeded_config;
+    QCheck_alcotest.to_alcotest prop_shrink_sound;
+    Alcotest.test_case "move codec roundtrip" `Quick test_moves_codec;
+    Alcotest.test_case "repro encoding roundtrip" `Quick test_repro_roundtrip;
+    Alcotest.test_case "replay reproduces, tampering diverges" `Quick
+      test_replay_reproduces;
+    Alcotest.test_case "golden fixture: monotonic jump" `Quick
+      test_golden_monotonic;
+    Alcotest.test_case "golden fixture: rate fault" `Quick test_golden_rate;
+    Alcotest.test_case "conformance battery passes" `Quick
+      test_battery_conforms;
+    Alcotest.test_case "battery is jobs-invariant" `Quick
+      test_battery_jobs_invariant;
+    Alcotest.test_case "violating cell round-trips to a repro" `Quick
+      test_battery_cell_violation_is_reproable;
+  ]

@@ -45,6 +45,7 @@ let () =
       ("core.parallel_run", Test_parallel_run.suite);
       ("core.faults", Test_faults.suite);
       ("core.golden", Test_golden.suite);
+      ("check", Test_check.suite);
       ("integration", Test_integration.suite);
       ("adversarial.random", Test_adversarial_random.suite);
     ]

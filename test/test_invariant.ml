@@ -41,6 +41,22 @@ let test_skew_bound_respects_after () =
     (List.length
        (Invariant.check_skew_bound g samples ~after:0. ~bound:2. `Global))
 
+let test_skew_bound_reports_pair () =
+  (* Worst adjacent pair on a line 0-1-2-3: the 1~2 gap dominates. *)
+  let g = Topology.line 4 in
+  let samples = [| sample 0. [| 0.; 1.; 9.; 10. |] |] in
+  (match Invariant.check_skew_bound g samples ~after:0. ~bound:2. `Local with
+  | [ v ] ->
+      Alcotest.(check int) "local pair lower id" 1 v.Invariant.node;
+      Alcotest.(check (option int)) "local pair peer" (Some 2) v.Invariant.peer
+  | vs -> Alcotest.failf "expected one local violation, got %d" (List.length vs));
+  (* Global pair is (argmin, argmax) = nodes 0 and 3. *)
+  match Invariant.check_skew_bound g samples ~after:0. ~bound:2. `Global with
+  | [ v ] ->
+      Alcotest.(check int) "global pair lower id" 0 v.Invariant.node;
+      Alcotest.(check (option int)) "global pair peer" (Some 3) v.Invariant.peer
+  | vs -> Alcotest.failf "expected one global violation, got %d" (List.length vs)
+
 let test_envelopes_per_algorithm () =
   let free = Invariant.expected_envelope spec Algorithm.Free_run in
   let grad = Invariant.expected_envelope spec Algorithm.Gradient_sync in
@@ -85,12 +101,15 @@ let test_jumping_algorithm_fails_envelope_check () =
     (List.length violations > 0)
 
 let test_to_string () =
-  let v = { Invariant.time = 1.; node = 3; what = "boom" } in
-  Alcotest.(check bool) "mentions node" true
-    (String.length (Invariant.to_string v) > 4);
-  let w = { Invariant.time = 1.; node = -1; what = "boom" } in
-  Alcotest.(check bool) "system-level formats" true
-    (String.length (Invariant.to_string w) > 4)
+  let v = { Invariant.time = 1.; node = 3; peer = None; what = "boom" } in
+  Alcotest.(check string) "per-node format" "[t=1.000, node 3] boom"
+    (Invariant.to_string v);
+  let w = { Invariant.time = 1.; node = -1; peer = None; what = "boom" } in
+  Alcotest.(check string) "system-level format" "[t=1.000] boom"
+    (Invariant.to_string w);
+  let p = { Invariant.time = 1.; node = 3; peer = Some 7; what = "boom" } in
+  Alcotest.(check string) "pairwise format" "[t=1.000, nodes 3~7] boom"
+    (Invariant.to_string p)
 
 let suite =
   [
@@ -98,6 +117,7 @@ let suite =
     Alcotest.test_case "rate clean" `Quick test_rate_envelope_clean;
     Alcotest.test_case "monotonic" `Quick test_monotonic_flags_regression;
     Alcotest.test_case "skew bound after" `Quick test_skew_bound_respects_after;
+    Alcotest.test_case "skew bound pair" `Quick test_skew_bound_reports_pair;
     Alcotest.test_case "per-algorithm envelopes" `Quick test_envelopes_per_algorithm;
     Alcotest.test_case "builtins conform" `Quick test_all_builtin_algorithms_conform;
     Alcotest.test_case "jumps fail strict check" `Quick test_jumping_algorithm_fails_envelope_check;
