@@ -1,5 +1,5 @@
 (* Experiment harness: regenerates every "table and figure" of the
-   reproduction (E1-E23 in DESIGN.md). Run everything with
+   reproduction (E1-E24 in DESIGN.md). Run everything with
 
      dune exec bench/main.exe
 
@@ -1435,6 +1435,77 @@ let e23 () =
     exit 1
   end
 
+(* E24: explorer throughput and exhaustiveness. The gcs.explore model
+   checker re-simulates every decision-trace prefix from time zero, so its
+   cost is (prefixes x mean run cost); this experiment reports prefixes
+   per second on the two golden instances with dedup off and on, and
+   cross-checks the exact visited/execution counts the proof claim rests
+   on (they are pinned in the tier-1 test suite). *)
+let e24 () =
+  header "E24" "Explorer throughput: exhaustive enumeration on golden instances";
+  let module Choice = Gcs_explore.Choice in
+  let module Instance = Gcs_explore.Instance in
+  let module Explorer = Gcs_explore.Explorer in
+  let instances =
+    [|
+      ( "line:2/delay/d3",
+        Instance.make ~topology:(Topology.Line 2) ~alphabet:Choice.delay_only
+          (),
+        false, 39, 27 );
+      ( "ring:3/extreme/d3",
+        Instance.make (), false, 84, 64 );
+      ( "ring:3/extreme/d3 +dedup",
+        Instance.make (), true, 52, 32 );
+    |]
+  in
+  let failed = ref false in
+  let rows =
+    Array.to_list instances
+    |> List.map (fun (name, inst, dedup, want_visited, want_execs) ->
+           let t0 = Unix.gettimeofday () in
+           let o = Explorer.explore ~dedup inst in
+           let wall = Unix.gettimeofday () -. t0 in
+           let s = o.Explorer.stats in
+           let proved = o.Explorer.verdict = Explorer.Proved in
+           let counts_ok =
+             s.Explorer.states_visited = want_visited
+             && s.Explorer.executions = want_execs
+           in
+           if not (proved && counts_ok) then begin
+             Printf.eprintf
+               "E24: %s expected proved with %d/%d, got %d/%d\n" name
+               want_visited want_execs s.Explorer.states_visited
+               s.Explorer.executions;
+             failed := true
+           end;
+           [
+             name;
+             string_of_int s.Explorer.states_visited;
+             string_of_int s.Explorer.executions;
+             string_of_int s.Explorer.pruned;
+             string_of_int s.Explorer.events_checked;
+             Table.fmt_float ~digits:4 wall;
+             Table.fmt_float ~digits:0
+               (float_of_int s.Explorer.states_visited /. wall);
+             (if proved then "proved" else "NO");
+           ])
+  in
+  print_table ~name:"e24_explore_throughput"
+    ~title:"exhaustive enumeration, one pass per instance"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "instance";
+        Table.column "prefixes";
+        Table.column "executions";
+        Table.column "pruned";
+        Table.column "events checked";
+        Table.column "wall s";
+        Table.column "prefixes/s";
+        Table.column "verdict";
+      ]
+    ~rows;
+  if !failed then exit 1
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4);
@@ -1442,7 +1513,7 @@ let experiments =
     ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
     ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
     ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
-    ("e23", e23);
+    ("e23", e23); ("e24", e24);
     ("e8", e8);
   ]
 

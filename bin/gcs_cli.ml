@@ -14,7 +14,12 @@
      trace    - export the structured event log (JSONL/CSV) and skew
                 series of one or more runs; byte-identical across --jobs
      report   - summary table, skew sparklines, fault episodes, and
-                profiler totals for a batch of runs *)
+                profiler totals for a batch of runs
+     check    - conformance harness: monitored runs, shrinking, .repro
+                replay, and the conformance battery
+     explore  - exhaustive small-scope model checking: enumerate every
+                execution of a tiny instance, prove monitors or emit a
+                shrunk .repro counterexample *)
 
 open Cmdliner
 module Graph = Gcs_graph.Graph
@@ -1353,6 +1358,223 @@ let check_cmd =
           deterministic .repro artifacts, and the conformance battery.")
     [ check_run_cmd; check_replay_cmd; check_battery_cmd ]
 
+(* gcs-cli explore : exhaustive small-scope model checking. *)
+
+module Choice = Gcs_explore.Choice
+module Instance = Gcs_explore.Instance
+module Explorer = Gcs_explore.Explorer
+module Verdict = Gcs_explore.Verdict
+
+let explore_cmd =
+  let topology_arg =
+    let doc = "Instance topology (2..6 nodes), e.g. line:2, ring:3." in
+    Arg.(
+      value
+      & opt topology_conv (Topology.Ring 3)
+      & info [ "t"; "topology" ] ~docv:"TOPOLOGY" ~doc)
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Run seed.")
+  in
+  let segment_len_arg =
+    Arg.(
+      value & opt float 8.
+      & info [ "segment-len" ] ~docv:"T"
+          ~doc:"Real-time length one decision governs.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"Decisions per execution (horizon = depth * segment-len).")
+  in
+  let alphabet_arg =
+    Arg.(
+      value & opt string "extreme"
+      & info [ "alphabet" ] ~docv:"ALPHABET"
+          ~doc:
+            "Decision alphabet: all (9 moves), drift (3), delay (3), \
+             extreme (4), or an explicit move list like LF;RB.")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some fault_plan_conv) None
+      & info [ "plan"; "fault-plan" ] ~docv:"PLAN"
+          ~doc:"Fault plan to explore under (faults subcommand syntax).")
+  in
+  let rate_lo_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate-lo" ] ~docv:"R"
+          ~doc:"Override the monitor's lower rate bound (enables rate checks).")
+  in
+  let rate_hi_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate-hi" ] ~docv:"R"
+          ~doc:"Override the monitor's upper rate bound (enables rate checks).")
+  in
+  let skew_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "skew-bound" ] ~docv:"S"
+          ~doc:"Also monitor adjacent-pair skew against this bound.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"State budget: maximum prefixes to simulate.")
+  in
+  let dedup_flag =
+    Arg.(
+      value & flag
+      & info [ "dedup" ]
+          ~doc:
+            "Prune subtrees whose canonicalized engine state was already \
+             expanded at the same remaining depth. A pruning heuristic: \
+             off by default, and a clean exhaustion with it on is weaker \
+             than a full proof.")
+  in
+  let quantum_arg =
+    Arg.(
+      value & opt float 1e-9
+      & info [ "quantum" ] ~docv:"Q"
+          ~doc:"Clock quantization step for state canonicalization.")
+  in
+  let strategy_arg =
+    Arg.(
+      value & opt string "bfs"
+      & info [ "strategy" ] ~docv:"bfs|dfs"
+          ~doc:"Frontier order: bfs (depth-minimal counterexamples) or dfs.")
+  in
+  let prove_flag =
+    Arg.(
+      value & flag
+      & info [ "prove" ]
+          ~doc:
+            "Exit 0 only if the full space was exhausted violation-free \
+             (exit 3 when the state budget cut exploration short).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the outcome as single-line JSON.")
+  in
+  let shrink_flag =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "On violation, delta-debug the trace down to a minimized \
+             counterexample before writing the repro.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write a .repro artifact of the (minimized) violation to FILE.")
+  in
+  let action spec_result topo algo seed segment_len depth alphabet_s plan
+      rate_lo rate_hi skew_bound max_states dedup quantum strategy_s prove
+      json shrink out =
+    let spec = or_die spec_result in
+    let alphabet = or_die (Choice.alphabet_of_string alphabet_s) in
+    let strategy = or_die (Explorer.strategy_of_string strategy_s) in
+    let monitor =
+      let base = Check_run.default_spec ~mode:`Abort ?skew_bound spec algo in
+      let base =
+        match rate_lo with
+        | None -> base
+        | Some r -> { base with Monitor.rate_lo = r; check_rate = true }
+      in
+      match rate_hi with
+      | None -> base
+      | Some r -> { base with Monitor.rate_hi = r; check_rate = true }
+    in
+    let inst =
+      try
+        Instance.make ~spec ~topology:topo ~algo ~seed ~segment_len ~depth
+          ~alphabet ?fault_plan:plan ~monitor ()
+      with Invalid_argument msg -> or_die (Error msg)
+    in
+    let outcome = Explorer.explore ~dedup ~quantum ~max_states ~strategy inst in
+    let stats = outcome.Explorer.stats in
+    if json then print_endline (Verdict.to_json inst outcome)
+    else begin
+      Printf.printf
+        "explored %s on %s: depth %d, alphabet %d (%s), space %d prefixes / \
+         %d executions\n"
+        (Algorithm.kind_name algo) (Topology.spec_name topo) depth
+        (List.length inst.Instance.alphabet)
+        (Choice.alphabet_to_string inst.Instance.alphabet)
+        (Instance.prefixes inst) (Instance.executions inst);
+      Printf.printf
+        "states visited %d (%d complete), pruned %d, distinct %d, frontier \
+         high-water %d, %d events monitored\n"
+        stats.Explorer.states_visited stats.Explorer.executions
+        stats.Explorer.pruned stats.Explorer.distinct_states
+        stats.Explorer.frontier_high_water stats.Explorer.events_checked
+    end;
+    match outcome.Explorer.verdict with
+    | Explorer.Proved ->
+        if not json then
+          Printf.printf "verdict: PROVED (%d executions, no violation)\n"
+            stats.Explorer.executions
+    | Explorer.Budget_exhausted ->
+        if not json then
+          Printf.printf
+            "verdict: BUDGET EXHAUSTED (%d states visited, frontier \
+             remaining)\n"
+            stats.Explorer.states_visited;
+        if prove then exit 3
+    | Explorer.Violated { trace; violation } ->
+        if not json then
+          Printf.printf "verdict: VIOLATION at depth %d, trace %s\n  %s\n"
+            (List.length trace)
+            (Choice.trace_to_string trace)
+            (Monitor.violation_to_string violation);
+        let cand, viol =
+          if not shrink then (Verdict.candidate inst trace, violation)
+          else
+            match Verdict.shrink inst ~trace with
+            | None -> (Verdict.candidate inst trace, violation)
+            | Some o ->
+                if not json then
+                  Printf.printf "shrunk: size %d -> %d (%d evaluations)\n"
+                    o.Check_shrink.initial_size o.Check_shrink.final_size
+                    o.Check_shrink.evaluations;
+                (o.Check_shrink.minimized, o.Check_shrink.violation)
+        in
+        (match out with
+        | None -> ()
+        | Some path ->
+            Repro.save ~path (Verdict.repro_of_candidate inst cand ~violation:viol);
+            if not json then Printf.printf "wrote repro to %s\n" path);
+        exit 1
+  in
+  let term =
+    Term.(
+      const action $ spec_term $ topology_arg $ algo_arg $ seed_arg
+      $ segment_len_arg $ depth_arg $ alphabet_arg $ plan_arg $ rate_lo_arg
+      $ rate_hi_arg $ skew_arg $ max_states_arg $ dedup_flag $ quantum_arg
+      $ strategy_arg $ prove_flag $ json_flag $ shrink_flag $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively enumerate every execution of a tiny instance \
+          (discretized delays x drift lattice as an explicit decision \
+          tree) under an online monitor. Exits 0 when the space is clean, \
+          1 on a violation (optionally shrunk and written as a .repro), 3 \
+          when --prove hit the state budget first.")
+    term
+
 (* gcs-cli store ... : inspect and gate against the experiment store. *)
 
 module Store = Gcs_store.Store
@@ -1614,5 +1836,5 @@ let () =
           [
             run_cmd; compare_cmd; attack_cmd; bounds_cmd; external_cmd;
             trace_cmd; report_cmd; faults_cmd; sweep_cmd; store_cmd;
-            check_cmd;
+            check_cmd; explore_cmd;
           ]))

@@ -363,6 +363,11 @@ let complete live =
           Engine.run_until live.engine split);
       Profiler.phase prof "measure" (fun () ->
           Engine.run_until live.engine cfg.horizon));
+  (* The delay model's closure captured [live.chooser] at [prepare] time;
+     clearing the cell here ends the chooser's lifetime with the run, so an
+     adversary installed for this run can never leak into later draws on a
+     retained engine (or into an unrelated run sharing the installer). *)
+  live.chooser := None;
   let samples = Array.of_list (List.rev !(live.samples_rev)) in
   let summary =
     (* A horizon shorter than the warm-up leaves no qualifying samples;

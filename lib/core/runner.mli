@@ -131,7 +131,10 @@ val prepare : config -> live
     armed, without running anything. *)
 
 val complete : live -> result
-(** Run to the horizon and package metrics. *)
+(** Run to the horizon and package metrics. Also resets [live.chooser] to
+    [None]: a chooser's lifetime ends with the run it was installed for,
+    so an adversary hook can never leak into later draws on a retained
+    engine or into an unrelated run. *)
 
 val run : config -> result
 (** [complete (prepare cfg)]. *)

@@ -1,0 +1,57 @@
+module Search = Gcs_adversary.Search
+module Repro = Gcs_check.Repro
+module Spec = Gcs_core.Spec
+module Delay_model = Gcs_sim.Delay_model
+
+type t = Search.move
+type trace = t list
+
+let all = Search.all_moves
+
+let drift_only =
+  List.map
+    (fun fast_side -> { Search.fast_side; bias = `Neutral })
+    [ `Left; `Right; `None ]
+
+let delay_only =
+  List.map
+    (fun bias -> { Search.fast_side = `None; bias })
+    [ `Forward; `Backward; `Neutral ]
+
+let extremes =
+  List.concat_map
+    (fun fast_side ->
+      List.map (fun bias -> { Search.fast_side; bias }) [ `Forward; `Backward ])
+    [ `Left; `Right ]
+
+let to_string m = Repro.moves_to_string [ m ]
+let trace_to_string = Repro.moves_to_string
+let trace_of_string = Repro.moves_of_string
+
+let alphabet_of_string s =
+  match s with
+  | "all" -> Ok all
+  | "drift" -> Ok drift_only
+  | "delay" -> Ok delay_only
+  | "extreme" | "extremes" -> Ok extremes
+  | s -> (
+      match Repro.moves_of_string s with
+      | Ok [] -> Error "Choice.alphabet_of_string: empty alphabet"
+      | (Ok _ | Error _) as r -> r)
+
+let alphabet_to_string moves =
+  if moves = all then "all"
+  else if moves = drift_only then "drift"
+  else if moves = delay_only then "delay"
+  else if moves = extremes then "extreme"
+  else Repro.moves_to_string moves
+
+let delay_points (spec : Spec.t) =
+  let b = spec.Spec.delay in
+  [
+    b.Delay_model.d_min;
+    0.5 *. (b.Delay_model.d_min +. b.Delay_model.d_max);
+    b.Delay_model.d_max;
+  ]
+
+let rate_lattice spec = [ 1.; Spec.vartheta spec ]

@@ -1,0 +1,56 @@
+(** The explorer's decision alphabet.
+
+    One decision covers one segment of real time and fixes every source of
+    nondeterminism inside it: which half of the node line runs at the
+    maximum hardware rate (drift selection from the two-point lattice
+    [{1, vartheta}]) and how every message delay in the segment is biased
+    (the three-point discretization [{d_min, midpoint, d_max}] per edge
+    direction). A decision is exactly an adversary move
+    ({!Gcs_adversary.Search.move}), so a decision {!trace} is directly a
+    move sequence — which is what makes every violating execution the
+    explorer finds immediately expressible as a PR-5 [.repro] artifact
+    (key + moves + segment length) with the shrinker and replay pipeline
+    applying unchanged. *)
+
+type t = Gcs_adversary.Search.move
+(** One decision: drift split ([fast_side]) x delay bias ([bias]). *)
+
+type trace = t list
+(** A decision trace, first segment first. A trace of length [d] pins a
+    complete execution of horizon [d * segment_len]. *)
+
+val all : t list
+(** The full nine-move alphabet (3 drift splits x 3 delay biases). *)
+
+val drift_only : t list
+(** Drift splits only, delays pinned to the midpoint (3 moves). *)
+
+val delay_only : t list
+(** Delay biases only, all clocks at rate 1 (3 moves). *)
+
+val extremes : t list
+(** Boundary moves only: both drift splits crossed with both non-neutral
+    delay biases (4 moves) — the classical worst-case corners. *)
+
+val alphabet_of_string : string -> (t list, string) result
+(** Parse an alphabet name ([all], [drift], [delay], [extreme]) or an
+    explicit move list in the [.repro] move codec (e.g. ["LF;RB"]).
+    Duplicates are preserved here; {!Instance.make} deduplicates. *)
+
+val alphabet_to_string : t list -> string
+(** Canonical rendering: the named alphabets render as their names, any
+    other list in the move codec. *)
+
+val to_string : t -> string
+(** Two-character move code (see {!Gcs_check.Repro.moves_to_string}). *)
+
+val trace_to_string : trace -> string
+val trace_of_string : string -> (trace, string) result
+(** The [.repro] move codec, verbatim. *)
+
+val delay_points : Gcs_core.Spec.t -> float list
+(** The delay discretization a decision selects from:
+    [[d_min; midpoint; d_max]]. *)
+
+val rate_lattice : Gcs_core.Spec.t -> float list
+(** The drift-rate lattice a decision selects from: [[1; vartheta]]. *)

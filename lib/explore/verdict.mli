@@ -1,0 +1,46 @@
+(** Bridging exploration results into the PR-5 counterexample pipeline.
+
+    A violating decision trace *is* an adversary move sequence over a
+    key-described run, so packaging it for the shrinker and the [.repro]
+    replay pipeline is pure plumbing: the candidate's key is the
+    instance's key at the trace's depth, the moves are the trace, and the
+    monitor is the instance's monitor normalized to record mode (the
+    convention for artifacts; abort and record catch the identical first
+    violation). *)
+
+val record_monitor : Instance.t -> Gcs_check.Monitor.spec
+(** The instance's monitor with [mode] normalized to [`Record]. *)
+
+val candidate : Instance.t -> Choice.trace -> Gcs_check.Shrink.candidate
+(** The shrinkable candidate a trace denotes (key at the trace's depth,
+    the instance's segment length, the trace as moves). *)
+
+val repro :
+  Instance.t ->
+  trace:Choice.trace ->
+  violation:Gcs_check.Monitor.violation ->
+  Gcs_check.Repro.t
+(** Package a violating trace as a replayable artifact, unshrunk. *)
+
+val repro_of_candidate :
+  Instance.t ->
+  Gcs_check.Shrink.candidate ->
+  violation:Gcs_check.Monitor.violation ->
+  Gcs_check.Repro.t
+(** Same, from a (typically shrunk) candidate and its violation. *)
+
+val shrink :
+  ?max_evaluations:int ->
+  Instance.t ->
+  trace:Choice.trace ->
+  Gcs_check.Shrink.outcome option
+(** Run the PR-5 delta-debugging shrinker on a violating trace under the
+    instance's (record-mode) monitor. [None] if the trace does not in fact
+    violate — cannot happen for traces returned by {!Explorer.explore}. *)
+
+val to_json : Instance.t -> Explorer.outcome -> string
+(** Deterministic single-line JSON rendering of an exploration: the
+    instance (topology, algorithm, nodes, seed, depth, segment length,
+    alphabet, monitor bounds), the exploration parameters, the statistics,
+    and the verdict (with trace and violation when violated). Floats are
+    rendered with [%.17g]; same outcome, same bytes. *)

@@ -45,7 +45,14 @@ val controlled : bounds -> default:t -> chooser option ref -> t
 (** Delegates to the chooser when one is installed, otherwise to [default].
     The adversary installs/uninstalls choosers as phases change. The
     [default]'s loss law is kept, so a controlled adversary composes with a
-    lossy base model. *)
+    lossy base model.
+
+    Lifecycle: the model captures the [ref] cell, not its contents, so
+    whoever owns the cell owns the chooser's lifetime. The runner allocates
+    a fresh cell per run and resets it to [None] when the run completes, so
+    a chooser installed for one run can never leak into an unrelated run —
+    a controlled model whose cell holds [None] is behaviorally identical to
+    its [default]. *)
 
 val drop_probability :
   t -> edge:int -> src:int -> dst:int -> now:float -> float

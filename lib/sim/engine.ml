@@ -454,3 +454,26 @@ let messages_duplicated t = t.messages_duplicated
 let messages_corrupted t = t.messages_corrupted
 let pending_events t = Heap.size t.heap
 let heap_high_water t = t.heap_high_water
+
+type 'msg pending =
+  | Pending_deliver of { at : float; dst : int; port : int; edge : int; msg : 'msg }
+  | Pending_timer of { at : float; node : int; h_target : float; tag : int }
+  | Pending_control of { at : float }
+
+let pending_snapshot t =
+  (* [Heap.to_sorted_list] drains a copy in exact pop order (ties broken by
+     insertion sequence), so the snapshot renders the queue in the precise
+     order events would dispatch. Timer heap entries carrying ids no longer
+     in the table are the no-op ghosts left behind by rescheduling — they
+     are not part of the observable state and are dropped. *)
+  Heap.to_sorted_list t.heap
+  |> List.filter_map (fun (at, ev) ->
+         match ev with
+         | Deliver { dst; port; edge; msg } ->
+             Some (Pending_deliver { at; dst; port; edge; msg })
+         | Timer_fire { node; timer_id } -> (
+             match Hashtbl.find_opt t.timers.(node) timer_id with
+             | None -> None
+             | Some { h_target; tag } ->
+                 Some (Pending_timer { at; node; h_target; tag }))
+         | Control _ -> Some (Pending_control { at }))

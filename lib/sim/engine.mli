@@ -208,3 +208,25 @@ val pending_events : _ t -> int
 val heap_high_water : _ t -> int
 (** Deepest the event queue has been (sampled before every dispatch) — the
     capacity-planning number the profiler reports. *)
+
+(** An entry of the event queue, as seen from outside: absolute dispatch
+    time plus the observable payload. Control closures are opaque, so only
+    their timing is exposed. *)
+type 'msg pending =
+  | Pending_deliver of {
+      at : float;
+      dst : int;
+      port : int;
+      edge : int;
+      msg : 'msg;
+    }
+  | Pending_timer of { at : float; node : int; h_target : float; tag : int }
+  | Pending_control of { at : float }
+
+val pending_snapshot : 'msg t -> 'msg pending list
+(** The event queue in exact pop order (time, ties by insertion), with stale
+    timer entries — heap ghosts invalidated by rescheduling or a crash —
+    filtered out. The engine is not modified. This is the state-snapshot
+    hook used by the exhaustive explorer ({!Gcs_explore}) to canonicalize
+    engine state; it is O(n log n) in the queue size, so it is meant for
+    checkpoints, not per-event use. *)

@@ -52,6 +52,27 @@ let test_controlled_defaults_and_overrides () =
   chooser := None;
   Alcotest.(check (float 1e-12)) "back to default" 1.0 (draw m)
 
+let test_cleared_chooser_matches_default_stream () =
+  (* Lifecycle regression: once the chooser cell is cleared, a controlled
+     model must be bit-identical to its default — including the PRNG
+     stream, since the chooser path consumes no randomness. *)
+  let chooser = ref (Some (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 1.3)) in
+  let m = Dm.controlled b ~default:(Dm.uniform b) chooser in
+  Alcotest.(check (float 1e-12)) "adversary phase" 1.3 (draw m);
+  chooser := None;
+  let g_controlled = Prng.create ~seed:11 in
+  let g_default = Prng.create ~seed:11 in
+  let plain = Dm.uniform b in
+  for i = 0 to 19 do
+    let dc =
+      Dm.draw m ~edge:i ~src:0 ~dst:1 ~now:(float_of_int i) ~rng:g_controlled
+    in
+    let dd =
+      Dm.draw plain ~edge:i ~src:0 ~dst:1 ~now:(float_of_int i) ~rng:g_default
+    in
+    Alcotest.(check (float 0.)) "identical draw" dd dc
+  done
+
 let test_loss_law_clamped () =
   let m =
     Dm.with_loss (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 7.) (Dm.midpoint b)
@@ -100,6 +121,8 @@ let suite =
     Alcotest.test_case "per edge" `Quick test_per_edge;
     Alcotest.test_case "controlled" `Quick test_controlled_defaults_and_overrides;
     Alcotest.test_case "controlled clamps" `Quick test_controlled_clamps_rogue_chooser;
+    Alcotest.test_case "cleared chooser = default stream" `Quick
+      test_cleared_chooser_matches_default_stream;
     Alcotest.test_case "controlled keeps default loss" `Quick
       test_controlled_keeps_default_loss;
     Alcotest.test_case "loss law clamped" `Quick test_loss_law_clamped;

@@ -324,6 +324,134 @@ let test_observer_cleared () =
   Engine.run_until engine 10.;
   Alcotest.(check int) "silent after clear" seen !count
 
+let test_stop_at_first_event () =
+  (* Stop requested by the very first dispatched event: nothing else runs,
+     [now] stays at the stop point, and the queue keeps its entries. *)
+  let fired = ref 0 in
+  let engine_holder = ref None in
+  let engine =
+    make_engine ~n:2 (fun v ->
+        {
+          null_handlers with
+          Engine.on_init =
+            (fun api -> if v = 0 then api.Engine.set_timer ~h:1. ~tag:0);
+          on_timer = (fun _ ~tag:_ -> incr fired);
+        })
+  in
+  engine_holder := Some engine;
+  Engine.schedule_control engine ~at:0. (fun () ->
+      Engine.request_stop (Option.get !engine_holder));
+  Engine.run_until engine 10.;
+  Alcotest.(check int) "no dispatch after stop" 0 !fired;
+  Alcotest.(check bool) "flag set" true (Engine.stop_requested engine);
+  Alcotest.(check (float 1e-9)) "now at stop event" 0. (Engine.now engine);
+  Alcotest.(check int) "timer still pending" 1 (Engine.pending_events engine)
+
+let test_stop_at_final_event () =
+  (* Stop requested by the last event in the queue: everything before it
+     ran, and [now] stays there instead of advancing to the horizon —
+     sticky across later run_until calls. *)
+  let fired = ref 0 in
+  let engine_holder = ref None in
+  let engine =
+    make_engine ~n:2 (fun v ->
+        {
+          null_handlers with
+          Engine.on_init =
+            (fun api -> if v = 0 then api.Engine.set_timer ~h:1. ~tag:0);
+          on_timer = (fun _ ~tag:_ -> incr fired);
+        })
+  in
+  engine_holder := Some engine;
+  Engine.schedule_control engine ~at:2. (fun () ->
+      Engine.request_stop (Option.get !engine_holder));
+  Engine.run_until engine 10.;
+  Alcotest.(check int) "timer fired before stop" 1 !fired;
+  Alcotest.(check (float 1e-9)) "now at last event" 2. (Engine.now engine);
+  let events = Engine.events_processed engine in
+  Engine.run_until engine 50.;
+  Alcotest.(check int) "sticky: no further dispatches" events
+    (Engine.events_processed engine);
+  Alcotest.(check (float 1e-9)) "sticky: now unchanged" 2. (Engine.now engine)
+
+let test_stop_requested_twice () =
+  (* Requesting twice is the same as once; [run_until] never dispatches. *)
+  let fired = ref 0 in
+  let engine =
+    make_engine ~n:2 (fun v ->
+        {
+          null_handlers with
+          Engine.on_init =
+            (fun api -> if v = 0 then api.Engine.set_timer ~h:1. ~tag:0);
+          on_timer = (fun _ ~tag:_ -> incr fired);
+        })
+  in
+  Engine.request_stop engine;
+  Engine.request_stop engine;
+  Engine.run_until engine 10.;
+  Alcotest.(check int) "no dispatches" 0 !fired;
+  Alcotest.(check int) "no events processed" 0 (Engine.events_processed engine);
+  Alcotest.(check bool) "flag set" true (Engine.stop_requested engine);
+  Alcotest.(check (float 1e-9)) "now never advanced" 0. (Engine.now engine)
+
+let test_pending_snapshot_pop_order () =
+  (* The snapshot renders the queue in exact pop order: delivery, timer,
+     control, sorted by dispatch time with payloads visible. *)
+  let engine =
+    make_engine ~n:2
+      ~delays:(Dm.fixed (Dm.bounds ~d_min:2. ~d_max:2.))
+      (fun v ->
+        {
+          null_handlers with
+          Engine.on_init =
+            (fun api ->
+              if v = 0 then begin
+                api.Engine.set_timer ~h:5. ~tag:3;
+                api.Engine.send ~port:0 (Ping 1.)
+              end);
+        })
+  in
+  Engine.schedule_control engine ~at:9. (fun () -> ());
+  Engine.run_until engine 0.;
+  match Engine.pending_snapshot engine with
+  | [
+   Engine.Pending_deliver { at = d_at; dst; port; edge; msg = Ping payload };
+   Engine.Pending_timer { at = t_at; node; h_target; tag };
+   Engine.Pending_control { at = c_at };
+  ] ->
+      Alcotest.(check (float 1e-9)) "delivery at send + delay" 2. d_at;
+      Alcotest.(check int) "dst" 1 dst;
+      Alcotest.(check int) "port" 0 port;
+      Alcotest.(check int) "edge" 0 edge;
+      Alcotest.(check (float 1e-9)) "payload" 1. payload;
+      Alcotest.(check (float 1e-9)) "timer at its hardware target" 5. t_at;
+      Alcotest.(check int) "timer node" 0 node;
+      Alcotest.(check (float 1e-9)) "h_target" 5. h_target;
+      Alcotest.(check int) "tag" 3 tag;
+      Alcotest.(check (float 1e-9)) "control time" 9. c_at
+  | l -> Alcotest.failf "unexpected snapshot of %d entries" (List.length l)
+
+let test_pending_snapshot_filters_stale_timers () =
+  (* Re-keying a node's timers (rate change) leaves stale ids in the heap;
+     the snapshot must show exactly the live timers, re-aimed. *)
+  let engine =
+    make_engine ~n:2 (fun v ->
+        {
+          null_handlers with
+          Engine.on_init =
+            (fun api -> if v = 0 then api.Engine.set_timer ~h:5. ~tag:0);
+        })
+  in
+  Engine.run_until engine 0.;
+  Engine.set_node_rate engine ~node:0 ~rate:2.;
+  Alcotest.(check bool) "heap holds the stale ghost" true
+    (Engine.pending_events engine >= 2);
+  match Engine.pending_snapshot engine with
+  | [ Engine.Pending_timer { at; h_target; _ } ] ->
+      Alcotest.(check (float 1e-9)) "re-aimed to rate 2" 2.5 at;
+      Alcotest.(check (float 1e-9)) "same hardware target" 5. h_target
+  | l -> Alcotest.failf "expected 1 live timer, got %d entries" (List.length l)
+
 let test_rejects_wrong_clock_count () =
   let graph = Topology.line 3 in
   Alcotest.check_raises "clock count"

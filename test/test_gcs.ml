@@ -46,6 +46,7 @@ let () =
       ("core.faults", Test_faults.suite);
       ("core.golden", Test_golden.suite);
       ("check", Test_check.suite);
+      ("explore", Test_explore.suite);
       ("integration", Test_integration.suite);
       ("adversarial.random", Test_adversarial_random.suite);
     ]

@@ -108,6 +108,81 @@ let test_warmup_past_horizon () =
   Alcotest.(check int) "all samples summarized" 21
     r.Runner.summary.Metrics.samples_used
 
+let test_chooser_cleared_after_complete () =
+  (* The chooser's lifetime ends with the run it was installed for:
+     [complete] must reset the cell so the closure the delay model captured
+     can never fire in a later reuse of the engine. *)
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync
+      ~delay_kind:Runner.Controlled_delays ~horizon:20. ~seed:3
+      (Topology.line 3)
+  in
+  let live = Runner.prepare cfg in
+  live.Runner.chooser := Some (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 1.5);
+  let _ = Runner.complete live in
+  Alcotest.(check bool) "chooser reset to None" true
+    (!(live.Runner.chooser) = None)
+
+let test_controlled_then_default_identical () =
+  (* Regression for the chooser-ref lifecycle: an adversarial controlled
+     run sandwiched between two plain controlled runs must leave the second
+     plain run bit-identical to the first. Max-sync because its jumps make
+     the samples delay-sensitive (gradient's multiplier trigger never
+     engages at this scale, so delays cannot move its samples). *)
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Max_sync
+      ~delay_kind:Runner.Controlled_delays ~horizon:50. ~seed:7
+      (Topology.line 4)
+  in
+  let baseline = Runner.run cfg in
+  let live = Runner.prepare cfg in
+  live.Runner.chooser := Some (fun ~edge:_ ~src:_ ~dst:_ ~now:_ -> 1.5);
+  let adversarial = Runner.complete live in
+  let after = Runner.run cfg in
+  Alcotest.(check bool) "adversary actually changed the run" true
+    (adversarial.Runner.summary <> baseline.Runner.summary);
+  Alcotest.(check bool) "default behavior bit-identical afterwards" true
+    (after.Runner.summary = baseline.Runner.summary
+    && after.Runner.samples = baseline.Runner.samples
+    && after.Runner.messages = baseline.Runner.messages)
+
+let test_stop_during_fault_episode () =
+  (* Stopping mid-fault-episode, before the warm-up: no dispatch happens
+     after the stop, and the partial-summary fallback summarizes every
+     collected sample instead of trapping on an empty window. *)
+  let plan =
+    Gcs_sim.Fault_plan.of_events
+      [
+        Gcs_sim.Fault_plan.Node_crash { at = 10.; node = 0 };
+        Gcs_sim.Fault_plan.Node_recover { at = 30.; node = 0; wipe = false };
+      ]
+  in
+  let cfg =
+    Runner.config ~spec ~algo:Algorithm.Gradient_sync ~horizon:100.
+      ~warmup:50. ~seed:3 ~fault_plan:plan (Topology.ring 5)
+  in
+  let live = Runner.prepare cfg in
+  let engine = live.Runner.engine in
+  Engine.schedule_control engine ~at:15. (fun () ->
+      Engine.request_stop engine);
+  let r = Runner.complete live in
+  Alcotest.(check bool) "stopped inside the episode" true
+    (Engine.now engine >= 10. && Engine.now engine <= 15.);
+  let events = Engine.events_processed engine in
+  Engine.run_until engine 100.;
+  Alcotest.(check int) "no dispatches after stop" events
+    (Engine.events_processed engine);
+  Alcotest.(check bool) "some samples collected" true
+    (Array.length r.Runner.samples > 0);
+  Alcotest.(check int) "fallback summarized every collected sample"
+    (Array.length r.Runner.samples)
+    r.Runner.summary.Metrics.samples_used;
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "all samples pre-warmup" true
+        (s.Metrics.time < 50.))
+    r.Runner.samples
+
 let test_obs_empty_by_default () =
   let r = Runner.run (base_cfg ()) in
   Alcotest.(check bool) "no sinks captured" true
@@ -160,6 +235,12 @@ let suite =
     Alcotest.test_case "all delay kinds" `Quick test_delay_kinds_all_run;
     Alcotest.test_case "warmup excludes transient" `Quick test_warmup_excludes_transient;
     Alcotest.test_case "warmup past horizon" `Quick test_warmup_past_horizon;
+    Alcotest.test_case "chooser cleared after complete" `Quick
+      test_chooser_cleared_after_complete;
+    Alcotest.test_case "controlled then default identical" `Quick
+      test_controlled_then_default_identical;
+    Alcotest.test_case "stop during fault episode" `Quick
+      test_stop_during_fault_episode;
     Alcotest.test_case "obs empty by default" `Quick test_obs_empty_by_default;
     Alcotest.test_case "per-edge delays" `Quick test_per_edge_delay_kind;
     Alcotest.test_case "override used" `Quick test_override_used;
