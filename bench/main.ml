@@ -1506,6 +1506,86 @@ let e24 () =
     ~rows;
   if !failed then exit 1
 
+(* E25: what does fault containment buy, and what does it cost? Plain
+   gradient and the ft variant run the same Byzantine batteries: f = 0
+   (benign control — the filter must be free), f = 1, f = 2 liars drawn by
+   Check_run.byz_plan with lies 20x kappa. Reported skew is over correct
+   nodes only; "bound" is the weakened containment bound the online
+   monitor enforces. Plain gradient should blow through it under
+   ahead-lies while ft-gradient stays under with margin. *)
+let e25 () =
+  header "E25" "Byzantine containment: gradient vs ft-gradient under liars";
+  let module Check_run = Gcs_check.Check_run in
+  let spec_e25 = Check_run.attack_spec () in
+  let graph = Topology.ring 16 in
+  let horizon = 400. in
+  let seeds = [ 1; 7920; 15839 ] in
+  let run_one ~algo ~f ~seed =
+    let fault_plan =
+      if f = 0 then None
+      else
+        Some
+          (Check_run.byz_plan ~seed ~horizon ~nodes:16 ~f
+             ~kappa:spec_e25.Spec.kappa)
+    in
+    let byz =
+      match fault_plan with
+      | None -> []
+      | Some p -> Gcs_sim.Fault_plan.byzantine_nodes p
+    in
+    let cfg =
+      Runner.config ~spec:spec_e25 ~algo ~horizon ~seed ?fault_plan graph
+    in
+    let r = Runner.run cfg in
+    let is_byz = Array.make 16 false in
+    List.iter (fun v -> is_byz.(v) <- true) byz;
+    match
+      Metrics.summarize_opt
+        ~alive:(fun v -> not is_byz.(v))
+        graph r.Runner.samples ~after:(horizon /. 4.)
+    with
+    | Some s -> (s.Metrics.max_local, s.Metrics.max_global)
+    | None -> (0., 0.)
+  in
+  let rows =
+    List.concat_map
+      (fun f ->
+        let bound =
+          Check_run.containment_bound spec_e25 ~f:(max 1 f)
+        in
+        List.map
+          (fun algo ->
+            let locals, globals =
+              List.split (List.map (fun seed -> run_one ~algo ~f ~seed) seeds)
+            in
+            let worst_local = List.fold_left Float.max 0. locals in
+            let worst_global = List.fold_left Float.max 0. globals in
+            [
+              string_of_int f;
+              Algorithm.kind_name algo;
+              fmt worst_local;
+              fmt worst_global;
+              fmt bound;
+              (if worst_local <= bound then "contained" else "VIOLATED");
+            ])
+          [ Algorithm.Gradient_sync; Algorithm.Ft_gradient_sync (max 1 f) ])
+      [ 0; 1; 2 ]
+  in
+  print_table ~name:"e25_byzantine_containment"
+    ~title:
+      "worst correct-node skew over 3 seeds (ring:16, lies 20x kappa over \
+       the middle half, horizon 400)"
+    ~columns:
+      [
+        Table.column "liars f";
+        Table.column ~align:Table.Left "algorithm";
+        Table.column "max correct local";
+        Table.column "max correct global";
+        Table.column "containment bound";
+        Table.column ~align:Table.Left "verdict";
+      ]
+    ~rows
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4);
@@ -1513,7 +1593,7 @@ let experiments =
     ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
     ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
     ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
-    ("e23", e23); ("e24", e24);
+    ("e23", e23); ("e24", e24); ("e25", e25);
     ("e8", e8);
   ]
 

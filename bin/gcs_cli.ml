@@ -81,7 +81,10 @@ let topology_arg =
     & info [ "t"; "topology" ] ~docv:"TOPOLOGY" ~doc)
 
 let algo_arg =
-  let doc = "Algorithm: gradient, tree, max, free-run." in
+  let doc =
+    "Algorithm: gradient, ft-gradient-F (fault-containing, F Byzantine \
+     neighbors tolerated), tree, max, free-run."
+  in
   Arg.(
     value
     & opt algo_conv Algorithm.Gradient_sync
@@ -344,18 +347,40 @@ let attack_cmd =
         ("linear", `Linear);
         ("ring-bias", `Bias);
         ("churn", `Churn);
+        ("byz-search", `Byz_search);
       ]
   in
   let kind_arg =
     Arg.(
       value
       & opt kind_conv `Fan_lynch
-      & info [ "kind" ] ~docv:"KIND" ~doc:"Adversary: fan-lynch, linear, ring-bias.")
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Adversary: fan-lynch, linear, ring-bias, churn, byz-search \
+             (co-optimize a Byzantine lying strategy with the delay/rate \
+             schedule).")
   in
   let n_arg =
     Arg.(value & opt int 33 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
   in
-  let action spec_result algo kind n seed =
+  let liars_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "liars" ] ~docv:"F"
+          ~doc:"Byzantine node budget for byz-search.")
+  in
+  let segments_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "segments" ] ~docv:"N"
+          ~doc:"Move segments for byz-search's beam stage.")
+  in
+  let beam_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "beam" ] ~docv:"W" ~doc:"Beam width for byz-search.")
+  in
+  let action spec_result algo kind n seed liars segments beam =
     let spec = or_die spec_result in
     match kind with
     | `Fan_lynch ->
@@ -394,9 +419,27 @@ let attack_cmd =
           (100. *. r.Gcs_adversary.Churn.downtime_fraction);
         Printf.printf "forced local  : %.4f\n" r.Gcs_adversary.Churn.forced_local;
         Printf.printf "forced global : %.4f\n" r.Gcs_adversary.Churn.forced_global
+    | `Byz_search ->
+        let module Search = Gcs_adversary.Search in
+        let cfg = Search.default_config ~spec ~algo ~segments ~beam ~seed ~n () in
+        let r =
+          try Search.byz_search ~f:liars cfg
+          with Invalid_argument msg -> or_die (Error msg)
+        in
+        Printf.printf "byzantine co-search on line:%d against %s (%d liar%s)\n"
+          n (Algorithm.kind_name algo) liars (if liars = 1 then "" else "s");
+        Printf.printf "byz plan             : %s\n"
+          (Fault_plan.to_string r.Search.byz_plan);
+        Printf.printf "moves                : %s\n"
+          (Gcs_check.Repro.moves_to_string r.Search.byz_moves);
+        Printf.printf "forced correct local : %.4f\n"
+          r.Search.forced_correct_local;
+        Printf.printf "evaluations          : %d\n" r.Search.byz_evaluations
   in
   let term =
-    Term.(const action $ spec_term $ algo_arg $ kind_arg $ n_arg $ seed_arg)
+    Term.(
+      const action $ spec_term $ algo_arg $ kind_arg $ n_arg $ seed_arg
+      $ liars_arg $ segments_arg $ beam_arg)
   in
   Cmd.v (Cmd.info "attack" ~doc:"Run a lower-bound adversary.") term
 
@@ -496,9 +539,11 @@ let faults_cmd =
        ';'-separated: partition@T:EDGES, heal@T:EDGES, crash@T:node=V, \
        recover@T:node=V[:wipe], dup@T1..T2:p=P[:EDGES], \
        reorder@T1..T2:p=P:extra=X[:EDGES], corrupt@T1..T2:p=P:mag=M[:EDGES], \
-       jump@T:node=V:delta=X, rate@T:node=V:rate=R; EDGES is all, \
-       edges=U-V,... or cut=V,... (default: isolate node 0 for the middle \
-       quarter of the horizon)."
+       jump@T:node=V:delta=X, rate@T:node=V:rate=R, \
+       byz@T1..T2:node=V:STRAT where STRAT is off=X (constant lie), rate=R \
+       (drifting lie), mag=M (fresh random lie per message) or equiv=M \
+       (equivocation); EDGES is all, edges=U-V,... or cut=V,... (default: \
+       isolate node 0 for the middle quarter of the horizon)."
     in
     Arg.(
       value
@@ -545,7 +590,19 @@ let faults_cmd =
       Printf.printf ", duplicated %d" report.Fault_metrics.duplicated;
     if report.Fault_metrics.corrupted > 0 then
       Printf.printf ", corrupted %d" report.Fault_metrics.corrupted;
+    if report.Fault_metrics.lied > 0 then
+      Printf.printf ", lied %d" report.Fault_metrics.lied;
     print_newline ();
+    (match report.Fault_metrics.correct with
+    | None -> ()
+    | Some c ->
+        let byz = Fault_plan.byzantine_nodes plan in
+        Printf.printf "byzantine nodes   : %s\n"
+          (String.concat "," (List.map string_of_int byz));
+        Printf.printf
+          "correct-node skew : max local %.4f, max global %.4f (liars \
+           excluded)\n"
+          c.Metrics.max_local c.Metrics.max_global);
     Printf.printf "fault episodes    :\n";
     List.iter
       (fun e -> Printf.printf "  %s\n" (Fault_metrics.episode_to_string e))
@@ -1260,15 +1317,30 @@ let check_battery_cmd =
   let algos_arg =
     Arg.(
       value
-      & opt (list algo_conv) Algorithm.all_kinds
+      & opt (some (list algo_conv)) None
       & info [ "algos" ] ~docv:"ALGO,..."
-          ~doc:"Comma-separated algorithms (default: all registered).")
+          ~doc:
+            "Comma-separated algorithms (default: all registered; with \
+             --byzantine, just ft-gradient-F).")
   in
   let seeds_arg =
     Arg.(
       value & opt int 4
       & info [ "seeds" ] ~docv:"N"
           ~doc:"Seeds per (topology, algorithm) cell.")
+  in
+  let byz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "byzantine" ] ~docv:"F"
+          ~doc:
+            "Containment mode: run every cell under a deterministic \
+             Byzantine plan with F liars and check the weakened \
+             correct-correct containment bound instead of the faultless \
+             envelopes. The ft-gradient algorithm must come back clean; \
+             plain gradient cells demonstrate the violation (and shrink \
+             and replay like any other).")
   in
   let base_seed_arg =
     Arg.(
@@ -1289,14 +1361,25 @@ let check_battery_cmd =
           ~doc:"Write a .repro artifact per violating cell into DIR.")
   in
   let action spec_result topologies algos seeds base_seed no_faults horizon
-      jobs repro_dir =
+      jobs repro_dir byz =
     let spec = or_die spec_result in
     let jobs = if jobs = 0 then Gcs_util.Pool.default_jobs () else jobs in
     if jobs < 0 then or_die (Error "jobs must be >= 0");
+    let algos =
+      match (algos, byz) with
+      | Some a, _ -> a
+      | None, Some f -> [ Algorithm.Ft_gradient_sync f ]
+      | None, None -> Algorithm.all_kinds
+    in
     let cells =
       try
-        Check_run.battery ~jobs ~spec ~algos ~faults:(not no_faults)
-          ~base_seed ~topologies ~seeds ~horizon ()
+        match byz with
+        | Some f ->
+            Check_run.containment_battery ~jobs ~spec ~algos ~f ~base_seed
+              ~topologies ~seeds ~horizon ()
+        | None ->
+            Check_run.battery ~jobs ~spec ~algos ~faults:(not no_faults)
+              ~base_seed ~topologies ~seeds ~horizon ()
       with Invalid_argument msg -> or_die (Error msg)
     in
     let events =
@@ -1340,14 +1423,15 @@ let check_battery_cmd =
     Term.(
       const action $ spec_term $ topologies_arg $ algos_arg $ seeds_arg
       $ base_seed_arg $ no_faults_flag $ horizon_arg $ jobs_repl_arg
-      $ repro_dir_arg)
+      $ repro_dir_arg $ byz_arg)
   in
   Cmd.v
     (Cmd.info "battery"
        ~doc:
          "Sweep every algorithm over a grid of topologies, seeds, and \
-          benign fault plans with online monitors attached. Exits 1 if any \
-          cell violates its envelope.")
+          benign fault plans with online monitors attached (--byzantine \
+          switches to the containment battery under adversarial liars). \
+          Exits 1 if any cell violates its envelope.")
     term
 
 let check_cmd =

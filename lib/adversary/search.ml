@@ -94,8 +94,11 @@ let install (live : Runner.live) ~segment_len plan =
     plan
 
 (* Play a move sequence deterministically and return (local, global) skew
-   maxima over the final segment. *)
-let evaluate cfg plan =
+   maxima over the final segment. With a fault plan carrying Byzantine
+   nodes, the maxima are taken over correct nodes only — the adversary is
+   scored on the damage its lies force between honest clocks, not on the
+   arbitrary values its own clock advertises. *)
+let evaluate ?fault_plan cfg plan =
   let graph = Topology.line cfg.n in
   let horizon = float_of_int (List.length plan) *. cfg.segment_len in
   let run_cfg =
@@ -103,22 +106,40 @@ let evaluate cfg plan =
       ~drift_of_node:(fun _ -> Drift.Constant 1.)
       ~delay_kind:Runner.Controlled_delays ~horizon
       ~sample_period:(Float.max 0.5 (cfg.segment_len /. 50.))
-      ~warmup:0. ~seed:cfg.seed graph
+      ~warmup:0. ~seed:cfg.seed ?fault_plan graph
   in
   let live = Runner.prepare run_cfg in
   install live ~segment_len:cfg.segment_len plan;
   let result = Runner.complete live in
   let tail_start = horizon -. cfg.segment_len in
-  let tail =
-    Metrics.summarize graph result.Runner.samples ~after:tail_start
+  let byzantine =
+    match fault_plan with
+    | None -> []
+    | Some p -> Gcs_sim.Fault_plan.byzantine_nodes p
   in
-  (tail.Metrics.max_local, tail.Metrics.max_global)
+  if byzantine = [] then begin
+    let tail =
+      Metrics.summarize graph result.Runner.samples ~after:tail_start
+    in
+    (tail.Metrics.max_local, tail.Metrics.max_global)
+  end
+  else begin
+    let is_byz = Array.make cfg.n false in
+    List.iter (fun v -> if v < cfg.n then is_byz.(v) <- true) byzantine;
+    match
+      Metrics.summarize_opt
+        ~alive:(fun v -> not is_byz.(v))
+        graph result.Runner.samples ~after:tail_start
+    with
+    | Some tail -> (tail.Metrics.max_local, tail.Metrics.max_global)
+    | None -> (0., 0.)
+  end
 
-let search cfg =
+let search ?fault_plan cfg =
   let evaluations = ref 0 in
   let score plan =
     incr evaluations;
-    evaluate cfg plan
+    evaluate ?fault_plan cfg plan
   in
   (* Beam search over prefixes, scored by the skew at the prefix's end. *)
   let initial = [ (0., 0., []) ] in
@@ -158,3 +179,91 @@ let search cfg =
         evaluations = !evaluations;
       }
   | [] -> { forced_local = 0.; forced_global = 0.; plan = []; evaluations = 0 }
+
+(* ---------------------------------------------------------------- *)
+(* Byzantine strategy co-optimization                               *)
+
+module Fault_plan = Gcs_sim.Fault_plan
+
+type byz_outcome = {
+  forced_correct_local : float;
+  byz_plan : Fault_plan.t;
+  byz_moves : move list;
+  byz_evaluations : int;
+}
+
+let byz_search ?(f = 1) ?magnitude cfg =
+  if f < 1 || f >= cfg.n then
+    invalid_arg "Search.byz_search: need 1 <= f < n";
+  let magnitude =
+    match magnitude with
+    | Some m -> m
+    | None -> 20. *. cfg.spec.Spec.kappa
+  in
+  let horizon = float_of_int cfg.segments *. cfg.segment_len in
+  let neutral =
+    List.init cfg.segments (fun _ -> { fast_side = `None; bias = `Neutral })
+  in
+  (* Candidate liar placements: [f] nodes at a fixed stride, tried at a
+     few phase offsets (an end, the middle of a stride, the stride edge).
+     Exhausting all (n choose f) placements buys little: on a line the
+     damage depends on where the liars cut the gradient, which the phase
+     sweep already varies. *)
+  let stride = max 1 (cfg.n / f) in
+  let placements =
+    List.sort_uniq compare
+      (List.map
+         (fun off ->
+           List.sort_uniq compare
+             (List.init f (fun i -> (off + (i * stride)) mod cfg.n)))
+         [ 0; stride / 2; max 0 (stride - 1) ])
+  in
+  let drift_rate = 2. *. magnitude /. horizon in
+  let strategies =
+    [
+      Fault_plan.Lie_equivocate magnitude;
+      Fault_plan.Lie_constant magnitude;
+      Fault_plan.Lie_constant (-.magnitude);
+      Fault_plan.Lie_drifting drift_rate;
+      Fault_plan.Lie_drifting (-.drift_rate);
+      Fault_plan.Lie_random magnitude;
+    ]
+  in
+  let plans =
+    List.concat_map
+      (fun nodes ->
+        List.map
+          (fun strategy ->
+            Fault_plan.of_events
+              (List.map
+                 (fun node ->
+                   Fault_plan.Byzantine
+                     { from_ = 0.; until = horizon; node; strategy })
+                 nodes))
+          strategies)
+      placements
+  in
+  (* Stage 1: rank lying strategies under neutral delays and rates. *)
+  let evaluations = ref 0 in
+  let best_local, best_plan =
+    List.fold_left
+      (fun (bl, bp) p ->
+        incr evaluations;
+        let local, _ = evaluate ~fault_plan:p cfg neutral in
+        if local > bl then (local, p) else (bl, bp))
+      (neg_infinity, List.hd plans)
+      plans
+  in
+  (* Stage 2: co-optimize the delay/rate move sequence against the best
+     lying strategy — the beam search now scores correct-correct skew. *)
+  let o = search ~fault_plan:best_plan cfg in
+  let forced_correct_local, byz_moves =
+    if o.forced_local > best_local then (o.forced_local, o.plan)
+    else (best_local, neutral)
+  in
+  {
+    forced_correct_local;
+    byz_plan = best_plan;
+    byz_moves;
+    byz_evaluations = !evaluations + o.evaluations;
+  }

@@ -65,8 +65,34 @@ val install : Gcs_core.Runner.live -> segment_len:float -> move list -> unit
     installer serves the beam search and counterexample replay
     ([Gcs_check]), where the config was rebuilt from a store key. *)
 
-val evaluate : config -> move list -> float * float
+val evaluate :
+  ?fault_plan:Gcs_sim.Fault_plan.t -> config -> move list -> float * float
 (** [(max local, max global)] over the final segment of the execution that
-    plays the given move sequence. Exposed for tests. *)
+    plays the given move sequence. With a [fault_plan] carrying Byzantine
+    nodes, the maxima are over correct nodes only — the adversary is
+    scored on the damage it forces between honest clocks. Exposed for
+    tests. *)
 
-val search : config -> outcome
+val search : ?fault_plan:Gcs_sim.Fault_plan.t -> config -> outcome
+(** Beam search over move sequences; an optional [fault_plan] (typically
+    with Byzantine events) is installed in every candidate execution. *)
+
+type byz_outcome = {
+  forced_correct_local : float;
+      (** worst correct-correct local skew found (final segment) *)
+  byz_plan : Gcs_sim.Fault_plan.t;  (** the lying strategy achieving it *)
+  byz_moves : move list;
+      (** the co-optimized move sequence ([all-neutral] when no move
+          sequence beat the neutral schedule) *)
+  byz_evaluations : int;  (** simulations executed across both stages *)
+}
+
+val byz_search : ?f:int -> ?magnitude:float -> config -> byz_outcome
+(** Co-optimize a Byzantine lying strategy with the delay/rate adversary:
+    stage 1 ranks [f]-liar placements (a stride sweep) crossed with the
+    strategy alphabet (equivocation, constant/drifting lead and lag,
+    random) under neutral moves; stage 2 runs the move beam search
+    against the winner. Default [f = 1], default [magnitude] [20 *
+    kappa]. Everything is expressed as an ordinary {!Gcs_sim.Fault_plan},
+    so the winning strategy replays through runner configs, store keys,
+    and [.repro] artifacts unchanged. Raises unless [1 <= f < n]. *)

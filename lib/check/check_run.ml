@@ -16,7 +16,8 @@ type checked = {
   events_checked : int;
 }
 
-let default_spec ?(mode = `Record) ?skew_bound ?(after = 0.) spec algo =
+let default_spec ?(mode = `Record) ?skew_bound ?(after = 0.)
+    ?(byzantine = []) ?containment_bound spec algo =
   let env = Invariant.expected_envelope spec algo in
   {
     Monitor.rate_lo = env.Invariant.rate_lo;
@@ -26,6 +27,8 @@ let default_spec ?(mode = `Record) ?skew_bound ?(after = 0.) spec algo =
     skew_bound;
     after;
     mode;
+    byzantine;
+    containment_bound;
   }
 
 let run ?monitor ?(moves = []) ?(segment_len = 0.) (cfg : Runner.config) =
@@ -101,6 +104,47 @@ let benign_plan ~seed ~horizon ~nodes =
   in
   Fault_plan.of_events events
 
+(* A Byzantine fault plan drawn deterministically from the cell seed: [f]
+   liars spread around the node space, each lying over the middle half of
+   the run with a strategy and magnitude chosen from its own derived
+   stream. The magnitudes dwarf every containment bound in use, so a
+   surviving battery means the algorithm filtered the lies, not that the
+   lies were gentle. *)
+let byz_plan ~seed ~horizon ~nodes ~f ~kappa =
+  if f < 1 then invalid_arg "Check_run.byz_plan: f must be >= 1";
+  if f >= nodes then invalid_arg "Check_run.byz_plan: f must be < nodes";
+  let rng = Prng.create ~seed:(seed lxor 0xB12A) in
+  let q = horizon /. 4. in
+  let mag = 20. *. kappa in
+  let stride = nodes / f in
+  let offset = Prng.int rng stride in
+  let events =
+    List.init f (fun i ->
+        let node = (offset + (i * stride)) mod nodes in
+        let strategy =
+          match Prng.int rng 4 with
+          | 0 -> Fault_plan.Lie_equivocate mag
+          | 1 -> Fault_plan.Lie_constant (-.mag)
+          | 2 -> Fault_plan.Lie_drifting (-.mag /. (2. *. q))
+          | _ -> Fault_plan.Lie_random mag
+        in
+        Fault_plan.Byzantine { from_ = q; until = 3. *. q; node; strategy })
+  in
+  Fault_plan.of_events events
+
+(* The weakened correct-correct guarantee the ft gradient is checked
+   against: the filter's clamp window (2f+1)*kappa — where a liar can pin
+   the trigger level — plus slack for what honest machinery adds on top:
+   estimation error on each of the two estimates involved in a trigger
+   decision, and one beacon period of reaction lag at the fast-rate
+   differential (bounded by kappa for any sane spec). Calibrated so the
+   ft battery passes with margin while plain gradient, whose skew under a
+   pinning liar grows to the lie magnitude, crosses it decisively. *)
+let containment_bound (spec : Spec.t) ~f =
+  (float_of_int ((2 * f) + 1) *. spec.Spec.kappa)
+  +. (2. *. Spec.estimate_error_bound spec)
+  +. spec.Spec.kappa
+
 let seed_stride = 7919
 
 let battery ?jobs ?(spec = Spec.make ()) ?(algos = Algorithm.all_kinds)
@@ -148,3 +192,58 @@ let battery ?jobs ?(spec = Spec.make ()) ?(algos = Algorithm.all_kinds)
   Pool.map ?jobs run_cell (Array.of_list cells) |> Array.to_list
 
 let violations cells = List.filter (fun c -> c.violation <> None) cells
+
+(* ---------------------------------------------------------------- *)
+(* Containment battery                                              *)
+
+let attack_spec () = Spec.make ~rho:0.05 ~mu:0.15 ~kappa:0.5 ()
+
+let containment_battery ?jobs ?spec
+    ?(algos = [ Algorithm.Ft_gradient_sync 1 ]) ?(f = 1) ?(base_seed = 1)
+    ~topologies ~seeds ~horizon () =
+  if seeds < 1 then
+    invalid_arg "Check_run.containment_battery: seeds must be >= 1";
+  let spec = match spec with Some s -> s | None -> attack_spec () in
+  let cells =
+    List.concat_map
+      (fun topology ->
+        let nodes =
+          Graph.n
+            (Topology.build topology
+               ~rng:(Prng.create ~seed:(base_seed lxor 0x5eed)))
+        in
+        List.concat_map
+          (fun algo ->
+            List.init seeds (fun i ->
+                let seed = base_seed + (i * seed_stride) in
+                let fault_plan =
+                  byz_plan ~seed ~horizon ~nodes ~f ~kappa:spec.Spec.kappa
+                in
+                let key =
+                  Runner.store_key ~fault_plan ~spec ~topology ~algo ~horizon
+                    ~seed ()
+                in
+                (key, algo, fault_plan)))
+          algos)
+      topologies
+  in
+  let run_cell (key, algo, plan) =
+    let monitor =
+      default_spec
+        ~byzantine:(Fault_plan.byzantine_nodes plan)
+        ~containment_bound:(containment_bound spec ~f)
+        spec algo
+    in
+    match Runner.config_of_key key with
+    | Error msg -> invalid_arg ("Check_run.containment_battery: " ^ msg)
+    | Ok cfg ->
+        let checked = run ~monitor cfg in
+        {
+          key;
+          algo;
+          monitor;
+          violation = checked.violation;
+          events_checked = checked.events_checked;
+        }
+  in
+  Pool.map ?jobs run_cell (Array.of_list cells) |> Array.to_list

@@ -18,13 +18,16 @@ val default_spec :
   ?mode:[ `Record | `Abort ] ->
   ?skew_bound:float ->
   ?after:float ->
+  ?byzantine:int list ->
+  ?containment_bound:float ->
   Gcs_core.Spec.t ->
   Gcs_core.Algorithm.kind ->
   Monitor.spec
 (** The monitor an algorithm's own {!Gcs_core.Invariant.expected_envelope}
     implies: its rate envelope (disabled when the envelope allows jumps),
     monotonicity always, and an optional adjacent-pair skew bound checked
-    from [after] on. Default mode [`Record]. *)
+    from [after] on. [byzantine] and [containment_bound] (defaults: none)
+    arm the correct-correct containment check. Default mode [`Record]. *)
 
 val run :
   ?monitor:Monitor.spec ->
@@ -72,3 +75,46 @@ val battery :
 
 val violations : cell list -> cell list
 (** The cells whose monitor recorded a violation. *)
+
+val byz_plan :
+  seed:int ->
+  horizon:float ->
+  nodes:int ->
+  f:int ->
+  kappa:float ->
+  Gcs_sim.Fault_plan.t
+(** A Byzantine fault plan drawn deterministically from the seed: [f]
+    liars spread around the node space, each active over the middle half
+    of the run with a strategy (equivocation, constant/drifting lag,
+    random) from its own derived stream and lie magnitudes of [20 *
+    kappa] — far outside every containment bound, so surviving the
+    battery means the lies were filtered, not mild. Raises if [f < 1] or
+    [f >= nodes]. *)
+
+val containment_bound : Gcs_core.Spec.t -> f:int -> float
+(** The weakened correct-correct skew bound checked under [f] liars per
+    neighborhood: the ft filter's clamp window [(2f+1) * kappa] plus
+    slack for estimation error and reaction lag. *)
+
+val attack_spec : unit -> Gcs_core.Spec.t
+(** The spec the containment battery runs under by default: small kappa
+    and a hot drift band ([rho = 0.05], [mu = 0.15]) so an un-contained
+    run visibly diverges within a few hundred time units. *)
+
+val containment_battery :
+  ?jobs:int ->
+  ?spec:Gcs_core.Spec.t ->
+  ?algos:Gcs_core.Algorithm.kind list ->
+  ?f:int ->
+  ?base_seed:int ->
+  topologies:Gcs_graph.Topology.spec list ->
+  seeds:int ->
+  horizon:float ->
+  unit ->
+  cell list
+(** One monitored run per topology x algorithm x seed (default algorithms:
+    just [Ft_gradient_sync 1]), each under a {!byz_plan} with [f] liars
+    (default 1) and a monitor armed with {!containment_bound}. The ft
+    gradient must come back clean; plain [Gradient_sync] cells are the
+    deliberate-failure demonstration — their violations shrink and replay
+    through the ordinary [.repro] pipeline. Defaults to {!attack_spec}. *)

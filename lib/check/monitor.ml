@@ -12,17 +12,19 @@ let eps = 1e-6
    enough to make the estimate trustworthy to well under [eps]. *)
 let rate_dt_min = 1e-3
 
-type kind = Rate | Monotonic | Skew
+type kind = Rate | Monotonic | Skew | Containment
 
 let kind_name = function
   | Rate -> "rate"
   | Monotonic -> "monotonic"
   | Skew -> "skew"
+  | Containment -> "containment"
 
 let kind_of_string = function
   | "rate" -> Ok Rate
   | "monotonic" -> Ok Monotonic
   | "skew" -> Ok Skew
+  | "containment" -> Ok Containment
   | s -> Error (Printf.sprintf "unknown violation kind %S" s)
 
 type spec = {
@@ -33,6 +35,8 @@ type spec = {
   skew_bound : float option;
   after : float;
   mode : [ `Record | `Abort ];
+  byzantine : int list;
+  containment_bound : float option;
 }
 
 type violation = {
@@ -61,6 +65,7 @@ type t = {
   engine : Gcs_core.Message.t Engine.t;
   logical : Logical_clock.t array;
   adj : int array array;  (** neighbor node ids, own copy (hot path) *)
+  byz : bool array;  (** nodes excluded from containment pairs *)
   mono_v : float array;  (** last seen value per node (every event) *)
   rate_t : float array;  (** rate-anchor time per node *)
   rate_v : float array;  (** rate-anchor value per node *)
@@ -129,7 +134,7 @@ let check_node t ~now ~context node =
     t.rate_t.(node) <- now;
     t.rate_v.(node) <- cur
   end;
-  match t.spec.skew_bound with
+  (match t.spec.skew_bound with
   | Some bound when now >= t.spec.after ->
       let nbrs = t.adj.(node) in
       for i = 0 to Array.length nbrs - 1 do
@@ -148,6 +153,34 @@ let check_node t ~now ~context node =
                 Printf.sprintf "local skew %.17g exceeds bound %.17g" d bound;
               context = context ();
             }
+      done
+  | Some _ | None -> ());
+  match t.spec.containment_bound with
+  | Some bound when now >= t.spec.after && not t.byz.(node) ->
+      (* The fault-containment claim: Byzantine senders may wreck their own
+         incident edges, but skew between *correct* adjacent nodes stays
+         within the weakened bound. Liar-incident pairs are exempt. *)
+      let nbrs = t.adj.(node) in
+      for i = 0 to Array.length nbrs - 1 do
+        let u = nbrs.(i) in
+        if not t.byz.(u) then begin
+          let d = Float.abs (cur -. Logical_clock.value t.logical.(u) ~now) in
+          if d > bound +. eps then
+            record t
+              {
+                time = now;
+                kind = Containment;
+                node = min node u;
+                peer = Some (max node u);
+                observed = d;
+                bound;
+                detail =
+                  Printf.sprintf
+                    "correct-correct skew %.17g exceeds containment bound \
+                     %.17g" d bound;
+                context = context ();
+              }
+        end
       done
   | Some _ | None -> ()
 
@@ -180,6 +213,11 @@ let attach spec (live : Runner.live) =
       engine;
       logical = live.Runner.logical;
       adj = Array.init n (fun v -> Array.map fst (Graph.neighbors g v));
+      byz =
+        (let b = Array.make n false in
+         List.iter (fun v -> if v >= 0 && v < n then b.(v) <- true)
+           spec.byzantine;
+         b);
       mono_v = Array.copy values;
       rate_t = Array.make n now;
       rate_v = values;

@@ -14,7 +14,7 @@
     any PRNG stream, so an attached monitor changes no run summary — the
     property bench E23 asserts, along with the <10% overhead budget. *)
 
-type kind = Rate | Monotonic | Skew
+type kind = Rate | Monotonic | Skew | Containment
 
 val kind_name : kind -> string
 val kind_of_string : string -> (kind, string) result
@@ -30,6 +30,14 @@ type spec = {
   mode : [ `Record | `Abort ];
       (** [`Record] = flight recorder: keep the first violation, let the
           run finish. [`Abort] = also request an engine stop on it. *)
+  byzantine : int list;
+      (** the fault plan's lying nodes ([[]] without Byzantine faults);
+          pairs touching one are exempt from the containment check — a
+          liar's own clock is unconstrained by the weakened guarantee *)
+  containment_bound : float option;
+      (** when set, skew between *adjacent correct* nodes must stay within
+          this weakened bound from [after] on — the fault-containment
+          property of {!Gcs_core.Ft_gradient} under up to [f] liars *)
 }
 
 type violation = {

@@ -86,6 +86,14 @@ let to_string t =
   line "after" (fl t.monitor.Monitor.after);
   line "segment_len" (fl t.segment_len);
   line "moves" (moves_to_string t.moves);
+  (* Byzantine fields are emitted only when set, so pre-Byzantine repro
+     files (and their pinned fixtures) keep their exact bytes. *)
+  if t.monitor.Monitor.byzantine <> [] then
+    line "byzantine"
+      (String.concat "," (List.map string_of_int t.monitor.Monitor.byzantine));
+  (match t.monitor.Monitor.containment_bound with
+  | None -> ()
+  | Some cb -> line "containment_bound" (fl cb));
   Buffer.add_string b "key:\n";
   Buffer.add_string b (Key.encode t.key);
   Buffer.contents b
@@ -118,8 +126,7 @@ let of_string s =
       match rest with
       | kind :: time :: node :: peer :: observed :: bound :: detail :: context
         :: rate_lo :: rate_hi :: check_rate :: check_monotonic :: skew_bound
-        :: after :: segment_len :: moves :: key_marker :: key_lines
-        when key_marker = "key:" ->
+        :: after :: segment_len :: moves :: rest ->
           let* kind_s = field "kind" kind in
           let* kind = Monitor.kind_of_string kind_s in
           let* time = float_field "time" time in
@@ -157,6 +164,47 @@ let of_string s =
           let* segment_len = float_field "segment_len" segment_len in
           let* moves_s = field "moves" moves in
           let* moves = moves_of_string moves_s in
+          (* Optional Byzantine lines (absent in pre-Byzantine files). *)
+          let opt_line name rest =
+            let prefix = name ^ "=" in
+            let pl = String.length prefix in
+            match rest with
+            | line :: tl
+              when String.length line >= pl && String.sub line 0 pl = prefix
+              ->
+                (Some (String.sub line pl (String.length line - pl)), tl)
+            | _ -> (None, rest)
+          in
+          let byz_s, rest = opt_line "byzantine" rest in
+          let cb_s, rest = opt_line "containment_bound" rest in
+          let* byzantine =
+            match byz_s with
+            | None -> Ok []
+            | Some s ->
+                List.fold_left
+                  (fun acc piece ->
+                    let* acc = acc in
+                    match int_of_string_opt piece with
+                    | Some v -> Ok (acc @ [ v ])
+                    | None ->
+                        Error (Printf.sprintf "repro: bad byzantine %S" piece))
+                  (Ok [])
+                  (String.split_on_char ',' s)
+          in
+          let* containment_bound =
+            match cb_s with
+            | None -> Ok None
+            | Some s -> (
+                match float_of_string_opt s with
+                | Some f -> Ok (Some f)
+                | None ->
+                    Error (Printf.sprintf "repro: bad containment_bound %S" s))
+          in
+          let* key_lines =
+            match rest with
+            | key_marker :: key_lines when key_marker = "key:" -> Ok key_lines
+            | _ -> Error "repro: truncated header"
+          in
           let* key = Key.decode (String.concat "\n" key_lines) in
           Ok
             {
@@ -169,6 +217,8 @@ let of_string s =
                   skew_bound;
                   after;
                   mode = `Record;
+                  byzantine;
+                  containment_bound;
                 };
               expected =
                 {

@@ -10,7 +10,13 @@ type t = {
   prepare : ctx -> int -> Message.t Gcs_sim.Engine.handlers;
 }
 
-type kind = Free_run | Max_sync | Max_slew_sync | Tree_sync | Gradient_sync
+type kind =
+  | Free_run
+  | Max_sync
+  | Max_slew_sync
+  | Tree_sync
+  | Gradient_sync
+  | Ft_gradient_sync of int
 
 let kind_name = function
   | Free_run -> "free-run"
@@ -18,6 +24,7 @@ let kind_name = function
   | Max_slew_sync -> "max-slew"
   | Tree_sync -> "tree"
   | Gradient_sync -> "gradient"
+  | Ft_gradient_sync f -> Printf.sprintf "ft-gradient-%d" f
 
 let kind_of_string = function
   | "free-run" | "free" | "none" -> Ok Free_run
@@ -25,9 +32,20 @@ let kind_of_string = function
   | "max-slew" | "maxslew" -> Ok Max_slew_sync
   | "tree" | "ntp" -> Ok Tree_sync
   | "gradient" | "gcs" -> Ok Gradient_sync
-  | s -> Error (Printf.sprintf "unknown algorithm %S" s)
+  | "ft-gradient" | "ft" -> Ok (Ft_gradient_sync 1)
+  | s -> (
+      let prefix = "ft-gradient-" in
+      let plen = String.length prefix in
+      if String.length s > plen && String.sub s 0 plen = prefix then
+        match int_of_string_opt (String.sub s plen (String.length s - plen)) with
+        | Some f when f >= 0 -> Ok (Ft_gradient_sync f)
+        | Some _ | None ->
+            Error (Printf.sprintf "bad fault budget in algorithm %S" s)
+      else Error (Printf.sprintf "unknown algorithm %S" s))
 
-let all_kinds = [ Free_run; Max_sync; Max_slew_sync; Tree_sync; Gradient_sync ]
+let all_kinds =
+  [ Free_run; Max_sync; Max_slew_sync; Tree_sync; Gradient_sync;
+    Ft_gradient_sync 1 ]
 
 let timer_beacon = 0
 let timer_recheck = 1

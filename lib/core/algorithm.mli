@@ -27,12 +27,27 @@ type t = {
           reuses the closure for every node. *)
 }
 
-(** Which of the built-in algorithms to run. *)
-type kind = Free_run | Max_sync | Max_slew_sync | Tree_sync | Gradient_sync
+(** Which of the built-in algorithms to run. [Ft_gradient_sync f] is the
+    fault-containing gradient variant tolerating up to [f] Byzantine
+    neighbors per node (see {!Ft_gradient}). *)
+type kind =
+  | Free_run
+  | Max_sync
+  | Max_slew_sync
+  | Tree_sync
+  | Gradient_sync
+  | Ft_gradient_sync of int
 
 val kind_name : kind -> string
+
 val kind_of_string : string -> (kind, string) result
+(** Accepts the [kind_name] spellings plus aliases; for the fault-tolerant
+    gradient, ["ft-gradient-N"] selects budget [N], and ["ft-gradient"] or
+    ["ft"] default to [N = 1]. *)
+
 val all_kinds : kind list
+(** One representative per algorithm family ([Ft_gradient_sync 1] for the
+    fault-tolerant gradient). *)
 
 val timer_beacon : int
 (** Timer tag used by all algorithms for their periodic beacon/probe. *)

@@ -15,6 +15,8 @@ type report = {
   dropped_faults : int;
   duplicated : int;
   corrupted : int;
+  lied : int;
+  correct : Metrics.summary option;
 }
 
 let skew graph (ep : Fault_plan.episode) (s : Metrics.sample) =
@@ -68,8 +70,20 @@ let eval_episode ~kappa ~graph ~samples (ep : Fault_plan.episode) =
   { label = ep.label; start = ep.start; stop = ep.stop; band; worst_transient;
     time_to_resync }
 
-let evaluate ~spec ~graph ~samples ~episodes ~dropped_faults ~duplicated
-    ~corrupted =
+let evaluate ?(byzantine = []) ?(lied = 0) ?(after = neg_infinity) ~spec
+    ~graph ~samples ~episodes ~dropped_faults ~duplicated ~corrupted () =
+  (* With Byzantine nodes in the plan, also summarize skew over correct
+     nodes only — a liar's advertised values are arbitrary by design, so
+     aggregates that include it measure the attack, not the algorithm. *)
+  let correct =
+    if byzantine = [] then None
+    else begin
+      let is_byz = Array.make (Graph.n graph) false in
+      List.iter (fun v -> is_byz.(v) <- true) byzantine;
+      Metrics.summarize_opt ~alive:(fun v -> not is_byz.(v)) graph samples
+        ~after
+    end
+  in
   let samples = Array.to_list samples in
   let kappa = spec.Spec.kappa in
   {
@@ -77,6 +91,8 @@ let evaluate ~spec ~graph ~samples ~episodes ~dropped_faults ~duplicated
     dropped_faults;
     duplicated;
     corrupted;
+    lied;
+    correct;
   }
 
 let worst_transient r =

@@ -33,9 +33,16 @@ type report = {
   dropped_faults : int;  (** messages lost to partitions/crashes *)
   duplicated : int;
   corrupted : int;
+  lied : int;  (** messages rewritten at the source by a Byzantine node *)
+  correct : Metrics.summary option;
+      (** skew summary over correct nodes only — present exactly when the
+          plan has Byzantine nodes, so liars never pollute the aggregates *)
 }
 
 val evaluate :
+  ?byzantine:int list ->
+  ?lied:int ->
+  ?after:float ->
   spec:Spec.t ->
   graph:Gcs_graph.Graph.t ->
   samples:Metrics.sample array ->
@@ -43,7 +50,13 @@ val evaluate :
   dropped_faults:int ->
   duplicated:int ->
   corrupted:int ->
+  unit ->
   report
+(** [byzantine] (default none) are the plan's lying nodes: when non-empty,
+    [correct] summarizes skew excluding them, over samples at or after
+    [after] (default: all). Episodes for Byzantine windows already carry
+    only correct-correct edges (see {!Gcs_sim.Fault_plan.correct_edges}),
+    so transient/resync numbers need no extra masking here. *)
 
 val worst_transient : report -> float
 (** Max over episodes ([0.] if none). *)

@@ -1,0 +1,122 @@
+module Engine = Gcs_sim.Engine
+module Logical_clock = Gcs_clock.Logical_clock
+module Delay_model = Gcs_sim.Delay_model
+module Prng = Gcs_util.Prng
+
+(* Two-stage estimate filter.
+
+   Stage 1 *discards* every estimate outside the plausibility window
+   [-w, w], w = (2f+1)*kappa. Discarding — rather than clamping — is what
+   makes outrageous lies harmless rather than merely damped: an estimate
+   pinned at the window edge would keep satisfying the fast trigger's
+   "behind <= level" test forever (letting an ahead-lie drag a node away
+   from its genuine neighbors without limit), whereas a discarded one is
+   simply a silent neighbor. An outrageous liar is thereby exactly as
+   harmful as a crashed node, and an in-window liar is bounded by [w] by
+   construction: it can pin "behind" at [w] and stall the fast trigger,
+   but only until the genuine skew itself reaches level [w]. [w] must be
+   an odd multiple of kappa — the trigger fires at levels (2s+1)*kappa,
+   so a window between the levels would leave the stalled trigger no
+   level to fire at.
+
+   Stage 2 trims the [f] highest and [f] lowest survivors, Bund-et-al
+   style, but only down to a floor of 2f+1 — the connectivity their
+   fault-tolerant gradient analysis requires. Below that the trigger's
+   extremes may be a *single* genuine neighbor, and trimming would erase
+   exactly the signal the gradient update needs (a node that can no
+   longer see its one genuine leader will not chase it, and that skew has
+   no other bound). On sparse topologies (lines, rings, grids: degree <=
+   4) the trim is therefore inert and the window carries the weight; in
+   dense neighborhoods it removes in-window lies before they can stall
+   anything at all. *)
+let filter_offsets ~f ~kappa offsets =
+  let w = float_of_int ((2 * f) + 1) *. kappa in
+  let kept =
+    List.filter (fun o -> Float.abs o <= w) (Array.to_list offsets)
+  in
+  let kept = Array.of_list kept in
+  let n = Array.length kept in
+  let t = max 0 (min f ((n - (2 * f) - 1) / 2)) in
+  if t = 0 then kept
+  else begin
+    Array.sort Float.compare kept;
+    Array.sub kept t (n - (2 * t))
+  end
+
+let make_node ~f (ctx : Algorithm.ctx) v =
+  let lc = ctx.logical.(v) in
+  let spec = ctx.spec in
+  let period = spec.beacon_period in
+  let kappa = spec.kappa in
+  let fast_mult = 1. +. spec.mu in
+  let bounds = spec.delay in
+  let flight_guess =
+    0.5 *. (bounds.Delay_model.d_min +. bounds.Delay_model.d_max)
+  in
+  let estimators = ref [||] in
+  let offsets_now (api : Message.t Engine.api) =
+    let h = api.hardware () in
+    let own = Logical_clock.value lc ~now:(ctx.now ()) in
+    let known = ref [] in
+    Array.iter
+      (fun est ->
+        match Offset_estimator.offset ~max_age:spec.Spec.staleness_limit est
+                ~h_local:h ~own_value:own with
+        | Some o -> known := o :: !known
+        | None -> ())
+      !estimators;
+    Array.of_list !known
+  in
+  let evaluate (api : Message.t Engine.api) =
+    let offsets = filter_offsets ~f ~kappa (offsets_now api) in
+    let target =
+      if Gradient_sync.fast_trigger ~kappa ~offsets then fast_mult else 1.
+    in
+    if Logical_clock.mult lc <> target then
+      Logical_clock.set_mult lc ~now:(ctx.now ()) target
+  in
+  let broadcast (api : Message.t Engine.api) =
+    let value = Logical_clock.value lc ~now:(ctx.now ()) in
+    for port = 0 to api.ports - 1 do
+      api.send ~port (Message.Beacon { value })
+    done
+  in
+  let arm (api : Message.t Engine.api) ~tag delay =
+    api.set_timer ~h:(api.hardware () +. delay) ~tag
+  in
+  {
+    Engine.on_init =
+      (fun api ->
+        estimators := Array.init api.ports (fun _ -> Offset_estimator.create ());
+        arm api ~tag:Algorithm.timer_beacon (Prng.uniform api.rng ~lo:0. ~hi:period);
+        arm api ~tag:Algorithm.timer_recheck
+          (Prng.uniform api.rng ~lo:0. ~hi:(period /. 2.)));
+    on_message =
+      (fun api ~port msg ->
+        match msg with
+        | Message.Beacon { value } ->
+            Offset_estimator.update !estimators.(port)
+              ~h_local:(api.hardware ()) ~remote_value:value
+              ~elapsed_guess:flight_guess;
+            evaluate api
+        | Message.Probe _ | Message.Probe_reply _ | Message.Flood _
+        | Message.Report _ | Message.Reset _ ->
+            ());
+    on_timer =
+      (fun api ~tag ->
+        if tag = Algorithm.timer_beacon then begin
+          broadcast api;
+          arm api ~tag:Algorithm.timer_beacon period
+        end
+        else if tag = Algorithm.timer_recheck then begin
+          evaluate api;
+          arm api ~tag:Algorithm.timer_recheck (period /. 2.)
+        end);
+  }
+
+let algorithm f =
+  if f < 0 then invalid_arg "Ft_gradient.algorithm: f must be >= 0";
+  {
+    Algorithm.name = Printf.sprintf "ft-gradient-%d" f;
+    prepare = make_node ~f;
+  }

@@ -116,7 +116,8 @@ type envelope = { rate_lo : float; rate_hi : float; jumps_allowed : bool }
 let expected_envelope (spec : Spec.t) = function
   | Algorithm.Free_run ->
       { rate_lo = 1.; rate_hi = Spec.vartheta spec; jumps_allowed = false }
-  | Algorithm.Gradient_sync | Algorithm.Max_slew_sync ->
+  | Algorithm.Gradient_sync | Algorithm.Ft_gradient_sync _
+  | Algorithm.Max_slew_sync ->
       {
         rate_lo = 1.;
         rate_hi = (1. +. spec.Spec.mu) *. Spec.vartheta spec;
@@ -155,7 +156,9 @@ let check_result (r : Runner.result) ~algo =
           ~bound:(Bounds.gradient_local_upper r.Runner.spec ~diameter:d)
           `Local
     | Algorithm.Free_run | Algorithm.Max_sync | Algorithm.Max_slew_sync
-    | Algorithm.Tree_sync ->
+    | Algorithm.Tree_sync | Algorithm.Ft_gradient_sync _ ->
+        (* The ft variant's clamp weakens the faultless bound even in benign
+           runs, so it is checked by the containment monitor instead. *)
         []
   in
   monotonic @ rates @ skew

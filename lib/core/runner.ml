@@ -123,6 +123,7 @@ let install_faults engine logical (cfg : config) plan =
   let dup_w = Array.make m [] in
   let reorder_w = Array.make m [] in
   let corrupt_w = Array.make m [] in
+  let byz_w = Array.make (Graph.n g) [] in
   let add_window arr edges w =
     List.iter (fun e -> arr.(e) <- arr.(e) @ [ w ]) (Fault_plan.resolve_edges g edges)
   in
@@ -152,16 +153,18 @@ let install_faults engine logical (cfg : config) plan =
       | Fault_plan.Msg_reorder { from_; until; edges; prob; extra } ->
           add_window reorder_w edges (from_, until, (prob, extra))
       | Fault_plan.Msg_corrupt { from_; until; edges; prob; magnitude } ->
-          add_window corrupt_w edges (from_, until, (prob, magnitude)))
+          add_window corrupt_w edges (from_, until, (prob, magnitude))
+      | Fault_plan.Byzantine { from_; until; node; strategy } ->
+          byz_w.(node) <- byz_w.(node) @ [ (from_, until, strategy) ])
     (Fault_plan.events plan);
   let has_windows a = Array.exists (fun l -> l <> []) a in
+  let active windows now =
+    List.find_map
+      (fun (from_, until, x) ->
+        if from_ <= now && now < until then Some x else None)
+      windows
+  in
   if has_windows dup_w || has_windows reorder_w || has_windows corrupt_w then
-    let active windows now =
-      List.find_map
-        (fun (from_, until, x) ->
-          if from_ <= now && now < until then Some x else None)
-        windows
-    in
     Engine.set_tamper engine
       {
         Engine.extra_delay =
@@ -200,7 +203,43 @@ let install_faults engine logical (cfg : config) plan =
             match active dup_w.(edge) now with
             | None -> false
             | Some prob -> Prng.float rng 1.0 < prob);
-      }
+      };
+  (* Byzantine rewrite, keyed by the sending node. Randomness (Lie_random
+     only) comes from the sender's dedicated Byzantine stream, split after
+     every other stream, so plans without Byzantine events never perturb a
+     draw — the whole run stays bit-identical to a pre-Byzantine engine. *)
+  if has_windows byz_w then
+    Engine.set_lie engine (fun ~src ~dst ~now ~rng msg ->
+        match
+          List.find_map
+            (fun (from_, until, s) ->
+              if from_ <= now && now < until then Some (from_, s) else None)
+            byz_w.(src)
+        with
+        | None -> None
+        | Some (from_, strategy) ->
+            let delta =
+              match strategy with
+              | Fault_plan.Lie_constant off -> off
+              | Fault_plan.Lie_drifting rate -> rate *. (now -. from_)
+              | Fault_plan.Lie_random mag ->
+                  Prng.uniform rng ~lo:(-.mag) ~hi:mag
+              | Fault_plan.Lie_equivocate mag ->
+                  (* A deterministic split-brain: everyone on the liar's
+                     higher-id side hears "ahead", the lower-id side hears
+                     "behind" — no two sides can reconcile what they saw. *)
+                  if dst > src then mag else -.mag
+            in
+            (match msg with
+            | Message.Beacon { value } ->
+                Some (Message.Beacon { value = value +. delta })
+            | Message.Probe_reply { seq; h_send; remote_value } ->
+                Some
+                  (Message.Probe_reply
+                     { seq; h_send; remote_value = remote_value +. delta })
+            | Message.Flood { round; payload } ->
+                Some (Message.Flood { round; payload = payload +. delta })
+            | Message.Probe _ | Message.Report _ | Message.Reset _ -> None))
 
 let prepare (cfg : config) =
   (match Spec.validate cfg.spec with
@@ -381,11 +420,14 @@ let complete live =
     | None -> None
     | Some plan ->
         Some
-          (Fault_metrics.evaluate ~spec:cfg.spec ~graph:cfg.graph ~samples
+          (Fault_metrics.evaluate
+             ~byzantine:(Fault_plan.byzantine_nodes plan)
+             ~lied:(Engine.messages_lied live.engine)
+             ~after:cfg.warmup ~spec:cfg.spec ~graph:cfg.graph ~samples
              ~episodes:(Fault_plan.episodes plan cfg.graph)
              ~dropped_faults:(Engine.messages_dropped_faults live.engine)
              ~duplicated:(Engine.messages_duplicated live.engine)
-             ~corrupted:(Engine.messages_corrupted live.engine))
+             ~corrupted:(Engine.messages_corrupted live.engine) ())
   in
   {
     graph = cfg.graph;

@@ -35,7 +35,7 @@ let make_cols n =
 
 let field_bits = 19
 let field_outside = lnot ((1 lsl field_bits) - 1)
-let escape_tag = 12
+let escape_tag = 13
 
 let[@inline] fits3 a b c = (a lor b lor c) land field_outside = 0
 
@@ -139,6 +139,10 @@ let[@inline] put t cols i key time obs =
       if fits3 src dst edge then
         Array.unsafe_set cols.packed i (pack 11 src dst edge)
       else escape t cols i key obs
+  | Engine.Obs_lie { src; dst; edge } ->
+      if fits3 src dst edge then
+        Array.unsafe_set cols.packed i (pack 12 src dst edge)
+      else escape t cols i key obs
 
 let get t cols i key =
   let p = cols.packed.(i) in
@@ -158,6 +162,7 @@ let get t cols i key =
   | 9 -> Engine.Obs_fault_drop { src = a; dst = b; edge = c }
   | 10 -> Engine.Obs_duplicate { src = a; dst = b; edge = c }
   | 11 -> Engine.Obs_corrupt { src = a; dst = b; edge = c }
+  | 12 -> Engine.Obs_lie { src = a; dst = b; edge = c }
   | _ -> Hashtbl.find t.overflow key
 
 let format t = t.format_
@@ -180,6 +185,7 @@ let tag_of_obs = function
   | Engine.Obs_fault_drop _ -> "fault_drop"
   | Engine.Obs_duplicate _ -> "dup"
   | Engine.Obs_corrupt _ -> "corrupt"
+  | Engine.Obs_lie _ -> "lie"
 
 type field = I of int | F of float | B of bool
 
@@ -189,7 +195,8 @@ let fields_of_obs = function
   | Engine.Obs_drop { src; dst; edge }
   | Engine.Obs_fault_drop { src; dst; edge }
   | Engine.Obs_duplicate { src; dst; edge }
-  | Engine.Obs_corrupt { src; dst; edge } ->
+  | Engine.Obs_corrupt { src; dst; edge }
+  | Engine.Obs_lie { src; dst; edge } ->
       [ ("src", I src); ("dst", I dst); ("edge", I edge) ]
   | Engine.Obs_deliver { dst; port } -> [ ("dst", I dst); ("port", I port) ]
   | Engine.Obs_timer { node; tag } -> [ ("node", I node); ("tag", I tag) ]
@@ -473,6 +480,9 @@ let parse_line line =
             { src = int "src"; dst = int "dst"; edge = int "edge" }
       | "corrupt" ->
           Engine.Obs_corrupt
+            { src = int "src"; dst = int "dst"; edge = int "edge" }
+      | "lie" ->
+          Engine.Obs_lie
             { src = int "src"; dst = int "dst"; edge = int "edge" }
       | ev -> raise (Bad ("unknown event tag " ^ ev))
     in

@@ -38,12 +38,19 @@ type observation =
   | Obs_fault_drop of { src : int; dst : int; edge : int }
   | Obs_duplicate of { src : int; dst : int; edge : int }
   | Obs_corrupt of { src : int; dst : int; edge : int }
+  | Obs_lie of { src : int; dst : int; edge : int }
 
 type 'msg tamper = {
   extra_delay : edge:int -> now:float -> rng:Prng.t -> float;
   corrupt : edge:int -> now:float -> rng:Prng.t -> 'msg -> 'msg option;
   duplicate : edge:int -> now:float -> rng:Prng.t -> bool;
 }
+
+(* Source-side Byzantine rewrite: unlike [tamper] (the network lies to the
+   receiver), a lie is keyed by the *sender* and may differ per receiver
+   (equivocation). [None] means the message goes out untouched. *)
+type 'msg lie =
+  src:int -> dst:int -> now:float -> rng:Prng.t -> 'msg -> 'msg option
 
 type dispatch_kind = Dispatch_deliver | Dispatch_timer | Dispatch_control
 
@@ -70,9 +77,14 @@ type 'msg t = {
      streams, so a run without faults is bit-identical to one on an engine
      built before faults existed. *)
   fault_rngs : Prng.t array;
+  (* Dedicated per-node streams for Byzantine lie randomness, split after
+     the fault streams for the same reason: engines running plans with no
+     Byzantine events stay bit-identical to pre-Byzantine builds. *)
+  byz_rngs : Prng.t array;
   node_up : bool array;
   edge_up : bool array;
   mutable tamper : 'msg tamper option;
+  mutable lie : 'msg lie option;
   mutable now : float;
   mutable next_timer_id : int;
   mutable started : bool;
@@ -83,6 +95,7 @@ type 'msg t = {
   mutable messages_dropped_faults : int;
   mutable messages_duplicated : int;
   mutable messages_corrupted : int;
+  mutable messages_lied : int;
   (* Any number of observer sinks; each sees every observation in emission
      order. The empty array makes the uninstrumented fast path one load and
      one comparison. *)
@@ -168,6 +181,22 @@ let make_api t v =
                      "Engine.send: delay %g outside bounds [%g, %g] on edge \
                       %d (%d -> %d)"
                      delay b.Delay_model.d_min b.Delay_model.d_max edge v dst);
+              (* The sender's lie applies first — a Byzantine node hands the
+                 network an already-false value; tampering (below) then acts
+                 on whatever was handed over, like for any other message. *)
+              let msg =
+                match t.lie with
+                | None -> msg
+                | Some lie -> (
+                    match
+                      lie ~src:v ~dst ~now:t.now ~rng:t.byz_rngs.(v) msg
+                    with
+                    | None -> msg
+                    | Some msg' ->
+                        t.messages_lied <- t.messages_lied + 1;
+                        observe t (Obs_lie { src = v; dst; edge });
+                        msg')
+              in
               (* Tampering applies after the bounds check: a reorder fault
                  adds extra delay *by design* outside the paper's
                  uncertainty model. *)
@@ -228,6 +257,8 @@ let create ~graph ~clocks ~delays ~rng ~make_node ~t0 =
   let link_rngs = Prng.split_n rng (Graph.m graph) in
   (* Must come after node and link streams: see the [fault_rngs] comment. *)
   let fault_rngs = Prng.split_n rng (Graph.m graph) in
+  (* And these after the fault streams: see the [byz_rngs] comment. *)
+  let byz_rngs = Prng.split_n rng n in
   let t =
     {
       graph;
@@ -240,9 +271,11 @@ let create ~graph ~clocks ~delays ~rng ~make_node ~t0 =
       timers = Array.init n (fun _ -> Hashtbl.create 8);
       link_rngs;
       fault_rngs;
+      byz_rngs;
       node_up = Array.make n true;
       edge_up = Array.make (Graph.m graph) true;
       tamper = None;
+      lie = None;
       now = t0;
       next_timer_id = 0;
       started = false;
@@ -253,6 +286,7 @@ let create ~graph ~clocks ~delays ~rng ~make_node ~t0 =
       messages_dropped_faults = 0;
       messages_duplicated = 0;
       messages_corrupted = 0;
+      messages_lied = 0;
       observers = [||];
       dispatch_hook = None;
       hook_every = 1;
@@ -424,6 +458,8 @@ let node_is_up t node = t.node_up.(node)
 let edge_is_up t edge = t.edge_up.(edge)
 let set_tamper t tamper = t.tamper <- Some tamper
 let clear_tamper t = t.tamper <- None
+let set_lie t lie = t.lie <- Some lie
+let clear_lie t = t.lie <- None
 let set_observer t f = t.observers <- [| f |]
 let add_observer t f = t.observers <- Array.append t.observers [| f |]
 let clear_observer t = t.observers <- [||]
@@ -452,6 +488,7 @@ let messages_dropped t = t.messages_dropped
 let messages_dropped_faults t = t.messages_dropped_faults
 let messages_duplicated t = t.messages_duplicated
 let messages_corrupted t = t.messages_corrupted
+let messages_lied t = t.messages_lied
 let pending_events t = Heap.size t.heap
 let heap_high_water t = t.heap_high_water
 

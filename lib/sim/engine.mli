@@ -90,6 +90,8 @@ type observation =
       (** lost to a partition or a crashed endpoint, not to the loss law *)
   | Obs_duplicate of { src : int; dst : int; edge : int }
   | Obs_corrupt of { src : int; dst : int; edge : int }
+  | Obs_lie of { src : int; dst : int; edge : int }
+      (** the sender rewrote this message under a Byzantine strategy *)
 
 val set_observer : 'msg t -> (float -> observation -> unit) -> unit
 (** Replace every installed observer with this one; it receives the current
@@ -184,6 +186,18 @@ type 'msg tamper = {
 val set_tamper : 'msg t -> 'msg tamper -> unit
 val clear_tamper : _ t -> unit
 
+type 'msg lie =
+  src:int -> dst:int -> now:float -> rng:Gcs_util.Prng.t -> 'msg -> 'msg option
+(** Source-side Byzantine rewrite, consulted on every non-dropped send
+    *before* tampering: the sender hands the network an already-false value,
+    and the value may differ per receiver (equivocation). The [rng] is the
+    sender's dedicated Byzantine stream, split after node, link, and fault
+    streams, so installing a lie that never fires — or no lie at all —
+    leaves every other stream, and therefore the whole run, bit-identical. *)
+
+val set_lie : 'msg t -> 'msg lie -> unit
+val clear_lie : _ t -> unit
+
 val hardware_clock : _ t -> int -> Gcs_clock.Hardware_clock.t
 (** Observer access to a node's hardware clock. *)
 
@@ -202,6 +216,9 @@ val messages_dropped_faults : _ t -> int
 
 val messages_duplicated : _ t -> int
 val messages_corrupted : _ t -> int
+
+val messages_lied : _ t -> int
+(** Messages rewritten at the source by a Byzantine strategy. *)
 
 val pending_events : _ t -> int
 

@@ -32,6 +32,18 @@ type event =
     }
   | Clock_jump of { at : float; node : int; delta : float }
   | Clock_rate_fault of { at : float; node : int; rate : float }
+  | Byzantine of {
+      from_ : float;
+      until : float;
+      node : int;
+      strategy : byz_strategy;
+    }
+
+and byz_strategy =
+  | Lie_constant of float
+  | Lie_drifting of float
+  | Lie_random of float
+  | Lie_equivocate of float
 
 type t = event list
 
@@ -47,7 +59,8 @@ let event_start = function
   | Clock_rate_fault { at; _ } ->
       at
   | Msg_duplicate { from_; _ } | Msg_reorder { from_; _ }
-  | Msg_corrupt { from_; _ } ->
+  | Msg_corrupt { from_; _ }
+  | Byzantine { from_; _ } ->
       from_
 
 let of_events evs =
@@ -98,6 +111,15 @@ let event_to_string = function
       Printf.sprintf "jump@%s:node=%d:delta=%s" (f at) node (f delta)
   | Clock_rate_fault { at; node; rate } ->
       Printf.sprintf "rate@%s:node=%d:rate=%s" (f at) node (f rate)
+  | Byzantine { from_; until; node; strategy } ->
+      let strat =
+        match strategy with
+        | Lie_constant off -> Printf.sprintf "off=%s" (f off)
+        | Lie_drifting rate -> Printf.sprintf "rate=%s" (f rate)
+        | Lie_random mag -> Printf.sprintf "mag=%s" (f mag)
+        | Lie_equivocate mag -> Printf.sprintf "equiv=%s" (f mag)
+      in
+      Printf.sprintf "byz@%s..%s:node=%d:%s" (f from_) (f until) node strat
 
 let to_string t = String.concat ";" (List.map event_to_string t)
 
@@ -291,6 +313,33 @@ let parse_event s =
               let* rate = Result.bind (require_kv "rate" fields "rate")
                             (parse_float "rate value") in
               Ok (Clock_rate_fault { at; node; rate })
+          | "byz" ->
+              let* from_, until = parse_time_range time_field in
+              let* node = Result.bind (require_kv "byz" fields "node")
+                            (parse_int "byz node") in
+              let strat key mk =
+                Option.map
+                  (fun v -> Result.map mk (parse_float ("byz " ^ key) v))
+                  (find_kv fields key)
+              in
+              let* strategy =
+                match
+                  List.filter_map Fun.id
+                    [
+                      strat "off" (fun x -> Lie_constant x);
+                      strat "rate" (fun x -> Lie_drifting x);
+                      strat "mag" (fun x -> Lie_random x);
+                      strat "equiv" (fun x -> Lie_equivocate x);
+                    ]
+                with
+                | [ s ] -> s
+                | [] ->
+                    err
+                      "byz: missing a strategy (one of off=X, rate=R, mag=M, \
+                       equiv=M)"
+                | _ -> err "byz: expected exactly one strategy field"
+              in
+              Ok (Byzantine { from_; until; node; strategy })
           | k -> err "unknown fault kind %S" k))
 
 let of_string s =
@@ -377,6 +426,7 @@ let validate t g =
             check_node what v)
           (Ok ()) nodes
   in
+  let per_event =
   List.fold_left
     (fun acc ev ->
       let* () = acc in
@@ -425,8 +475,92 @@ let validate t g =
           let* () = check_node "rate" node in
           if rate <= 0. || not (Float.is_finite rate) then
             err "rate: rate %g must be finite and > 0" rate
-          else Ok ())
+          else Ok ()
+      | Byzantine { from_; until; node; strategy } -> (
+          let* () = check_window "byz" from_ until in
+          let* () = check_node "byz" node in
+          match strategy with
+          | Lie_constant off ->
+              if not (Float.is_finite off) then
+                err "byz: off must be finite"
+              else Ok ()
+          | Lie_drifting rate ->
+              if not (Float.is_finite rate) then
+                err "byz: rate must be finite"
+              else Ok ()
+          | Lie_random mag ->
+              if mag < 0. || not (Float.is_finite mag) then
+                err "byz: mag %g must be finite and >= 0" mag
+              else Ok ()
+          | Lie_equivocate mag ->
+              if mag < 0. || not (Float.is_finite mag) then
+                err "byz: equiv %g must be finite and >= 0" mag
+              else Ok ()))
     (Ok ()) t
+  in
+  let* () = per_event in
+  (* Cross-event coherence: a node cannot lie twice at once, and cannot lie
+     while crash-stopped (a crashed node sends nothing to rewrite). *)
+  let byz_windows =
+    List.filter_map
+      (function
+        | Byzantine { from_; until; node; _ } -> Some (node, from_, until)
+        | _ -> None)
+      t
+  in
+  let crash_intervals =
+    let open_since = Hashtbl.create 4 in
+    let acc = ref [] in
+    List.iter
+      (function
+        | Node_crash { at; node } ->
+            if not (Hashtbl.mem open_since node) then
+              Hashtbl.add open_since node at
+        | Node_recover { at; node; _ } -> (
+            match Hashtbl.find_opt open_since node with
+            | Some s ->
+                Hashtbl.remove open_since node;
+                acc := (node, s, at) :: !acc
+            | None -> ())
+        | _ -> ())
+      t;
+    Hashtbl.iter (fun node s -> acc := (node, s, infinity) :: !acc) open_since;
+    !acc
+  in
+  let overlap a1 b1 a2 b2 = a1 < b2 && a2 < b1 in
+  let rec check_byz = function
+    | [] -> Ok ()
+    | (node, from_, until) :: rest ->
+        let* () =
+          match
+            List.find_opt
+              (fun (node', f', u') ->
+                node' = node && overlap from_ until f' u')
+              rest
+          with
+          | Some (_, f', u') ->
+              err
+                "byz: node %d has overlapping Byzantine windows %g..%g and \
+                 %g..%g"
+                node f' u' from_ until
+          | None -> Ok ()
+        in
+        let* () =
+          match
+            List.find_opt
+              (fun (node', s, e) -> node' = node && overlap from_ until s e)
+              crash_intervals
+          with
+          | Some (_, s, _) ->
+              err
+                "byz: node %d is Byzantine over %g..%g but crash-stopped from \
+                 %g (a crashed node sends nothing to rewrite)"
+                node from_ until s
+          | None -> Ok ()
+        in
+        check_byz rest
+  in
+  check_byz byz_windows
 
 (* Episode extraction *)
 
@@ -440,6 +574,30 @@ type episode = {
 let incident_edges g v =
   List.sort_uniq compare
     (Array.to_list (Array.map snd (Graph.neighbors g v)))
+
+let byzantine_nodes t =
+  List.sort_uniq compare
+    (List.filter_map
+       (function Byzantine { node; _ } -> Some node | _ -> None)
+       t)
+
+let byz_strategy_key = function
+  | Lie_constant _ -> "off"
+  | Lie_drifting _ -> "rate"
+  | Lie_random _ -> "mag"
+  | Lie_equivocate _ -> "equiv"
+
+(* Edges whose both endpoints follow the protocol. Byzantine recovery
+   metrics are measured here: skew on a liar-incident edge is meaningless
+   (the liar's own clock may be arbitrarily wrong by design), so episodes
+   for Byzantine windows cover exactly the correct-correct edges. *)
+let correct_edges t g =
+  let is_byz = Array.make (Graph.n g) false in
+  List.iter (fun v -> is_byz.(v) <- true) (byzantine_nodes t);
+  List.sort compare
+    (Graph.fold_edges
+       (fun e u v acc -> if is_byz.(u) || is_byz.(v) then acc else e :: acc)
+       g [])
 
 let episodes t g =
   let m = Graph.m g in
@@ -554,6 +712,15 @@ let episodes t g =
               start = at;
               stop = next_rate node at;
               edges = incident_edges g node;
+            }
+      | Byzantine { from_; until; node; strategy } ->
+          add
+            {
+              label =
+                Printf.sprintf "byz:%d (%s)" node (byz_strategy_key strategy);
+              start = from_;
+              stop = Some until;
+              edges = correct_edges t g;
             })
     t;
   (* Never-healed exposures. *)

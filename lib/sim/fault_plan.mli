@@ -27,6 +27,12 @@
                                          prob-P value perturbation in [-M, M]
             | jump@T:node=V:delta=X      logical clock jumps by X
             | rate@T:node=V:rate=R       hardware clock rate forced to R
+            | byz@T1..T2:node=V:STRAT    node V lies in its outgoing beacons
+    STRAT ::= off=X                      advertise clock + X (constant lie)
+            | rate=R                     lie grows R per unit time in window
+            | mag=M                      fresh lie in [-M, M] per message
+            | equiv=M                    equivocate: +M to higher-id
+                                         neighbors, -M to lower-id ones
     EDGES ::= all
             | edges=U-V[,U-V...]         explicit endpoint pairs
             | cut=V[,V...]               every edge between the set and
@@ -68,6 +74,27 @@ type event =
     }
   | Clock_jump of { at : float; node : int; delta : float }
   | Clock_rate_fault of { at : float; node : int; rate : float }
+  | Byzantine of {
+      from_ : float;
+      until : float;
+      node : int;
+      strategy : byz_strategy;
+    }
+      (** During [[from_, until)] every value the node sends is rewritten by
+          [strategy]. The node itself keeps running the protocol — only what
+          the rest of the network sees is a lie. *)
+
+(** How a Byzantine node lies. Random lies draw from a dedicated per-node
+    PRNG stream split after every other stream, so plans without Byzantine
+    events are bit-identical to runs of an engine that knows nothing about
+    them. *)
+and byz_strategy =
+  | Lie_constant of float  (** advertised value + offset *)
+  | Lie_drifting of float  (** offset grows linearly from window start *)
+  | Lie_random of float  (** fresh offset in [-mag, mag] per message *)
+  | Lie_equivocate of float
+      (** +mag to higher-id neighbors, -mag to lower-id ones: no two sides
+          of the liar ever see consistent values *)
 
 type t
 (** A plan: events sorted by start time (stable on ties). *)
@@ -94,7 +121,18 @@ val of_string : string -> (t, string) result
 val validate : t -> Gcs_graph.Graph.t -> (unit, string) result
 (** Check every event against a graph: node ids in range, edge pairs
     actually adjacent, times non-negative and ranges ordered, probabilities
-    in [0, 1], non-negative delays/magnitudes, positive rates. *)
+    in [0, 1], non-negative delays/magnitudes, positive rates. Also rejects
+    incoherent Byzantine schedules: two overlapping Byzantine windows on
+    one node, or a Byzantine window overlapping a crash interval of the
+    same node (a crashed node sends nothing to rewrite). *)
+
+val byzantine_nodes : t -> int list
+(** Nodes with at least one Byzantine window, sorted, without duplicates. *)
+
+val correct_edges : t -> Gcs_graph.Graph.t -> int list
+(** Edge ids whose both endpoints are correct (never Byzantine in this
+    plan), sorted. Byzantine episodes cover exactly these edges, so
+    recovery metrics never aggregate skew against a liar's own clock. *)
 
 val resolve_edges : Gcs_graph.Graph.t -> edge_spec -> int list
 (** Edge ids an [edge_spec] names, sorted, without duplicates. Raises

@@ -37,7 +37,7 @@ let record t time obs =
   | Engine.Obs_rate_change _ -> t.rate_changes <- t.rate_changes + 1
   | Engine.Obs_node_down _ | Engine.Obs_node_up _ | Engine.Obs_edge_down _
   | Engine.Obs_edge_up _ | Engine.Obs_fault_drop _ | Engine.Obs_duplicate _
-  | Engine.Obs_corrupt _ ->
+  | Engine.Obs_corrupt _ | Engine.Obs_lie _ ->
       t.fault_events <- t.fault_events + 1);
   t.ring.(t.next mod t.capacity) <- Some { time; obs };
   t.next <- t.next + 1;
@@ -113,6 +113,8 @@ let entry_to_string { time; obs } =
       Printf.sprintf "%10.4f  dup      %d -> %d (edge %d)" time src dst edge
   | Engine.Obs_corrupt { src; dst; edge } ->
       Printf.sprintf "%10.4f  corrupt  %d -> %d (edge %d)" time src dst edge
+  | Engine.Obs_lie { src; dst; edge } ->
+      Printf.sprintf "%10.4f  lie      %d -> %d (edge %d)" time src dst edge
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%s@." (entry_to_string e)) (entries t)

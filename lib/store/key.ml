@@ -39,7 +39,9 @@ let canon_event (e : Fault_plan.event) : Fault_plan.event =
   | Link_partition { at; edges } ->
       Link_partition { at; edges = canon_edge_spec edges }
   | Link_heal { at; edges } -> Link_heal { at; edges = canon_edge_spec edges }
-  | Node_crash _ | Node_recover _ | Clock_jump _ | Clock_rate_fault _ -> e
+  | Node_crash _ | Node_recover _ | Clock_jump _ | Clock_rate_fault _
+  | Byzantine _ ->
+      e
   | Msg_duplicate r -> Msg_duplicate { r with edges = canon_edge_spec r.edges }
   | Msg_reorder r -> Msg_reorder { r with edges = canon_edge_spec r.edges }
   | Msg_corrupt r -> Msg_corrupt { r with edges = canon_edge_spec r.edges }

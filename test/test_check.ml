@@ -252,6 +252,131 @@ let test_replay_reproduces () =
   | Ok Repro.Missing -> Alcotest.fail "tampered replay ran clean"
   | Error e -> Alcotest.failf "replay: %s" e
 
+(* Shared Byzantine scenario: plain gradient on ring:16 under the battery's
+   own adversarial plan (an equivocating liar), monitored against the
+   weakened containment bound. Computed once, forced by several tests. *)
+let containment_scenario =
+  lazy
+    (let aspec = Check_run.attack_spec () in
+     let horizon = 300. in
+     let fault_plan =
+       Check_run.byz_plan ~seed:7920 ~horizon ~nodes:16 ~f:1
+         ~kappa:aspec.Spec.kappa
+     in
+     let byz = Fault_plan.byzantine_nodes fault_plan in
+     let k =
+       Runner.store_key ~fault_plan ~spec:aspec ~topology:(Topology.Ring 16)
+         ~algo:Algorithm.Gradient_sync ~horizon ~seed:7920 ()
+     in
+     let monitor =
+       Check_run.default_spec ~byzantine:byz
+         ~containment_bound:(Check_run.containment_bound aspec ~f:1)
+         aspec Algorithm.Gradient_sync
+     in
+     (k, monitor, byz, violation_of (Check_run.run ~monitor (config k))))
+
+(* Plain gradient chases the equivocating liar across the containment
+   bound, and the violation is between two *correct* nodes — the monitor
+   never scores a pair against the liar's own clock. *)
+let test_containment_monitor_fires () =
+  let _, _, byz, v = Lazy.force containment_scenario in
+  Alcotest.check kind "kind" Monitor.Containment v.Monitor.kind;
+  Alcotest.(check bool) "plan has a liar" true (byz <> []);
+  let peer =
+    match v.Monitor.peer with
+    | Some p -> p
+    | None -> Alcotest.fail "containment violation must name a pair"
+  in
+  List.iter
+    (fun liar ->
+      Alcotest.(check bool) "violating pair is correct-correct" true
+        (v.Monitor.node <> liar && peer <> liar))
+    byz
+
+(* The Byzantine monitor fields survive the .repro text codec, and the
+   re-encoding is canonical (byte-stable artifacts). *)
+let test_repro_roundtrip_byzantine () =
+  let k, monitor, _, v = Lazy.force containment_scenario in
+  let t =
+    { Repro.monitor; expected = v; segment_len = 0.; moves = []; key = k }
+  in
+  match Repro.of_string (Repro.to_string t) with
+  | Error e -> Alcotest.failf "of_string: %s" e
+  | Ok t' ->
+      Alcotest.(check bool) "roundtrip" true (t = t');
+      Alcotest.(check string) "re-encoding is canonical" (Repro.to_string t)
+        (Repro.to_string t');
+      Alcotest.(check (list int)) "byzantine preserved"
+        t.Repro.monitor.Monitor.byzantine t'.Repro.monitor.Monitor.byzantine
+
+(* The violation replays through the ordinary pipeline: key + monitor
+   rebuild the run (liar included) and reproduce the exact violation. *)
+let test_containment_violation_replays () =
+  let k, monitor, _, v = Lazy.force containment_scenario in
+  let t =
+    { Repro.monitor; expected = v; segment_len = 0.; moves = []; key = k }
+  in
+  match Repro.replay t with
+  | Ok Repro.Reproduced -> ()
+  | Ok (Repro.Diverged v') ->
+      Alcotest.failf "diverged: %s" (Monitor.violation_to_string v')
+  | Ok Repro.Missing -> Alcotest.fail "replay ran clean"
+  | Error e -> Alcotest.failf "replay: %s" e
+
+(* The containment acceptance bar: the ft gradient survives the full
+   adversarial battery — line, ring, and grid, under f = 1 and f = 2 liars
+   with 20x-kappa lies — with zero violations. *)
+let test_ft_containment_battery_clean () =
+  List.iter
+    (fun f ->
+      let cells =
+        Check_run.containment_battery ~jobs:2 ~f
+          ~topologies:[ Topology.Line 8; Topology.Ring 16 ]
+          ~seeds:2 ~horizon:300. ()
+      in
+      Alcotest.(check int) "grid size" 4 (List.length cells);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "events were checked" true
+            (c.Check_run.events_checked > 0))
+        cells;
+      match Check_run.violations cells with
+      | [] -> ()
+      | c :: _ ->
+          let v = Option.get c.Check_run.violation in
+          Alcotest.failf "f=%d: %s seed %d: %s" f
+            (Topology.spec_name c.Check_run.key.Key.topology)
+            c.Check_run.key.Key.seed
+            (Monitor.violation_to_string v))
+    [ 1; 2 ]
+
+(* The deliberate-failure half of the same battery: plain gradient run
+   through containment_battery violates, and the failing cell's key +
+   monitor round-trip into a reproducing artifact. *)
+let test_plain_gradient_battery_violates () =
+  let cells =
+    Check_run.containment_battery ~algos:[ Algorithm.Gradient_sync ] ~f:1
+      ~base_seed:7920 ~topologies:[ Topology.Ring 16 ] ~seeds:1 ~horizon:300.
+      ()
+  in
+  match Check_run.violations cells with
+  | [] -> Alcotest.fail "plain gradient survived the adversarial liar"
+  | c :: _ ->
+      let v = Option.get c.Check_run.violation in
+      Alcotest.check kind "kind" Monitor.Containment v.Monitor.kind;
+      let t =
+        {
+          Repro.monitor = c.Check_run.monitor;
+          expected = v;
+          segment_len = 0.;
+          moves = [];
+          key = c.Check_run.key;
+        }
+      in
+      (match Repro.replay t with
+      | Ok Repro.Reproduced -> ()
+      | _ -> Alcotest.fail "violating battery cell did not replay")
+
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
 (* The committed minimized fixtures: each must parse, re-encode to the
@@ -277,6 +402,7 @@ let check_fixture name =
 
 let test_golden_monotonic () = check_fixture "monotonic-jump"
 let test_golden_rate () = check_fixture "rate-fault"
+let test_golden_byzantine () = check_fixture "byzantine-containment"
 
 (* The conformance battery as a tier-1 gate: every registered algorithm,
    over a randomized topology mix, deterministic seeds, and benign fault
@@ -348,10 +474,22 @@ let suite =
     Alcotest.test_case "golden fixture: monotonic jump" `Quick
       test_golden_monotonic;
     Alcotest.test_case "golden fixture: rate fault" `Quick test_golden_rate;
+    Alcotest.test_case "golden fixture: byzantine containment" `Quick
+      test_golden_byzantine;
     Alcotest.test_case "conformance battery passes" `Quick
       test_battery_conforms;
     Alcotest.test_case "battery is jobs-invariant" `Quick
       test_battery_jobs_invariant;
     Alcotest.test_case "violating cell round-trips to a repro" `Quick
       test_battery_cell_violation_is_reproable;
+    Alcotest.test_case "containment monitor fires on plain gradient" `Quick
+      test_containment_monitor_fires;
+    Alcotest.test_case "repro roundtrip with byzantine fields" `Quick
+      test_repro_roundtrip_byzantine;
+    Alcotest.test_case "containment violation replays" `Quick
+      test_containment_violation_replays;
+    Alcotest.test_case "ft containment battery clean (f=1,2)" `Quick
+      test_ft_containment_battery_clean;
+    Alcotest.test_case "plain gradient violates containment" `Quick
+      test_plain_gradient_battery_violates;
   ]

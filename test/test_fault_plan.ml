@@ -32,6 +32,13 @@ let all_kinds_plan =
         };
       Fault_plan.Clock_jump { at = 40.; node = 2; delta = -1.5 };
       Fault_plan.Clock_rate_fault { at = 45.; node = 3; rate = 1.004 };
+      Fault_plan.Byzantine
+        {
+          from_ = 50.;
+          until = 70.;
+          node = 6;
+          strategy = Fault_plan.Lie_equivocate 4.;
+        };
     ]
 
 let test_round_trip () =
@@ -62,10 +69,26 @@ let test_of_string_examples () =
       Alcotest.(check (float 0.)) "until" 2.5 until;
       Alcotest.(check (float 0.)) "prob" 0.125 prob
   | _ -> Alcotest.fail "dup parse");
-  match Fault_plan.events (ok "reorder@0..10:p=1:extra=0.5:edges=1-2,3-4") with
+  (match Fault_plan.events (ok "reorder@0..10:p=1:extra=0.5:edges=1-2,3-4") with
   | [ Fault_plan.Msg_reorder { edges = Edges [ (1, 2); (3, 4) ]; extra; _ } ] ->
       Alcotest.(check (float 0.)) "extra" 0.5 extra
-  | _ -> Alcotest.fail "reorder parse"
+  | _ -> Alcotest.fail "reorder parse");
+  (match Fault_plan.events (ok "byz@10..20:node=3:off=-2.5") with
+  | [
+   Fault_plan.Byzantine
+     { from_ = 10.; until = 20.; node = 3; strategy = Lie_constant off };
+  ] ->
+      Alcotest.(check (float 0.)) "constant lie offset" (-2.5) off
+  | _ -> Alcotest.fail "byz off parse");
+  (match Fault_plan.events (ok "byz@0..5:node=1:rate=0.25") with
+  | [ Fault_plan.Byzantine { strategy = Lie_drifting 0.25; _ } ] -> ()
+  | _ -> Alcotest.fail "byz rate parse");
+  (match Fault_plan.events (ok "byz@0..5:node=1:mag=3") with
+  | [ Fault_plan.Byzantine { strategy = Lie_random 3.; _ } ] -> ()
+  | _ -> Alcotest.fail "byz mag parse");
+  match Fault_plan.events (ok "byz@0..5:node=1:equiv=4") with
+  | [ Fault_plan.Byzantine { strategy = Lie_equivocate 4.; _ } ] -> ()
+  | _ -> Alcotest.fail "byz equiv parse"
 
 let test_of_string_rejects () =
   let bad s =
@@ -80,7 +103,11 @@ let test_of_string_rejects () =
   bad "dup@5..3";
   bad "dup@1..2";
   (* missing p= *)
-  bad "partition@ten:all"
+  bad "partition@ten:all";
+  (* byz needs exactly one strategy field and an ordered window *)
+  bad "byz@10..20:node=1";
+  bad "byz@10..20:node=1:off=1:mag=2";
+  bad "byz@10..20:off=1"
 
 let test_validate () =
   let check_err plan =
@@ -108,8 +135,69 @@ let test_validate () =
   check_err
     (Fault_plan.of_events
        [ Fault_plan.Clock_rate_fault { at = 1.; node = 0; rate = 0. } ]);
+  (* A backwards lie window is caught at validation. *)
+  check_err
+    (Fault_plan.of_events
+       [
+         Fault_plan.Byzantine
+           { from_ = 20.; until = 10.; node = 1; strategy = Lie_constant 1. };
+       ]);
+  (* Overlapping Byzantine windows on one node are incoherent. *)
+  check_err
+    (Fault_plan.of_events
+       [
+         Fault_plan.Byzantine
+           { from_ = 10.; until = 30.; node = 2; strategy = Lie_constant 1. };
+         Fault_plan.Byzantine
+           { from_ = 20.; until = 40.; node = 2; strategy = Lie_random 1. };
+       ]);
+  (* A crashed node sends nothing, so a lie window overlapping the crash
+     interval of the same node is rejected. *)
+  check_err
+    (Fault_plan.of_events
+       [
+         Fault_plan.Node_crash { at = 10.; node = 4 };
+         Fault_plan.Node_recover { at = 40.; node = 4; wipe = false };
+         Fault_plan.Byzantine
+           { from_ = 20.; until = 30.; node = 4; strategy = Lie_constant 1. };
+       ]);
+  (* Disjoint windows on the same node, and a lie after the recovery, are
+     both fine. *)
+  Alcotest.(check bool) "disjoint byz windows validate" true
+    (Fault_plan.validate
+       (Fault_plan.of_events
+          [
+            Fault_plan.Byzantine
+              { from_ = 0.; until = 10.; node = 2; strategy = Lie_constant 1. };
+            Fault_plan.Byzantine
+              { from_ = 10.; until = 20.; node = 2; strategy = Lie_random 1. };
+          ])
+       ring8
+    = Ok ());
   Alcotest.(check bool) "good plan validates" true
     (Fault_plan.validate all_kinds_plan ring8 = Ok ())
+
+let test_byzantine_nodes () =
+  Alcotest.(check (list int))
+    "sorted, deduped" [ 6 ]
+    (Fault_plan.byzantine_nodes all_kinds_plan);
+  let two =
+    Fault_plan.of_events
+      [
+        Fault_plan.Byzantine
+          { from_ = 0.; until = 10.; node = 5; strategy = Lie_constant 1. };
+        Fault_plan.Byzantine
+          { from_ = 20.; until = 30.; node = 5; strategy = Lie_random 2. };
+        Fault_plan.Byzantine
+          { from_ = 0.; until = 10.; node = 1; strategy = Lie_equivocate 3. };
+      ]
+  in
+  Alcotest.(check (list int))
+    "two liars" [ 1; 5 ]
+    (Fault_plan.byzantine_nodes two);
+  (* Ring edges not incident to liars 1 and 5: 8 edges minus their 4. *)
+  Alcotest.(check int) "correct edges" 4
+    (List.length (Fault_plan.correct_edges two ring8))
 
 let test_resolve_edges () =
   (* Ring edges at node 0: (0,1) and (0,7). A cut around {0} is exactly its
@@ -191,6 +279,31 @@ let test_episodes () =
   Alcotest.(check (option (float 0.))) "rate closes at next rate event"
     (Some 70.) rate.Fault_plan.stop
 
+let test_byz_episode () =
+  let plan =
+    Fault_plan.of_events
+      [
+        Fault_plan.Byzantine
+          { from_ = 15.; until = 45.; node = 3; strategy = Lie_random 2. };
+      ]
+  in
+  match Fault_plan.episodes plan ring8 with
+  | [ e ] ->
+      Alcotest.(check string) "label" "byz:3 (mag)" e.Fault_plan.label;
+      Alcotest.(check (float 0.)) "start" 15. e.Fault_plan.start;
+      Alcotest.(check (option (float 0.))) "stop" (Some 45.) e.Fault_plan.stop;
+      (* The episode's edges are the correct-correct ones: the liar's own
+         clock never enters the recovery metrics. *)
+      Alcotest.(check int) "correct-correct edges only" 6
+        (List.length e.Fault_plan.edges);
+      List.iter
+        (fun edge ->
+          let u, v = Graph.edge_endpoints ring8 edge in
+          if u = 3 || v = 3 then
+            Alcotest.failf "episode includes liar-incident edge %d-%d" u v)
+        e.Fault_plan.edges
+  | eps -> Alcotest.failf "expected one episode, got %d" (List.length eps)
+
 (* Random plans over ring:8 round-trip through the textual spec. *)
 let qcheck_round_trip =
   let open QCheck in
@@ -229,6 +342,27 @@ let qcheck_round_trip =
           (fun at node delta -> Fault_plan.Clock_jump { at; node; delta })
           time (Gen.int_range 0 7)
           (Gen.map (fun i -> float_of_int i /. 2.) (Gen.int_range (-8) 8));
+        Gen.map3
+          (fun from_ node (d, strategy) ->
+            Fault_plan.Byzantine { from_; until = from_ +. d; node; strategy })
+          time (Gen.int_range 0 7)
+          (Gen.pair
+             (Gen.map (fun i -> float_of_int i /. 4.) (Gen.int_range 1 100))
+             (Gen.oneof
+                [
+                  Gen.map
+                    (fun x -> Fault_plan.Lie_constant x)
+                    (Gen.map (fun i -> float_of_int i /. 2.) (Gen.int_range (-8) 8));
+                  Gen.map
+                    (fun x -> Fault_plan.Lie_drifting x)
+                    (Gen.map (fun i -> float_of_int i /. 8.) (Gen.int_range (-8) 8));
+                  Gen.map
+                    (fun x -> Fault_plan.Lie_random x)
+                    (Gen.map (fun i -> float_of_int i /. 2.) (Gen.int_range 0 8));
+                  Gen.map
+                    (fun x -> Fault_plan.Lie_equivocate x)
+                    (Gen.map (fun i -> float_of_int i /. 2.) (Gen.int_range 0 8));
+                ]));
       ]
   in
   let plan_gen =
@@ -250,6 +384,8 @@ let suite =
     Alcotest.test_case "validate" `Quick test_validate;
     Alcotest.test_case "resolve_edges" `Quick test_resolve_edges;
     Alcotest.test_case "compose sorts" `Quick test_compose_sorts;
+    Alcotest.test_case "byzantine nodes" `Quick test_byzantine_nodes;
     Alcotest.test_case "episodes" `Quick test_episodes;
+    Alcotest.test_case "byz episode" `Quick test_byz_episode;
     QCheck_alcotest.to_alcotest qcheck_round_trip;
   ]

@@ -245,6 +245,106 @@ let qcheck_healed_plans_reenter_band =
           && e.Fault_metrics.time_to_resync <> None)
         rep.Fault_metrics.episodes)
 
+(* The Byzantine machinery must be a no-op when it does nothing: a plan
+   whose only event is a zero-magnitude constant lie rewrites every beacon
+   to its own value, and the lie PRNG streams are split after all other
+   streams, so the run must be bit-identical — samples, summary, message
+   counts — to the same config with no fault plan at all. *)
+let qcheck_null_lie_is_invisible =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* seed = int_range 0 1000 in
+      let* node = int_range 0 7 in
+      let* algo =
+        oneofl
+          [
+            Gcs_core.Algorithm.Gradient_sync;
+            Gcs_core.Algorithm.Ft_gradient_sync 1;
+            Gcs_core.Algorithm.Tree_sync;
+          ]
+      in
+      return (seed, node, algo))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (seed, node, algo) ->
+        Printf.sprintf "seed=%d liar=%d algo=%s" seed node
+          (Gcs_core.Algorithm.kind_name algo))
+  in
+  QCheck.Test.make ~count:15 ~name:"zero-magnitude lie is invisible" arb
+    (fun (seed, node, algo) ->
+      let graph = Topology.ring 8 in
+      let plan =
+        Fault_plan.of_events
+          [
+            Fault_plan.Byzantine
+              {
+                from_ = 20.;
+                until = 60.;
+                node;
+                strategy = Fault_plan.Lie_constant 0.;
+              };
+          ]
+      in
+      let run fault_plan =
+        Runner.run (Runner.config ~algo ~horizon:80. ~seed ?fault_plan graph)
+      in
+      let a = run None and b = run (Some plan) in
+      a.Runner.samples = b.Runner.samples
+      && a.Runner.summary = b.Runner.summary
+      && a.Runner.messages = b.Runner.messages)
+
+(* Sharding stays bit-identical when the plans lie: Byzantine configs over
+   every strategy produce the same samples and fault reports (lied counts
+   included) for any job count. *)
+let qcheck_sharding_deterministic_with_byzantine =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* seed = int_range 0 1000 in
+      let* strategy =
+        oneofl
+          [
+            Fault_plan.Lie_constant 5.;
+            Fault_plan.Lie_constant (-5.);
+            Fault_plan.Lie_drifting 0.2;
+            Fault_plan.Lie_random 5.;
+            Fault_plan.Lie_equivocate 5.;
+          ]
+      in
+      return (seed, strategy))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (seed, s) ->
+        Printf.sprintf "seed=%d strategy=%s" seed
+          (Fault_plan.to_string
+             (Fault_plan.of_events
+                [ Fault_plan.Byzantine { from_ = 0.; until = 1.; node = 0; strategy = s } ])))
+  in
+  QCheck.Test.make ~count:10 ~name:"sharding deterministic under liars" arb
+    (fun (seed, strategy) ->
+      let plan node =
+        Fault_plan.of_events
+          [ Fault_plan.Byzantine { from_ = 15.; until = 45.; node; strategy } ]
+      in
+      let cfgs =
+        [|
+          Runner.config ~horizon:60. ~seed ~fault_plan:(plan 2)
+            (Topology.ring 8);
+          Runner.config ~horizon:60. ~seed:(seed + 1) ~fault_plan:(plan 4)
+            ~algo:(Gcs_core.Algorithm.Ft_gradient_sync 1) (Topology.line 9);
+          Runner.config ~horizon:60. ~seed:(seed + 2) ~fault_plan:(plan 3)
+            (Topology.grid ~rows:3 ~cols:3);
+        |]
+      in
+      let serial = Parallel_run.run ~jobs:1 cfgs in
+      let sharded = Parallel_run.run ~jobs:3 cfgs in
+      Array.for_all2
+        (fun (a : Runner.result) (b : Runner.result) ->
+          a.Runner.samples = b.Runner.samples
+          && a.Runner.fault_report = b.Runner.fault_report)
+        serial sharded)
+
 let suite =
   [
     Alcotest.test_case "partition-heal: finite resync on ring:64" `Quick
@@ -254,4 +354,6 @@ let suite =
     Alcotest.test_case "sharding deterministic with faults" `Quick
       test_sharding_deterministic_with_faults;
     QCheck_alcotest.to_alcotest qcheck_healed_plans_reenter_band;
+    QCheck_alcotest.to_alcotest qcheck_null_lie_is_invisible;
+    QCheck_alcotest.to_alcotest qcheck_sharding_deterministic_with_byzantine;
   ]

@@ -77,6 +77,21 @@ let golden : (Algorithm.kind * Metrics.summary * int) list =
         samples_used = 61;
       },
       1288 );
+    (* Identical to the Gradient_sync row by design: on a degree-2 ring the
+       trim count is 0 and the clamp window (+/- (2f+1)kappa = 1.5) never
+       binds in a benign run, so the filter must be exactly inert. A
+       divergence here means the ft variant perturbs faultless behaviour. *)
+    ( Algorithm.Ft_gradient_sync 1,
+      {
+        Metrics.max_global = 0x1.50c48e1dda6p-2;
+        max_local = 0x1.08d71a5a1e8p-2;
+        mean_local = 0x1.7d55a1e437de9p-3;
+        p99_local = 0x1.05e86cb205db3p-2;
+        final_global = 0x1.50c48e1dda6p-2;
+        final_local = 0x1.08d71a5a1e8p-2;
+        samples_used = 61;
+      },
+      1288 );
   ]
 
 let run_one algo =
@@ -169,6 +184,74 @@ let test_faulted_run_pinned () =
                 (label ^ " resync") resync e.Fm.time_to_resync)
         expected
 
+(* The same config under Byzantine injection: an equivocating liar plus a
+   random-lie window, run through the ft gradient. Pins the lie rewrite
+   path bit-for-bit — the dedicated per-liar lie PRNG streams, the
+   source-side tamper hook, the estimate filter, the lied-message counter,
+   and the correct-node-only metrics. The liars' own clocks still run the
+   protocol (only their outgoing beacons lie), which is why the correct
+   summary matches the overall one here: no correct node is dragged
+   anywhere near the lies. *)
+let byzantine_plan () =
+  match
+    Gcs_sim.Fault_plan.of_string
+      "byz@20..60:node=5:equiv=3; byz@30..50:node=2:mag=2"
+  with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "golden byzantine plan did not parse: %s" msg
+
+let test_byzantine_run_pinned () =
+  let cfg =
+    Runner.config
+      ~spec:(Spec.make ~kappa:0.5 ())
+      ~algo:(Algorithm.Ft_gradient_sync 1)
+      ~drift_of_node:(fun v ->
+        if v < 4 then Drift.Extreme_high else Drift.Extreme_low)
+      ~horizon:80. ~seed:7 ~fault_plan:(byzantine_plan ()) (Topology.ring 8)
+  in
+  let r = Runner.run cfg in
+  let s = r.Runner.summary in
+  let f = Alcotest.(check (float 1e-9)) in
+  f "max_global" 0x1.a8e496ebfbfcp-1 s.Metrics.max_global;
+  f "max_local" 0x1.f44e969b3acp-2 s.Metrics.max_local;
+  f "mean_local" 0x1.12d57f9ad1527p-2 s.Metrics.mean_local;
+  f "p99_local" 0x1.ee29b96c20219p-2 s.Metrics.p99_local;
+  f "final_global" 0x1.d0be286f8bp-2 s.Metrics.final_global;
+  f "final_local" 0x1.177eac50f25p-2 s.Metrics.final_local;
+  Alcotest.(check int) "samples_used" 61 s.Metrics.samples_used;
+  Alcotest.(check int) "messages" 1288 r.Runner.messages;
+  match r.Runner.fault_report with
+  | None -> Alcotest.fail "no fault report"
+  | Some rep ->
+      let module Fm = Gcs_core.Fault_metrics in
+      Alcotest.(check int) "lied" 120 rep.Fm.lied;
+      (match rep.Fm.correct with
+      | None -> Alcotest.fail "no correct-node summary"
+      | Some c ->
+          f "correct max_local" 0x1.f44e969b3acp-2 c.Metrics.max_local;
+          f "correct max_global" 0x1.a8e496ebfbfcp-1 c.Metrics.max_global;
+          Alcotest.(check int) "correct samples" 61 c.Metrics.samples_used);
+      let expected =
+        [
+          ("byz:5 (equiv)", 20., Some 60., 0x1.f44e969b3acp-2);
+          ("byz:2 (mag)", 30., Some 50., 0x1.3a8ecc7fad6p-2);
+        ]
+      in
+      Alcotest.(check int) "episode count" (List.length expected)
+        (List.length rep.Fm.episodes);
+      List.iter
+        (fun (label, start, stop, transient) ->
+          match
+            List.find_opt (fun e -> e.Fm.label = label) rep.Fm.episodes
+          with
+          | None -> Alcotest.failf "missing episode %s" label
+          | Some e ->
+              f (label ^ " start") start e.Fm.start;
+              Alcotest.(check (option (float 1e-9)))
+                (label ^ " stop") stop e.Fm.stop;
+              f (label ^ " transient") transient e.Fm.worst_transient)
+        expected
+
 let test_covers_registry () =
   (* A newly registered algorithm must get a golden row. *)
   Alcotest.(check int) "every registered algorithm is pinned"
@@ -187,6 +270,8 @@ let suite =
     test_covers_registry
   :: Alcotest.test_case "faulted run pinned: gradient" `Quick
        test_faulted_run_pinned
+  :: Alcotest.test_case "byzantine run pinned: ft-gradient" `Quick
+       test_byzantine_run_pinned
   :: List.map
        (fun ((algo, _, _) as row) ->
          Alcotest.test_case

@@ -88,6 +88,63 @@ let prop_uniform_shift_down_keeps_fast =
         fast ~offsets:(Array.map (fun x -> x -. delta) o)
       else true)
 
+(* The ft gradient's estimate filter: discard outside the (2f+1)*kappa
+   window, then trim f from each end of the survivors — but never below
+   2f+1 kept. *)
+let filter = Gcs_core.Ft_gradient.filter_offsets ~kappa:1.
+
+let sorted a =
+  let c = Array.copy a in
+  Array.sort Float.compare c;
+  c
+
+let check_filter name ~f input expected =
+  Alcotest.(check (array (float 0.)))
+    name (sorted expected)
+    (sorted (filter ~f (Array.of_list input)))
+
+let test_filter_window_discards () =
+  (* f = 1: window is +/- 3. Outrageous estimates vanish entirely (a liar
+     degrades to a crashed neighbor), in-window ones survive untouched. *)
+  check_filter "outrageous lie dropped" ~f:1 [ -0.5; 0.2; 100. ]
+    [| -0.5; 0.2 |];
+  check_filter "both signs dropped" ~f:1 [ -50.; -0.5; 0.2; 100. ]
+    [| -0.5; 0.2 |];
+  check_filter "window edge survives" ~f:1 [ -3.; 3. ] [| -3.; 3. |];
+  check_filter "just outside dropped" ~f:1 [ -3.01; 3.01 ] [||];
+  (* f = 2 widens the window to +/- 5. *)
+  check_filter "wider window at f=2" ~f:2 [ -4.; 4.; 6. ] [| -4.; 4. |]
+
+let test_filter_trim_floor () =
+  (* f = 1: trimming needs strictly more than 2f+1 = 3 survivors, so at
+     degree <= 4 the trim is inert — the extremes may be a single genuine
+     leader whose signal trimming would erase. *)
+  check_filter "n=3: no trim" ~f:1 [ -2.; 0.; 2. ] [| -2.; 0.; 2. |];
+  check_filter "n=4: no trim" ~f:1 [ -2.; -1.; 0.; 2. ] [| -2.; -1.; 0.; 2. |];
+  (* n=5 keeps 2f+1 = 3: one from each end goes. *)
+  check_filter "n=5: trims one per end" ~f:1 [ -2.; -1.; 0.; 1.; 2. ]
+    [| -1.; 0.; 1. |];
+  check_filter "n=6: full trim" ~f:1 [ -2.; -1.; -0.5; 0.; 1.; 2. ]
+    [| -1.; -0.5; 0.; 1. |];
+  (* f=2 would like to trim 2 per end, but n=7 only allows 1 each way
+     before hitting the 2f+1 = 5 floor. *)
+  check_filter "f=2 floor binds" ~f:2 [ -3.; -2.; -1.; 0.; 1.; 2.; 3. ]
+    [| -2.; -1.; 0.; 1.; 2. |];
+  (* f=0 never trims, but the +/- kappa window still applies. *)
+  check_filter "f=0: no trim, window only" ~f:0 [ -9.; -1.; 0.; 1.; 9. ]
+    [| -1.; 0.; 1. |]
+
+let prop_filter_benign_inert =
+  (* With every estimate inside half the window, the filter is exactly the
+     identity on sparse neighborhoods (n <= 2f+2) — the graceful-degradation
+     contract the benign golden row relies on. *)
+  QCheck.Test.make ~name:"ft filter inert on benign sparse neighborhoods"
+    ~count:500
+    QCheck.(list_of_size (Gen.int_range 0 4) (float_range (-1.4) 1.4))
+    (fun offsets ->
+      let o = Array.of_list offsets in
+      filter ~f:1 o = o)
+
 let suite =
   [
     Alcotest.test_case "no neighbors" `Quick test_no_neighbors;
@@ -103,4 +160,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_mutually_exclusive;
     QCheck_alcotest.to_alcotest prop_fast_needs_leader;
     QCheck_alcotest.to_alcotest prop_uniform_shift_down_keeps_fast;
+    Alcotest.test_case "ft filter window" `Quick test_filter_window_discards;
+    Alcotest.test_case "ft filter trim floor" `Quick test_filter_trim_floor;
+    QCheck_alcotest.to_alcotest prop_filter_benign_inert;
   ]
