@@ -1586,6 +1586,197 @@ let e25 () =
       ]
     ~rows
 
+(* E26: the million-node engine core. Two parts. (1) Identity: the
+   scheduler kind and the region count are execution strategies, not
+   semantics — every (scheduler x regions) cell of a faulted golden run
+   must reproduce the serial binary-heap reference bit for bit (the full
+   battery, including Byzantine rows and the observation stream, lives in
+   test/test_region_parallel.ml; this is the standing smoke row). (2)
+   Throughput: a raw-engine soak on grid:1000x1000 — one million nodes,
+   each beaconing to its neighbors once per unit of hardware time —
+   reporting events/sec for heap vs calendar, serial vs region-parallel.
+   The speedup column is informational on a single-core host (conservative
+   windowed execution cannot beat serial without real parallelism), so the
+   regression warning fires only where multicore is available. *)
+let e26 () =
+  header "E26" "Million-node engine core: schedulers and region-parallel soak";
+  let module Scheduler = Gcs_util.Scheduler in
+  let module Fault_plan = Gcs_sim.Fault_plan in
+  let module Engine = Gcs_sim.Engine in
+  let module Dm = Gcs_sim.Delay_model in
+  (* Part 1: identity on the faulted golden ring. *)
+  let plan =
+    match
+      Fault_plan.of_string
+        "partition@20:cut=0; heal@40:cut=0; crash@50:node=5; \
+         recover@60:node=5:wipe; corrupt@30..45:p=0.3:mag=1"
+    with
+    | Ok p -> p
+    | Error msg -> failwith ("E26 plan: " ^ msg)
+  in
+  let identity_cfg ~scheduler ~regions =
+    Runner.config
+      ~spec:(Spec.make ~kappa:0.5 ())
+      ~drift_of_node:(fun v ->
+        if v < 12 then Drift.Extreme_high else Drift.Extreme_low)
+      ~horizon:80. ~seed:7 ~fault_plan:plan ~scheduler ~regions
+      (Topology.ring 24)
+  in
+  let reference =
+    Runner.run (identity_cfg ~scheduler:Scheduler.Binary_heap ~regions:1)
+  in
+  let divergent = ref 0 in
+  let identity_rows =
+    List.concat_map
+      (fun scheduler ->
+        List.map
+          (fun regions ->
+            let r = Runner.run (identity_cfg ~scheduler ~regions) in
+            let same =
+              Runner.outcome r = Runner.outcome reference
+              && r.Runner.samples = reference.Runner.samples
+              && r.Runner.events = reference.Runner.events
+            in
+            if not same then incr divergent;
+            [
+              Scheduler.kind_name scheduler;
+              string_of_int regions;
+              string_of_int r.Runner.events;
+              fmt r.Runner.summary.Metrics.max_local;
+              (if same then "identical" else "DIVERGED");
+            ])
+          [ 1; 2; 4 ])
+      Scheduler.all_kinds
+  in
+  print_table ~name:"e26_identity"
+    ~title:"faulted ring:24 vs serial heap reference (bit-for-bit)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "scheduler";
+        Table.column "regions";
+        Table.column "events";
+        Table.column "max local";
+        Table.column ~align:Table.Left "verdict";
+      ]
+    ~rows:identity_rows;
+  if !divergent > 0 then begin
+    Printf.eprintf "E26: %d scheduler/regions cell(s) diverged\n" !divergent;
+    exit 1
+  end;
+  (* Part 2: the soak. Raw engine, no metrics probe, no store, no diameter
+     computation — this measures the event core alone. *)
+  let rows_g = 1000 and cols_g = 1000 in
+  let graph = Topology.grid ~rows:rows_g ~cols:cols_g in
+  let n = Graph.n graph in
+  let horizon = 3.0 and period = 1.0 in
+  let delays = Dm.uniform (Dm.bounds ~d_min:0.5 ~d_max:1.5) in
+  let make_node _ =
+    {
+      Engine.on_init = (fun api -> api.Engine.set_timer ~h:period ~tag:0);
+      on_message = (fun _ ~port:_ () -> ());
+      on_timer =
+        (fun api ~tag:_ ->
+          for p = 0 to api.Engine.ports - 1 do
+            api.Engine.send ~port:p ()
+          done;
+          api.Engine.set_timer
+            ~h:(api.Engine.hardware () +. period)
+            ~tag:0);
+    }
+  in
+  let soak ~scheduler ~regions =
+    let clocks = Array.init n (fun _ -> Hc.create ~t0:0. ~rate:1. ()) in
+    let t_build = Unix.gettimeofday () in
+    let engine =
+      Engine.of_config
+        (Engine.config ~scheduler ~regions ~graph ~clocks ~delays
+           ~rng:(Prng.create ~seed:3) ~make_node ~t0:0. ())
+    in
+    let t_run = Unix.gettimeofday () in
+    Engine.run_until engine horizon;
+    let dt = Unix.gettimeofday () -. t_run in
+    ( Engine.events_processed engine,
+      Engine.messages_sent engine,
+      Engine.regions engine,
+      t_run -. t_build,
+      dt )
+  in
+  let multicore = Domain.recommended_domain_count () > 1 in
+  let par_regions =
+    if multicore then min 8 (Domain.recommended_domain_count ()) else 4
+  in
+  let cells =
+    List.concat_map
+      (fun scheduler ->
+        List.map (fun regions -> (scheduler, regions)) [ 1; par_regions ])
+      Scheduler.all_kinds
+  in
+  let soaked =
+    List.map
+      (fun (scheduler, regions) ->
+        let events, messages, eff, build, dt = soak ~scheduler ~regions in
+        (scheduler, regions, events, messages, eff, build, dt))
+      cells
+  in
+  (* Counters are part of the identity contract too: every cell must agree
+     with the first. *)
+  (match soaked with
+  | (_, _, ev0, msg0, _, _, _) :: rest ->
+      List.iter
+        (fun (s, r, ev, msg, _, _, _) ->
+          if ev <> ev0 || msg <> msg0 then begin
+            Printf.eprintf "E26: soak counters diverged for %s x%d\n"
+              (Scheduler.kind_name s) r;
+            exit 1
+          end)
+        rest
+  | [] -> ());
+  print_table ~name:"e26_soak"
+    ~title:
+      (Printf.sprintf
+         "grid:%dx%d (%d nodes, %d edges), horizon %g, beacon period %g"
+         rows_g cols_g n (Graph.m graph) horizon period)
+    ~columns:
+      [
+        Table.column ~align:Table.Left "scheduler";
+        Table.column "regions";
+        Table.column "events";
+        Table.column "build s";
+        Table.column "run s";
+        Table.column "events/sec";
+      ]
+    ~rows:
+      (List.map
+         (fun (s, _, ev, _, eff, build, dt) ->
+           [
+             Scheduler.kind_name s;
+             string_of_int eff;
+             string_of_int ev;
+             Table.fmt_float ~digits:2 build;
+             Table.fmt_float ~digits:2 dt;
+             Printf.sprintf "%.0f" (float_of_int ev /. Float.max 1e-9 dt);
+           ])
+         soaked);
+  if multicore then
+    List.iter
+      (fun (s, r, ev, _, _, _, dt) ->
+        if r > 1 then begin
+          let serial_dt =
+            List.find_map
+              (fun (s', r', _, _, _, _, dt') ->
+                if s' = s && r' = 1 then Some dt' else None)
+              soaked
+          in
+          match serial_dt with
+          | Some sdt when dt > sdt ->
+              Printf.eprintf
+                "E26: %s x%d slower than serial on a multicore host (%.2fs \
+                 vs %.2fs, %d events)\n"
+                (Gcs_util.Scheduler.kind_name s) r dt sdt ev
+          | Some _ | None -> ()
+        end)
+      soaked
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4);
@@ -1593,7 +1784,7 @@ let experiments =
     ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
     ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
     ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
-    ("e23", e23); ("e24", e24); ("e25", e25);
+    ("e23", e23); ("e24", e24); ("e25", e25); ("e26", e26);
     ("e8", e8);
   ]
 

@@ -37,6 +37,7 @@ module Linear = Gcs_adversary.Linear
 module Bias = Gcs_adversary.Bias
 module Table = Gcs_util.Table
 module Prng = Gcs_util.Prng
+module Scheduler = Gcs_util.Scheduler
 module Fault_plan = Gcs_sim.Fault_plan
 module Fault_metrics = Gcs_core.Fault_metrics
 module Capture = Gcs_obs.Capture
@@ -66,6 +67,11 @@ let drift_conv =
 let fault_plan_conv =
   let parse s = Fault_plan.of_string s |> Result.map_error (fun e -> `Msg e) in
   let print ppf p = Format.pp_print_string ppf (Fault_plan.to_string p) in
+  Arg.conv (parse, print)
+
+let scheduler_conv =
+  let parse s = Scheduler.kind_of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf k = Format.pp_print_string ppf (Scheduler.kind_name k) in
   Arg.conv (parse, print)
 
 (* Shared options *)
@@ -170,6 +176,25 @@ let trials_arg =
     & info [ "trials" ] ~docv:"N"
         ~doc:"Replicate over N seeds and report mean ± 95% CI.")
 
+let scheduler_arg =
+  Arg.(
+    value
+    & opt scheduler_conv Scheduler.Binary_heap
+    & info [ "scheduler" ] ~docv:"KIND"
+        ~doc:
+          "Event-queue implementation: heap or calendar. A pure execution \
+           strategy — results are byte-identical for every kind.")
+
+let regions_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "regions" ] ~docv:"N"
+        ~doc:
+          "Run the engine region-parallel on N domains (1 = serial). Also a \
+           pure execution strategy: results are byte-identical for every N, \
+           and configurations the parallel engine cannot reproduce \
+           bit-for-bit silently fall back to serial.")
+
 let spec_term =
   let make rho mu d_min d_max period kappa =
     try Ok (Spec.make ~rho ~mu ~d_min ~d_max ~beacon_period:period ?kappa ())
@@ -209,7 +234,7 @@ let print_summary ~graph ~spec (r : Runner.result) =
 
 let run_cmd =
   let action spec_result topo algo drift horizon seed profile loss stabilize
-      fault check =
+      fault check scheduler regions =
     let spec = or_die spec_result in
     let graph = build_graph topo seed in
     let loss_law =
@@ -229,7 +254,8 @@ let run_cmd =
     in
     let cfg =
       Runner.config ~spec ~algo ~drift_of_node:(fun _ -> drift) ~horizon ~seed
-        ~loss:loss_law ?override ~initial_value_of_node graph
+        ~loss:loss_law ?override ~initial_value_of_node ~scheduler ~regions
+        graph
     in
     let r = Runner.run cfg in
     Printf.printf "algorithm: %s%s on %s\n" (Algorithm.kind_name algo)
@@ -275,7 +301,7 @@ let run_cmd =
     Term.(
       const action $ spec_term $ topology_arg $ algo_arg $ drift_arg
       $ horizon_arg $ seed_arg $ profile_flag $ loss_arg $ stabilize_flag
-      $ fault_arg $ check_flag)
+      $ fault_arg $ check_flag $ scheduler_arg $ regions_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one synchronization simulation.") term
 
@@ -783,7 +809,8 @@ let sweep_cmd =
 (* Shared by trace and report: run --seeds replicate configs (seed,
    seed+7919, ...) through the parallel runner with the given capture
    request. Row/byte order is independent of --jobs. *)
-let run_batch ~spec ~topo ~algo ~horizon ~seed ~seeds ~jobs ~fault_plan ~obs =
+let run_batch ?(scheduler = Scheduler.Binary_heap) ?(regions = 1) ~spec ~topo
+    ~algo ~horizon ~seed ~seeds ~jobs ~fault_plan ~obs () =
   if seeds <= 0 then or_die (Error "seeds must be > 0");
   let jobs = if jobs = 0 then Gcs_util.Pool.default_jobs () else jobs in
   if jobs < 0 then or_die (Error "jobs must be >= 0");
@@ -799,7 +826,8 @@ let run_batch ~spec ~topo ~algo ~horizon ~seed ~seeds ~jobs ~fault_plan ~obs =
                | Ok () -> ()
                | Error msg -> or_die (Error ("fault plan: " ^ msg)))
            | None -> ());
-           Runner.config ~spec ~algo ~horizon ~seed ?fault_plan ~obs graph)
+           Runner.config ~spec ~algo ~horizon ~seed ?fault_plan ~obs ~scheduler
+             ~regions graph)
          seed_list)
   in
   Parallel_run.run ~jobs configs
@@ -868,7 +896,7 @@ let trace_cmd =
           ~doc:"Print the last N events of the first run (0 disables).")
   in
   let action spec_result topo algo horizon seed seeds jobs fault_plan events
-      format series series_period check_schema tail =
+      format series series_period check_schema tail scheduler regions =
     let spec = or_die spec_result in
     let obs =
       {
@@ -879,7 +907,8 @@ let trace_cmd =
       }
     in
     let results =
-      run_batch ~spec ~topo ~algo ~horizon ~seed ~seeds ~jobs ~fault_plan ~obs
+      run_batch ~scheduler ~regions ~spec ~topo ~algo ~horizon ~seed ~seeds
+        ~jobs ~fault_plan ~obs ()
     in
     let logs =
       Array.map
@@ -1023,7 +1052,7 @@ let trace_cmd =
       const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
       $ seed_arg $ seeds_repl_arg $ jobs_repl_arg $ plan_repl_arg $ events_arg
       $ format_arg $ series_arg $ series_period_arg $ check_schema_flag
-      $ tail_arg)
+      $ tail_arg $ scheduler_arg $ regions_arg)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -1040,6 +1069,7 @@ let report_cmd =
     let obs = Capture.full ~series_period () in
     let results =
       run_batch ~spec ~topo ~algo ~horizon ~seed ~seeds ~jobs ~fault_plan ~obs
+        ()
     in
     let merged = Parallel_run.merge results in
     Table.print

@@ -81,6 +81,14 @@ let set_rate t ~now ~rate =
 
 let start_time t = t.times.(0)
 let last_breakpoint t = t.times.(t.len - 1)
+let breakpoint_count t = t.len
+
+let segment t ~now =
+  if now < t.times.(0) then
+    invalid_arg "Hardware_clock.segment: time before clock start";
+  let i = segment_index t now in
+  let until = if i = t.len - 1 then infinity else t.times.(i + 1) in
+  (t.times.(i), t.values.(i), t.rates.(i), until)
 
 let breakpoints t =
   List.init t.len (fun i -> (t.times.(i), t.values.(i), t.rates.(i)))

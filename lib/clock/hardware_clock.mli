@@ -38,6 +38,19 @@ val start_time : t -> float
 val last_breakpoint : t -> float
 (** Real time of the most recent breakpoint. *)
 
+val breakpoint_count : t -> int
+(** Number of segments. Monotone under [set_rate] except when a rate is
+    replaced at the latest breakpoint — callers caching segment data (the
+    engine's per-node segment columns) must invalidate on that path
+    themselves. *)
+
+val segment : t -> now:float -> float * float * float * float
+(** [(t_i, v_i, r_i, t_end)] of the segment containing [now]:
+    [value t ~now' = v_i +. r_i *. (now' -. t_i)] bit-exactly for any
+    [now'] in [[t_i, t_end)]; [t_end] is [infinity] on the last segment.
+    The engine uses this to keep struct-of-arrays clock columns hot instead
+    of re-running the segment search per read. *)
+
 val breakpoints : t -> (float * float * float) list
 (** [(real_time, clock_value, rate)] per segment, oldest first. For tests
     and debugging. *)

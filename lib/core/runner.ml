@@ -6,6 +6,7 @@ module Drift = Gcs_clock.Drift
 module Hardware_clock = Gcs_clock.Hardware_clock
 module Logical_clock = Gcs_clock.Logical_clock
 module Prng = Gcs_util.Prng
+module Scheduler = Gcs_util.Scheduler
 module Capture = Gcs_obs.Capture
 module Event_log = Gcs_obs.Event_log
 module Series = Gcs_obs.Series
@@ -38,6 +39,8 @@ type config = {
   override : Algorithm.t option;
   fault_plan : Fault_plan.t option;
   obs : Capture.request;
+  scheduler : Scheduler.kind;
+  regions : int;
 }
 
 let config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
@@ -45,11 +48,13 @@ let config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
     ?(delay_kind = Uniform_delays) ?(loss = No_loss) ?(horizon = 200.)
     ?(sample_period = 1.) ?warmup ?(seed = 42)
     ?(initial_value_of_node = fun _ -> 0.) ?override ?fault_plan
-    ?(obs = Capture.none) graph =
+    ?(obs = Capture.none) ?(scheduler = Scheduler.Binary_heap) ?(regions = 1)
+    graph =
   let warmup = match warmup with Some w -> w | None -> horizon /. 4. in
   if horizon <= 0. then invalid_arg "Runner.config: horizon must be > 0";
   if sample_period <= 0. then
     invalid_arg "Runner.config: sample_period must be > 0";
+  if regions < 1 then invalid_arg "Runner.config: regions must be >= 1";
   (match obs.Capture.series_period with
   | Some p when p <= 0. ->
       invalid_arg "Runner.config: series period must be > 0"
@@ -73,6 +78,8 @@ let config ?(spec = Spec.make ()) ?(algo = Algorithm.Gradient_sync)
     override;
     fault_plan;
     obs;
+    scheduler;
+    regions;
   }
 
 type live = {
@@ -108,17 +115,18 @@ let snapshot_values live =
 let snapshot live =
   { Metrics.time = Engine.now live.engine; values = snapshot_values live }
 
-(* Translate a fault plan into engine actions: control events for the
-   scheduled faults and a tamper hook for the message-level windows. All
-   tampering randomness comes from the engine's dedicated per-edge fault
-   streams (the [rng] each hook receives), so the node and link streams —
-   and with them any fault-free portion of the run — are untouched. *)
-let install_faults engine logical (cfg : config) plan =
+(* The message-level windows of a fault plan, compiled to the engine's
+   tamper and lie hooks. Pure construction — no engine required — so the
+   hooks travel in the engine's declarative {!Engine.config} rather than
+   being bolted on after creation. All tampering randomness comes from the
+   engine's dedicated per-edge fault streams (the [rng] each hook
+   receives), so the node and link streams — and with them any fault-free
+   portion of the run — are untouched. *)
+let fault_hooks (cfg : config) plan =
   (match Fault_plan.validate plan cfg.graph with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runner: invalid fault plan: " ^ msg));
   let g = cfg.graph in
-  let sched at f = Engine.schedule_control engine ~at f in
   let m = Graph.m g in
   let dup_w = Array.make m [] in
   let reorder_w = Array.make m [] in
@@ -130,24 +138,10 @@ let install_faults engine logical (cfg : config) plan =
   List.iter
     (fun ev ->
       match ev with
-      | Fault_plan.Link_partition { at; edges } ->
-          let ids = Fault_plan.resolve_edges g edges in
-          sched at (fun () ->
-              List.iter (fun e -> Engine.set_edge_up engine ~edge:e ~up:false) ids)
-      | Fault_plan.Link_heal { at; edges } ->
-          let ids = Fault_plan.resolve_edges g edges in
-          sched at (fun () ->
-              List.iter (fun e -> Engine.set_edge_up engine ~edge:e ~up:true) ids)
-      | Fault_plan.Node_crash { at; node } ->
-          sched at (fun () -> Engine.crash_node engine ~node)
-      | Fault_plan.Node_recover { at; node; wipe } ->
-          sched at (fun () -> Engine.recover_node engine ~node ~wipe)
-      | Fault_plan.Clock_jump { at; node; delta } ->
-          sched at (fun () ->
-              Logical_clock.advance logical.(node) ~now:(Engine.now engine)
-                delta)
-      | Fault_plan.Clock_rate_fault { at; node; rate } ->
-          sched at (fun () -> Engine.set_node_rate engine ~node ~rate)
+      | Fault_plan.Link_partition _ | Fault_plan.Link_heal _
+      | Fault_plan.Node_crash _ | Fault_plan.Node_recover _
+      | Fault_plan.Clock_jump _ | Fault_plan.Clock_rate_fault _ ->
+          () (* timed actions; scheduled by [schedule_fault_controls] *)
       | Fault_plan.Msg_duplicate { from_; until; edges; prob } ->
           add_window dup_w edges (from_, until, prob)
       | Fault_plan.Msg_reorder { from_; until; edges; prob; extra } ->
@@ -164,9 +158,12 @@ let install_faults engine logical (cfg : config) plan =
         if from_ <= now && now < until then Some x else None)
       windows
   in
-  if has_windows dup_w || has_windows reorder_w || has_windows corrupt_w then
-    Engine.set_tamper engine
-      {
+  let tamper =
+    if not (has_windows dup_w || has_windows reorder_w || has_windows corrupt_w)
+    then None
+    else
+      Some
+        {
         Engine.extra_delay =
           (fun ~edge ~now ~rng ->
             match active reorder_w.(edge) now with
@@ -198,18 +195,22 @@ let install_faults engine logical (cfg : config) plan =
                       Some (Message.Flood { round; payload = payload +. delta })
                   | Message.Probe _ | Message.Report _ | Message.Reset _ ->
                       None));
-        duplicate =
-          (fun ~edge ~now ~rng ->
-            match active dup_w.(edge) now with
-            | None -> false
-            | Some prob -> Prng.float rng 1.0 < prob);
-      };
+          duplicate =
+            (fun ~edge ~now ~rng ->
+              match active dup_w.(edge) now with
+              | None -> false
+              | Some prob -> Prng.float rng 1.0 < prob);
+        }
+  in
   (* Byzantine rewrite, keyed by the sending node. Randomness (Lie_random
      only) comes from the sender's dedicated Byzantine stream, split after
      every other stream, so plans without Byzantine events never perturb a
      draw — the whole run stays bit-identical to a pre-Byzantine engine. *)
-  if has_windows byz_w then
-    Engine.set_lie engine (fun ~src ~dst ~now ~rng msg ->
+  let lie =
+    if not (has_windows byz_w) then None
+    else
+      Some
+        (fun ~src ~dst ~now ~rng msg ->
         match
           List.find_map
             (fun (from_, until, s) ->
@@ -240,6 +241,67 @@ let install_faults engine logical (cfg : config) plan =
             | Message.Flood { round; payload } ->
                 Some (Message.Flood { round; payload = payload +. delta })
             | Message.Probe _ | Message.Report _ | Message.Reset _ -> None))
+  in
+  (tamper, lie)
+
+(* The timed actions of a fault plan, scheduled as engine controls. Runs
+   after the metric probes are armed so control sequence numbers are
+   assigned in the same order they always were (run byte-identity depends
+   on it). The plan was validated by [fault_hooks]. *)
+let schedule_fault_controls engine logical plan =
+  let g = Engine.graph engine in
+  let sched at f = Engine.schedule_control engine ~at f in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Fault_plan.Link_partition { at; edges } ->
+          let ids = Fault_plan.resolve_edges g edges in
+          sched at (fun () ->
+              List.iter (fun e -> Engine.set_edge_up engine ~edge:e ~up:false) ids)
+      | Fault_plan.Link_heal { at; edges } ->
+          let ids = Fault_plan.resolve_edges g edges in
+          sched at (fun () ->
+              List.iter (fun e -> Engine.set_edge_up engine ~edge:e ~up:true) ids)
+      | Fault_plan.Node_crash { at; node } ->
+          sched at (fun () -> Engine.crash_node engine ~node)
+      | Fault_plan.Node_recover { at; node; wipe } ->
+          sched at (fun () -> Engine.recover_node engine ~node ~wipe)
+      | Fault_plan.Clock_jump { at; node; delta } ->
+          sched at (fun () ->
+              Logical_clock.advance logical.(node) ~now:(Engine.now engine)
+                delta)
+      | Fault_plan.Clock_rate_fault { at; node; rate } ->
+          sched at (fun () -> Engine.set_node_rate engine ~node ~rate)
+      | Fault_plan.Msg_duplicate _ | Fault_plan.Msg_reorder _
+      | Fault_plan.Msg_corrupt _ | Fault_plan.Byzantine _ ->
+          () (* window faults; compiled into hooks by [fault_hooks] *))
+    (Fault_plan.events plan)
+
+(* Resolve the effective region count for one run. Parallel execution is
+   an optimisation that must be invisible: any configuration whose replay
+   at a window barrier could consume randomness in a different order than
+   the serial engine — an adversarial delay chooser (installed mid-run),
+   a custom loss closure, a Byzantine plan combined with message loss
+   (the serial engine draws the drop before the lie; the parallel engine
+   applies the lie at send time) — falls back to serial, as does a
+   profiled run (the dispatch hook brackets handlers on one thread).
+   Everything else is byte-identical at any region count. *)
+let effective_regions (cfg : config) =
+  if cfg.regions <= 1 then 1
+  else if cfg.obs.Capture.profile then 1
+  else
+    match cfg.delay_kind with
+    | Controlled_delays -> 1
+    | Uniform_delays | Fixed_delays | Midpoint_delays | Per_edge_delays _ -> (
+        let has_byz =
+          match cfg.fault_plan with
+          | Some plan -> Fault_plan.byzantine_nodes plan <> []
+          | None -> false
+        in
+        match cfg.loss with
+        | Custom_loss _ -> 1
+        | Uniform_loss p when p > 0. && has_byz -> 1
+        | No_loss | Uniform_loss _ -> cfg.regions)
 
 let prepare (cfg : config) =
   (match Spec.validate cfg.spec with
@@ -288,23 +350,23 @@ let prepare (cfg : config) =
     match cfg.override with Some a -> a | None -> Registry.get cfg.algo
   in
   let make_node = implementation.Algorithm.prepare ctx in
-  let engine =
-    Engine.create ~graph:cfg.graph ~clocks ~delays ~rng:engine_rng ~make_node
-      ~t0
+  (* Everything the engine needs is described up front — observers,
+     instrumentation, fault hooks, scheduler, parallelism — and handed to
+     [Engine.of_config] in one declarative value. Sinks are materialised
+     fresh for every run from the pure [obs] request, so captures never
+     leak across the runs of a sweep. *)
+  let tamper, lie =
+    match cfg.fault_plan with
+    | None -> (None, None)
+    | Some plan -> fault_hooks cfg plan
   in
-  engine_cell := Some engine;
-  (* Sinks are materialised fresh for every run from the pure [obs]
-     request, so captures never leak across the runs of a sweep. *)
   let event_log =
     if not cfg.obs.Capture.events then None
     else
-      let log =
-        Event_log.create ?capacity:cfg.obs.Capture.events_capacity
-          ?stream:cfg.obs.Capture.events_stream
-          ~format_:cfg.obs.Capture.events_format ()
-      in
-      Event_log.attach log engine;
-      Some log
+      Some
+        (Event_log.create ?capacity:cfg.obs.Capture.events_capacity
+           ?stream:cfg.obs.Capture.events_stream
+           ~format_:cfg.obs.Capture.events_format ())
   in
   let series =
     match cfg.obs.Capture.series_period with
@@ -312,13 +374,25 @@ let prepare (cfg : config) =
     | Some _ -> Some (Series.create ())
   in
   let profiler =
-    if not cfg.obs.Capture.profile then None
-    else begin
-      let p = Profiler.create () in
-      Profiler.attach p engine;
-      Some p
-    end
+    if not cfg.obs.Capture.profile then None else Some (Profiler.create ())
   in
+  let engine =
+    Engine.of_config
+      (Engine.config ~scheduler:cfg.scheduler
+         ~regions:(effective_regions cfg)
+         ~observers:
+           (match event_log with
+           | None -> []
+           | Some log -> [ Event_log.record log ])
+         ?hook:(Option.map Profiler.hooks profiler)
+         ~hook_every:
+           (match profiler with
+           | None -> 1
+           | Some p -> Profiler.sample_every p)
+         ?tamper ?lie ~graph:cfg.graph ~clocks ~delays ~rng:engine_rng
+         ~make_node ~t0 ())
+  in
+  engine_cell := Some engine;
   let live =
     { cfg; engine; logical; chooser; samples_rev = ref []; event_log; series;
       profiler }
@@ -372,7 +446,7 @@ let prepare (cfg : config) =
   | _ -> ());
   (match cfg.fault_plan with
   | None -> ()
-  | Some plan -> install_faults engine logical cfg plan);
+  | Some plan -> schedule_fault_controls engine logical plan);
   live
 
 let aggregate_jumps logical =

@@ -55,6 +55,18 @@ type config = {
           never touch algorithm state or randomness, so enabling them
           changes no summary (only [result.events], since the series
           probe schedules control events). *)
+  scheduler : Gcs_util.Scheduler.kind;
+      (** event-queue implementation the engine runs on; pure execution
+          strategy, so results are byte-identical for every kind (which is
+          why it is absent from [store_key]) *)
+  regions : int;
+      (** requested region-parallel domains (default 1 = serial). Also a
+          pure execution strategy: any configuration the parallel engine
+          could not reproduce bit-for-bit (adversarial delay choosers,
+          custom loss closures, Byzantine plans under message loss,
+          profiled runs) silently falls back to serial, so results are
+          byte-identical for every value — and, like [scheduler], it is
+          excluded from [store_key]. *)
 }
 
 val config :
@@ -71,12 +83,15 @@ val config :
   ?override:Algorithm.t ->
   ?fault_plan:Gcs_sim.Fault_plan.t ->
   ?obs:Gcs_obs.Capture.request ->
+  ?scheduler:Gcs_util.Scheduler.kind ->
+  ?regions:int ->
   Gcs_graph.Graph.t ->
   config
 (** Defaults: default spec, [Gradient_sync], random-constant drift per node,
     uniform delays, horizon 200, sampling every 1, warm-up 1/4 of the
     horizon, seed 42, all clocks starting at 0, no faults, no capture
-    ([Gcs_obs.Capture.none]). *)
+    ([Gcs_obs.Capture.none]), binary-heap scheduler, serial execution
+    ([regions = 1]). *)
 
 type live = {
   cfg : config;

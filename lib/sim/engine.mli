@@ -41,6 +41,114 @@ type 'msg handlers = {
   on_timer : 'msg api -> tag:int -> unit;
 }
 
+(** Engine-level happenings an observer (tracer, debugger, metrics
+    collector) can subscribe to. Observation is invisible to algorithms. *)
+type observation =
+  | Obs_send of { src : int; dst : int; edge : int; delay : float }
+  | Obs_drop of { src : int; dst : int; edge : int }
+  | Obs_deliver of { dst : int; port : int }
+  | Obs_timer of { node : int; tag : int }
+  | Obs_rate_change of { node : int; rate : float }
+  | Obs_node_down of { node : int }
+  | Obs_node_up of { node : int; wipe : bool }
+  | Obs_edge_down of { edge : int }
+  | Obs_edge_up of { edge : int }
+  | Obs_fault_drop of { src : int; dst : int; edge : int }
+      (** lost to a partition or a crashed endpoint, not to the loss law *)
+  | Obs_duplicate of { src : int; dst : int; edge : int }
+  | Obs_corrupt of { src : int; dst : int; edge : int }
+  | Obs_lie of { src : int; dst : int; edge : int }
+      (** the sender rewrote this message under a Byzantine strategy *)
+
+(** Which kind of callback a dispatch is about to run; profiling hooks
+    bracket algorithm handlers ([Dispatch_deliver], [Dispatch_timer]) and
+    control closures ([Dispatch_control], the observer/adversary side). *)
+type dispatch_kind = Dispatch_deliver | Dispatch_timer | Dispatch_control
+
+type dispatch_hook = {
+  before : dispatch_kind -> unit;
+  after : dispatch_kind -> unit;
+}
+(** [before]/[after] run around the handler or closure of each dispatched
+    event (not around re-aimed timers or fault drops, which run no user
+    code). The split shape keeps the hot path allocation-free; a hook must
+    not raise. *)
+
+(** Delivery-side mutation hooks, consulted on every non-dropped send. All
+    randomness must come from the [rng] handed in — it is the edge's
+    dedicated fault stream, so tampering never perturbs delay or node
+    streams and runs stay bit-identical under sharding. *)
+type 'msg tamper = {
+  extra_delay : edge:int -> now:float -> rng:Gcs_util.Prng.t -> float;
+      (** added to the drawn delay, after the bounds check (a reorder fault
+          deliberately exceeds the model's delay bounds) *)
+  corrupt :
+    edge:int -> now:float -> rng:Gcs_util.Prng.t -> 'msg -> 'msg option;
+      (** [Some msg'] replaces the payload and counts as a corruption *)
+  duplicate : edge:int -> now:float -> rng:Gcs_util.Prng.t -> bool;
+      (** [true] enqueues a second copy with an independent delay drawn
+          from the fault stream *)
+}
+
+type 'msg lie =
+  src:int -> dst:int -> now:float -> rng:Gcs_util.Prng.t -> 'msg -> 'msg option
+(** Source-side Byzantine rewrite, consulted on every non-dropped send
+    *before* tampering: the sender hands the network an already-false value,
+    and the value may differ per receiver (equivocation). The [rng] is the
+    sender's dedicated Byzantine stream, split after node, link, and fault
+    streams, so installing a lie that never fires — or no lie at all —
+    leaves every other stream, and therefore the whole run, bit-identical. *)
+
+(** {1 Construction}
+
+    An engine is described declaratively by a {!config} — everything a run
+    needs (topology, clocks, delays, observers, instrumentation, fault
+    hooks, scheduler, parallelism) in one value, built once and handed to
+    {!of_config}. The historical mutate-after-create entry points
+    ({!set_observer}, {!set_dispatch_hook}, {!set_tamper}, {!set_lie})
+    remain as thin compatibility wrappers, but new code should pass the
+    corresponding config fields instead: a fully-described construction is
+    what lets [of_config] choose the parallel execution strategy safely. *)
+
+type 'msg config
+
+val config :
+  ?scheduler:Gcs_util.Scheduler.kind ->
+  ?regions:int ->
+  ?observers:(float -> observation -> unit) list ->
+  ?hook:dispatch_hook ->
+  ?hook_every:int ->
+  ?tamper:'msg tamper ->
+  ?lie:'msg lie ->
+  graph:Gcs_graph.Graph.t ->
+  clocks:Gcs_clock.Hardware_clock.t array ->
+  delays:Delay_model.t ->
+  rng:Gcs_util.Prng.t ->
+  make_node:(int -> 'msg handlers) ->
+  t0:float ->
+  unit ->
+  'msg config
+(** Describe an engine. [clocks.(v)] is node [v]'s hardware clock (one per
+    node, all started at or before [t0]). [make_node v] is called once per
+    node, in id order, to produce its handlers; [on_init] runs for every
+    node at time [t0] when [run_until] first executes.
+
+    [scheduler] (default [Binary_heap]) selects the event-queue
+    implementation; see {!Gcs_util.Scheduler}. [regions] (default 1) asks
+    for conservative region-parallel execution on that many domains; see
+    {!regions} for when the request degrades to serial. [observers] are
+    installed in list order. [hook]/[hook_every] install a dispatch hook as
+    {!set_dispatch_hook} would — a hooked engine always runs serially.
+    [tamper]/[lie] install fault hooks as {!set_tamper}/{!set_lie} would. *)
+
+val of_config : 'msg config -> 'msg t
+(** Build the engine. The region request is resolved here: the engine runs
+    region-parallel only when [regions > 1], no dispatch hook is installed,
+    and every cross-region edge has a strictly positive minimum delay
+    (the lookahead that makes conservative windows non-empty). Otherwise it
+    falls back to the exact serial engine — results are byte-identical
+    either way, so the fallback is a performance decision only. *)
+
 val create :
   graph:Gcs_graph.Graph.t ->
   clocks:Gcs_clock.Hardware_clock.t array ->
@@ -49,10 +157,25 @@ val create :
   make_node:(int -> 'msg handlers) ->
   t0:float ->
   'msg t
-(** Build an engine. [clocks.(v)] is node [v]'s hardware clock (one per
-    node, all started at or before [t0]). [make_node v] is called once per
-    node, in id order, to produce its handlers; [on_init] runs for every
-    node at time [t0] when [run_until] first executes. *)
+(** [create ~graph ~clocks ~delays ~rng ~make_node ~t0] is
+    [of_config (config ~graph ~clocks ~delays ~rng ~make_node ~t0 ())]: a
+    serial binary-heap engine with no observers or hooks, the historical
+    constructor. *)
+
+val regions : _ t -> int
+(** Effective region count after {!of_config}'s resolution: [1] means the
+    serial engine (whatever was requested), [> 1] means that many domains
+    execute conservative windows in parallel. *)
+
+val scheduler_kind : _ t -> Gcs_util.Scheduler.kind
+(** Which event-queue implementation this engine runs on. *)
+
+val lookahead : _ t -> float
+(** Minimum cross-region delay bound — the conservative window width.
+    [infinity] on a serial engine (no cross-region edges). *)
+
+val node_region : _ t -> int -> int
+(** The region a node is partitioned into (always [0] on a serial engine). *)
 
 val now : _ t -> float
 (** Current simulation time (time of the last processed event, or [t0]). *)
@@ -74,25 +197,6 @@ val request_stop : _ t -> unit
 val stop_requested : _ t -> bool
 (** Whether [request_stop] has been called on this engine. *)
 
-(** Engine-level happenings an observer (tracer, debugger, metrics
-    collector) can subscribe to. Observation is invisible to algorithms. *)
-type observation =
-  | Obs_send of { src : int; dst : int; edge : int; delay : float }
-  | Obs_drop of { src : int; dst : int; edge : int }
-  | Obs_deliver of { dst : int; port : int }
-  | Obs_timer of { node : int; tag : int }
-  | Obs_rate_change of { node : int; rate : float }
-  | Obs_node_down of { node : int }
-  | Obs_node_up of { node : int; wipe : bool }
-  | Obs_edge_down of { edge : int }
-  | Obs_edge_up of { edge : int }
-  | Obs_fault_drop of { src : int; dst : int; edge : int }
-      (** lost to a partition or a crashed endpoint, not to the loss law *)
-  | Obs_duplicate of { src : int; dst : int; edge : int }
-  | Obs_corrupt of { src : int; dst : int; edge : int }
-  | Obs_lie of { src : int; dst : int; edge : int }
-      (** the sender rewrote this message under a Byzantine strategy *)
-
 val set_observer : 'msg t -> (float -> observation -> unit) -> unit
 (** Replace every installed observer with this one; it receives the current
     simulation time with each observation. *)
@@ -108,26 +212,14 @@ val clear_observer : 'msg t -> unit
 
 val observer_count : _ t -> int
 
-(** Which kind of callback a dispatch is about to run; profiling hooks
-    bracket algorithm handlers ([Dispatch_deliver], [Dispatch_timer]) and
-    control closures ([Dispatch_control], the observer/adversary side). *)
-type dispatch_kind = Dispatch_deliver | Dispatch_timer | Dispatch_control
-
-type dispatch_hook = {
-  before : dispatch_kind -> unit;
-  after : dispatch_kind -> unit;
-}
-(** [before]/[after] run around the handler or closure of each dispatched
-    event (not around re-aimed timers or fault drops, which run no user
-    code). The split shape keeps the hot path allocation-free; a hook must
-    not raise. *)
-
 val set_dispatch_hook : ?every:int -> 'msg t -> dispatch_hook -> unit
 (** Install the (single) dispatch hook — the attachment point of
     {!Gcs_obs.Profiler}. [every] (default 1, must be positive) makes only
     every [every]-th dispatch call [before]/[after]; the engine still keeps
     exact per-kind counts (see {!dispatch_count}), so a sampling profiler
-    pays two indirect calls only on sampled dispatches. *)
+    pays two indirect calls only on sampled dispatches. Raises on a
+    region-parallel engine — pass the hook through {!config} instead, which
+    resolves the conflict by selecting the serial engine. *)
 
 val clear_dispatch_hook : _ t -> unit
 
@@ -167,33 +259,8 @@ val set_edge_up : _ t -> edge:int -> up:bool -> unit
 val node_is_up : _ t -> int -> bool
 val edge_is_up : _ t -> int -> bool
 
-(** Delivery-side mutation hooks, consulted on every non-dropped send. All
-    randomness must come from the [rng] handed in — it is the edge's
-    dedicated fault stream, so tampering never perturbs delay or node
-    streams and runs stay bit-identical under sharding. *)
-type 'msg tamper = {
-  extra_delay : edge:int -> now:float -> rng:Gcs_util.Prng.t -> float;
-      (** added to the drawn delay, after the bounds check (a reorder fault
-          deliberately exceeds the model's delay bounds) *)
-  corrupt :
-    edge:int -> now:float -> rng:Gcs_util.Prng.t -> 'msg -> 'msg option;
-      (** [Some msg'] replaces the payload and counts as a corruption *)
-  duplicate : edge:int -> now:float -> rng:Gcs_util.Prng.t -> bool;
-      (** [true] enqueues a second copy with an independent delay drawn
-          from the fault stream *)
-}
-
 val set_tamper : 'msg t -> 'msg tamper -> unit
 val clear_tamper : _ t -> unit
-
-type 'msg lie =
-  src:int -> dst:int -> now:float -> rng:Gcs_util.Prng.t -> 'msg -> 'msg option
-(** Source-side Byzantine rewrite, consulted on every non-dropped send
-    *before* tampering: the sender hands the network an already-false value,
-    and the value may differ per receiver (equivocation). The [rng] is the
-    sender's dedicated Byzantine stream, split after node, link, and fault
-    streams, so installing a lie that never fires — or no lie at all —
-    leaves every other stream, and therefore the whole run, bit-identical. *)
 
 val set_lie : 'msg t -> 'msg lie -> unit
 val clear_lie : _ t -> unit

@@ -1,85 +1,33 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Binary min-heap with an internal insertion-order tiebreaker.
 
-type 'a t = {
-  mutable data : 'a entry array;
-  mutable size : int;
-  mutable next_seq : int;
-}
+   Since the scheduler redesign this is a thin front over
+   [Scheduler.Binary_heap] — the reference instance of the [Scheduler.S]
+   signature — that owns the sequence counter so existing callers keep
+   the old [push ~prio] interface. *)
 
-let create ?(capacity = 64) () =
-  ignore (capacity : int);
-  { data = [||]; size = 0; next_seq = 0 }
+module Q = Scheduler.Binary_heap
 
-let entry_lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+type 'a t = { q : 'a Q.t; mutable next_seq : int }
 
-let grow t e =
-  let cap = Array.length t.data in
-  if t.size = cap then begin
-    let ncap = if cap = 0 then 64 else 2 * cap in
-    let nd = Array.make ncap e in
-    Array.blit t.data 0 nd 0 t.size;
-    t.data <- nd
-  end
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if entry_lt t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && entry_lt t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && entry_lt t.data.(r) t.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+let create ?capacity () = { q = Q.create ?capacity (); next_seq = 0 }
 
 let push t ~prio value =
-  let e = { prio; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  grow t e;
-  t.data.(t.size) <- e;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  Q.push t.q ~prio ~seq:t.next_seq value;
+  t.next_seq <- t.next_seq + 1
 
 let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (top.prio, top.value)
-  end
+  if Q.is_empty t.q then None
+  else
+    let prio = Q.min_prio t.q in
+    let v = Q.pop_min t.q in
+    Some (prio, v)
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
-let size t = t.size
-let is_empty t = t.size = 0
+let peek t =
+  if Q.is_empty t.q then None else Some (Q.min_prio t.q, Q.min_value t.q)
 
-let clear t =
-  t.size <- 0;
-  t.data <- [||]
+let size t = Q.size t.q
+let is_empty t = Q.is_empty t.q
+let clear t = Q.clear t.q
 
 let to_sorted_list t =
-  let copy =
-    { data = Array.sub t.data 0 t.size; size = t.size; next_seq = t.next_seq }
-  in
-  (* Re-expand: [Array.sub] on size 0 yields [||], which pop handles. *)
-  let rec drain acc =
-    match pop copy with
-    | None -> List.rev acc
-    | Some (p, v) -> drain ((p, v) :: acc)
-  in
-  drain []
+  List.map (fun (p, _, v) -> (p, v)) (Q.sorted t.q)

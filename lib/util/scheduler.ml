@@ -1,0 +1,543 @@
+(* Pending-event schedulers for the discrete-event engine.
+
+   A scheduler is a priority queue keyed by (float priority, int sequence):
+   the engine orders events by simulation time and breaks ties by a
+   monotonically increasing sequence number it assigns at push time, which
+   makes pop order total and runs reproducible. The sequence lives in the
+   caller (the engine owns event identity); implementations only have to
+   respect it.
+
+   Two implementations are provided behind one signature: the binary heap
+   (the reference — O(log n), branchy, order-oblivious) and a calendar
+   queue (amortized O(1) for the time-localized access pattern of a
+   simulation, where most pushes land a bounded horizon ahead of the pop
+   front). Both store entries as struct-of-arrays columns — unboxed float
+   priorities, int sequences, and a value column — so a push allocates
+   nothing beyond amortized growth. *)
+
+module type S = sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] is a size hint; both implementations grow on demand. *)
+
+  val size : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val push : 'a t -> prio:float -> seq:int -> 'a -> unit
+  (** Insert with explicit tiebreaker. Pop order is ascending [(prio, seq)];
+      the caller is responsible for sequence monotonicity if it wants
+      insertion-order tie-breaking. *)
+
+  val min_prio : 'a t -> float
+  (** Priority of the next pop; [infinity] when empty (so schedulers merge
+      with a bare [Float.min]). *)
+
+  val min_seq : 'a t -> int
+  (** Sequence of the next pop; [max_int] when empty. *)
+
+  val min_value : 'a t -> 'a
+  (** Value of the next pop without removing it. @raise Invalid_argument
+      when empty. *)
+
+  val pop_min : 'a t -> 'a
+  (** Remove and return the minimum entry's value (read [min_prio] /
+      [min_seq] first if the key is needed). @raise Invalid_argument when
+      empty. *)
+
+  val clear : 'a t -> unit
+
+  val sorted : ?keep:('a -> bool) -> 'a t -> (float * int * 'a) list
+  (** The queue's contents in exact pop order, without modifying it.
+      [keep] filters entries out of the rendering — the hook the engine
+      uses to drop stale timer entries (ghosts invalidated by re-keying)
+      so snapshot consumers never re-derive liveness by hand. *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Binary heap: the reference implementation.                          *)
+(* ------------------------------------------------------------------ *)
+
+module Binary_heap : S = struct
+  type 'a t = {
+    mutable prios : float array; (* unboxed float column *)
+    mutable seqs : int array;
+    mutable vals : 'a array;
+    mutable size : int;
+    hint : int;
+  }
+
+  let create ?(capacity = 64) () =
+    { prios = [||]; seqs = [||]; vals = [||]; size = 0; hint = max capacity 1 }
+
+  let size t = t.size
+  let is_empty t = t.size = 0
+
+  let grow t v =
+    let cap = Array.length t.prios in
+    if t.size = cap then begin
+      let ncap = if cap = 0 then t.hint else 2 * cap in
+      let np = Array.make ncap 0. in
+      let ns = Array.make ncap 0 in
+      let nv = Array.make ncap v in
+      Array.blit t.prios 0 np 0 t.size;
+      Array.blit t.seqs 0 ns 0 t.size;
+      Array.blit t.vals 0 nv 0 t.size;
+      t.prios <- np;
+      t.seqs <- ns;
+      t.vals <- nv
+    end
+
+  let[@inline] lt t i j =
+    t.prios.(i) < t.prios.(j)
+    || (t.prios.(i) = t.prios.(j) && t.seqs.(i) < t.seqs.(j))
+
+  let[@inline] swap t i j =
+    let p = t.prios.(i) and s = t.seqs.(i) and v = t.vals.(i) in
+    t.prios.(i) <- t.prios.(j);
+    t.seqs.(i) <- t.seqs.(j);
+    t.vals.(i) <- t.vals.(j);
+    t.prios.(j) <- p;
+    t.seqs.(j) <- s;
+    t.vals.(j) <- v
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if lt t i parent then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && lt t l !smallest then smallest := l;
+    if r < t.size && lt t r !smallest then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let push t ~prio ~seq v =
+    grow t v;
+    let i = t.size in
+    t.prios.(i) <- prio;
+    t.seqs.(i) <- seq;
+    t.vals.(i) <- v;
+    t.size <- t.size + 1;
+    sift_up t i
+
+  let min_prio t = if t.size = 0 then infinity else t.prios.(0)
+  let min_seq t = if t.size = 0 then max_int else t.seqs.(0)
+
+  let min_value t =
+    if t.size = 0 then invalid_arg "Scheduler.Binary_heap.min_value: empty";
+    t.vals.(0)
+
+  let pop_min t =
+    if t.size = 0 then invalid_arg "Scheduler.Binary_heap.pop_min: empty";
+    let v = t.vals.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.prios.(0) <- t.prios.(t.size);
+      t.seqs.(0) <- t.seqs.(t.size);
+      t.vals.(0) <- t.vals.(t.size);
+      sift_down t 0
+    end;
+    v
+
+  let clear t =
+    t.size <- 0;
+    t.prios <- [||];
+    t.seqs <- [||];
+    t.vals <- [||]
+
+  let sorted ?(keep = fun _ -> true) t =
+    let idx = Array.init t.size (fun i -> i) in
+    Array.sort
+      (fun i j ->
+        let c = Float.compare t.prios.(i) t.prios.(j) in
+        if c <> 0 then c else Int.compare t.seqs.(i) t.seqs.(j))
+      idx;
+    Array.fold_right
+      (fun i acc ->
+        if keep t.vals.(i) then (t.prios.(i), t.seqs.(i), t.vals.(i)) :: acc
+        else acc)
+      idx []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Calendar queue (Brown 1988): an array of day buckets of width        *)
+(* [width]; an event with priority p lives in bucket                    *)
+(* floor(p / width) mod nbuckets. Dequeue scans forward from the        *)
+(* current day and only considers events of the current day of the      *)
+(* current year, so with a well-chosen width both operations are        *)
+(* amortized O(1). Each bucket is itself a small binary heap ordered    *)
+(* by (prio, seq) — not a sorted array: a heap keeps bucket access      *)
+(* O(log k) even when an adversarial or degenerate workload (say, a     *)
+(* million timers armed at the same instant) piles one bucket high,     *)
+(* where a sorted array's insert/pop-head blits would go quadratic.     *)
+(* Pop order is identical to the binary heap's.                         *)
+(* ------------------------------------------------------------------ *)
+
+module Calendar : S = struct
+  type 'a bucket = {
+    mutable bp : float array;
+    mutable bs : int array;
+    mutable bv : 'a array;
+    mutable blen : int;
+  }
+
+  type 'a t = {
+    mutable buckets : 'a bucket array;
+    mutable mask : int; (* nbuckets - 1; nbuckets is a power of two *)
+    mutable width : float;
+    mutable size : int;
+    mutable last_prio : float; (* dequeue position *)
+    mutable peeked : int; (* bucket holding the cached min; -1 = unknown *)
+    mutable respread_at : int;
+        (* once the bucket count is capped, re-run the width heuristic
+           whenever the population doubles past this size, so the calendar
+           keeps adapting to the priority distribution *)
+    hint : int;
+  }
+
+  let new_bucket () = { bp = [||]; bs = [||]; bv = [||]; blen = 0 }
+
+  let init_nbuckets = 8
+
+  let create ?(capacity = 64) () =
+    ignore capacity;
+    {
+      buckets = Array.init init_nbuckets (fun _ -> new_bucket ());
+      mask = init_nbuckets - 1;
+      width = 1.0;
+      size = 0;
+      last_prio = neg_infinity;
+      peeked = -1;
+      respread_at = max_int;
+      hint = 4;
+    }
+
+  let size t = t.size
+  let is_empty t = t.size = 0
+
+  (* Day number of a priority. The year scan tests bucket membership with
+     this exact expression — the same floor the placement below buckets by —
+     so scan and placement can never disagree (an accumulated [top +. width]
+     bound would drift in the last ulp and misorder entries near a day
+     boundary). Day numbers are integral floats, exact up to 2^53. *)
+  let[@inline] day_of t prio = Float.floor (prio /. t.width)
+
+  let[@inline] bucket_of_day t d =
+    (* Simulation priorities are finite and non-negative in practice, but
+       stay total anyway: any finite float maps to some bucket, and
+       correctness never depends on which (the year scan falls back to a
+       direct minimum search). *)
+    if Float.abs d >= 1e18 then 0 else Float.to_int d land t.mask
+
+  let[@inline] index_of t prio = bucket_of_day t (day_of t prio)
+
+  let bucket_grow t b v =
+    let cap = Array.length b.bp in
+    if b.blen = cap then begin
+      let ncap = if cap = 0 then t.hint else 2 * cap in
+      let np = Array.make ncap 0. in
+      let ns = Array.make ncap 0 in
+      let nv = Array.make ncap v in
+      Array.blit b.bp 0 np 0 b.blen;
+      Array.blit b.bs 0 ns 0 b.blen;
+      Array.blit b.bv 0 nv 0 b.blen;
+      b.bp <- np;
+      b.bs <- ns;
+      b.bv <- nv
+    end
+
+  (* Min-heap order on (prio, seq) within a bucket; index 0 is the bucket
+     head every consumer below reads. *)
+  let[@inline] blt b i j =
+    b.bp.(i) < b.bp.(j) || (b.bp.(i) = b.bp.(j) && b.bs.(i) < b.bs.(j))
+
+  let[@inline] bswap b i j =
+    let p = b.bp.(i) and s = b.bs.(i) and v = b.bv.(i) in
+    b.bp.(i) <- b.bp.(j);
+    b.bs.(i) <- b.bs.(j);
+    b.bv.(i) <- b.bv.(j);
+    b.bp.(j) <- p;
+    b.bs.(j) <- s;
+    b.bv.(j) <- v
+
+  let rec bsift_up b i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if blt b i parent then begin
+        bswap b i parent;
+        bsift_up b parent
+      end
+    end
+
+  let rec bsift_down b i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < b.blen && blt b l !smallest then smallest := l;
+    if r < b.blen && blt b r !smallest then smallest := r;
+    if !smallest <> i then begin
+      bswap b i !smallest;
+      bsift_down b !smallest
+    end
+
+  let bucket_insert t b ~prio ~seq v =
+    bucket_grow t b v;
+    let i = b.blen in
+    b.bp.(i) <- prio;
+    b.bs.(i) <- seq;
+    b.bv.(i) <- v;
+    b.blen <- b.blen + 1;
+    bsift_up b i
+
+  let bucket_pop_head b =
+    let v = b.bv.(0) in
+    b.blen <- b.blen - 1;
+    if b.blen > 0 then begin
+      b.bp.(0) <- b.bp.(b.blen);
+      b.bs.(0) <- b.bs.(b.blen);
+      b.bv.(0) <- b.bv.(b.blen);
+      bsift_down b 0
+    end;
+    v
+
+  (* Align the dequeue position on [prio]; the scan day is derived from
+     [last_prio] on demand, so this is the whole of the position state. *)
+  let align t prio = t.last_prio <- prio
+
+  let iter_entries t f =
+    Array.iter
+      (fun b ->
+        for i = 0 to b.blen - 1 do
+          f b.bp.(i) b.bs.(i) b.bv.(i)
+        done)
+      t.buckets
+
+  (* Pick a width from the current population: spread the middle of the
+     sorted priorities over ~3 entries per day. Any positive value is
+     correct; this one keeps buckets short for clustered priorities while
+     ignoring far outliers. The sample strides evenly across the whole
+     population — sampling the first entries encountered would see only
+     one or two buckets and miss the distribution's spread entirely when
+     a single priority cluster dominates. *)
+  let choose_width t =
+    let want = min t.size 64 in
+    if want < 2 then t.width
+    else begin
+      let sample = Array.make want 0. in
+      let step = max 1 (t.size / want) in
+      let k = ref 0 and i = ref 0 in
+      iter_entries t (fun p _ _ ->
+          if !i mod step = 0 && !k < want then begin
+            sample.(!k) <- p;
+            incr k
+          end;
+          incr i);
+      let n = !k in
+      if n < 2 then t.width
+      else begin
+        let sample = Array.sub sample 0 n in
+        Array.sort Float.compare sample;
+        let lo = sample.(n / 4) and hi = sample.(n - 1 - (n / 4)) in
+        let span = hi -. lo in
+        if span <= 0. then t.width
+        else
+          let gap = span /. float_of_int (n - (2 * (n / 4)) + 1) in
+          Float.max 1e-9 (3. *. gap)
+      end
+    end
+
+  let resize t nbuckets' =
+    let old = t.buckets in
+    let width' = choose_width t in
+    t.buckets <- Array.init nbuckets' (fun _ -> new_bucket ());
+    t.mask <- nbuckets' - 1;
+    t.width <- width';
+    let n = t.size in
+    t.size <- 0;
+    Array.iter
+      (fun b ->
+        for i = 0 to b.blen - 1 do
+          let bkt = t.buckets.(index_of t b.bp.(i)) in
+          bucket_insert t bkt ~prio:b.bp.(i) ~seq:b.bs.(i) b.bv.(i)
+        done)
+      old;
+    t.size <- n;
+    t.peeked <- -1;
+    t.respread_at <- 2 * t.size;
+    (* Re-anchor the scan position on the global minimum. *)
+    if t.size > 0 then begin
+      let best = ref nan and found = ref false in
+      iter_entries t (fun p _ _ ->
+          if (not !found) || p < !best then begin
+            best := p;
+            found := true
+          end);
+      align t !best
+    end
+
+  let push t ~prio ~seq v =
+    let b = t.buckets.(index_of t prio) in
+    bucket_insert t b ~prio ~seq v;
+    t.size <- t.size + 1;
+    if t.size = 1 then align t prio
+    else if prio < t.last_prio then align t prio;
+    (* A new entry at or before the cached minimum's priority may displace
+       it — including at equal priority with a smaller sequence (callers
+       are free to hand out non-monotone sequences; the region-parallel
+       engine does). *)
+    if t.peeked >= 0 && prio <= t.buckets.(t.peeked).bp.(0) then
+      t.peeked <- -1;
+    if t.size > 2 * (t.mask + 1) then begin
+      if t.mask < 0xFFFF then resize t (2 * (t.mask + 1))
+      else if t.size >= t.respread_at then
+        (* Bucket count is capped: rebuild at the same size to refresh the
+           width, so late-arriving priority spreads still get spread out. *)
+        resize t (t.mask + 1)
+    end
+
+  (* Find the bucket holding the minimum (prio, seq) entry; caches the
+     result for the pop that typically follows a peek. Returns -1 when
+     empty. *)
+  let find_min t =
+    if t.size = 0 then -1
+    else if t.peeked >= 0 then t.peeked
+    else begin
+      let nbuckets = t.mask + 1 in
+      let found = ref (-1) in
+      (* Year scan: walk whole days forward from the dequeue position. An
+         entry belongs to the scanned day iff [day_of] agrees — the same
+         computation that placed it, so the test cannot misfile an entry
+         the way an accumulated floating-point day bound can. *)
+      let day = ref (day_of t t.last_prio) in
+      (try
+         for _ = 0 to nbuckets - 1 do
+           let i = bucket_of_day t !day in
+           let b = t.buckets.(i) in
+           if b.blen > 0 && day_of t b.bp.(0) = !day then begin
+             found := i;
+             raise Exit
+           end;
+           day := !day +. 1.
+         done
+       with Exit -> ());
+      if !found < 0 then begin
+        (* Sparse year: direct search over bucket heads. *)
+        let best = ref (-1) in
+        for j = 0 to nbuckets - 1 do
+          let b = t.buckets.(j) in
+          if b.blen > 0 then
+            if
+              !best < 0
+              ||
+              let c = t.buckets.(!best) in
+              b.bp.(0) < c.bp.(0)
+              || (b.bp.(0) = c.bp.(0) && b.bs.(0) < c.bs.(0))
+            then best := j
+        done;
+        found := !best;
+        align t t.buckets.(!best).bp.(0)
+      end;
+      t.peeked <- !found;
+      !found
+    end
+
+  let min_prio t =
+    let i = find_min t in
+    if i < 0 then infinity else t.buckets.(i).bp.(0)
+
+  let min_seq t =
+    let i = find_min t in
+    if i < 0 then max_int else t.buckets.(i).bs.(0)
+
+  let min_value t =
+    let i = find_min t in
+    if i < 0 then invalid_arg "Scheduler.Calendar.min_value: empty";
+    t.buckets.(i).bv.(0)
+
+  let pop_min t =
+    let i = find_min t in
+    if i < 0 then invalid_arg "Scheduler.Calendar.pop_min: empty";
+    let b = t.buckets.(i) in
+    t.last_prio <- b.bp.(0);
+    let v = bucket_pop_head b in
+    t.size <- t.size - 1;
+    t.peeked <- -1;
+    if t.size < (t.mask + 1) / 2 && t.mask + 1 > init_nbuckets then
+      resize t ((t.mask + 1) / 2);
+    v
+
+  let clear t =
+    t.buckets <- Array.init init_nbuckets (fun _ -> new_bucket ());
+    t.mask <- init_nbuckets - 1;
+    t.width <- 1.0;
+    t.size <- 0;
+    t.last_prio <- neg_infinity;
+    t.peeked <- -1;
+    t.respread_at <- max_int
+
+  let sorted ?(keep = fun _ -> true) t =
+    let acc = ref [] in
+    iter_entries t (fun p s v -> if keep v then acc := (p, s, v) :: !acc);
+    List.sort
+      (fun (p1, s1, _) (p2, s2, _) ->
+        let c = Float.compare p1 p2 in
+        if c <> 0 then c else Int.compare s1 s2)
+      !acc
+end
+
+(* ------------------------------------------------------------------ *)
+(* Packed instances: a scheduler as a value, so the engine can be       *)
+(* functorized over [S] yet still select the implementation per run.    *)
+(* ------------------------------------------------------------------ *)
+
+type 'a t = {
+  size : unit -> int;
+  push : prio:float -> seq:int -> 'a -> unit;
+  min_prio : unit -> float;
+  min_seq : unit -> int;
+  min_value : unit -> 'a;
+  pop_min : unit -> 'a;
+  clear : unit -> unit;
+  sorted : keep:('a -> bool) -> (float * int * 'a) list;
+}
+
+module Pack (Q : S) = struct
+  let make ?capacity () =
+    let q = Q.create ?capacity () in
+    {
+      size = (fun () -> Q.size q);
+      push = (fun ~prio ~seq v -> Q.push q ~prio ~seq v);
+      min_prio = (fun () -> Q.min_prio q);
+      min_seq = (fun () -> Q.min_seq q);
+      min_value = (fun () -> Q.min_value q);
+      pop_min = (fun () -> Q.pop_min q);
+      clear = (fun () -> Q.clear q);
+      sorted = (fun ~keep -> Q.sorted ~keep q);
+    }
+end
+
+module Packed_heap = Pack (Binary_heap)
+module Packed_calendar = Pack (Calendar)
+
+type kind = Binary_heap | Calendar
+
+let make ?capacity = function
+  | Binary_heap -> Packed_heap.make ?capacity ()
+  | Calendar -> Packed_calendar.make ?capacity ()
+
+let kind_name = function Binary_heap -> "heap" | Calendar -> "calendar"
+
+let kind_of_string = function
+  | "heap" | "binary-heap" -> Ok Binary_heap
+  | "calendar" | "calendar-queue" -> Ok Calendar
+  | s -> Error (Printf.sprintf "unknown scheduler %S (heap|calendar)" s)
+
+let all_kinds = [ Binary_heap; Calendar ]

@@ -1,0 +1,77 @@
+(** Pending-event schedulers: priority queues keyed by [(prio, seq)].
+
+    The engine orders events by simulation time ([prio]) and breaks ties
+    with a monotone sequence number it assigns at push time, making pop
+    order total and runs reproducible. Implementations store entries as
+    struct-of-arrays columns so pushes allocate nothing beyond amortized
+    growth. *)
+
+module type S = sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] is a size hint; implementations grow on demand. *)
+
+  val size : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val push : 'a t -> prio:float -> seq:int -> 'a -> unit
+  (** Insert with an explicit tiebreaker. Pop order is ascending
+      [(prio, seq)]. *)
+
+  val min_prio : 'a t -> float
+  (** Priority of the next pop; [infinity] when empty. *)
+
+  val min_seq : 'a t -> int
+  (** Sequence of the next pop; [max_int] when empty. *)
+
+  val min_value : 'a t -> 'a
+  (** Value of the next pop without removing it.
+      @raise Invalid_argument when empty. *)
+
+  val pop_min : 'a t -> 'a
+  (** Remove and return the minimum entry's value.
+      @raise Invalid_argument when empty. *)
+
+  val clear : 'a t -> unit
+
+  val sorted : ?keep:('a -> bool) -> 'a t -> (float * int * 'a) list
+  (** Contents in exact pop order, without modification. [keep] filters
+      entries out of the rendering — used by the engine to hide stale
+      timer entries from snapshot consumers. *)
+end
+
+module Binary_heap : S
+(** Reference implementation: array-backed binary min-heap. *)
+
+module Calendar : S
+(** Calendar queue (Brown 1988): amortized O(1) push/pop for the
+    time-localized access pattern of a simulation. Pop order is identical
+    to {!Binary_heap}'s. *)
+
+(** {1 Packed instances}
+
+    A scheduler as a first-class value, so callers functorized over {!S}
+    can still select the implementation per run. *)
+
+type 'a t = {
+  size : unit -> int;
+  push : prio:float -> seq:int -> 'a -> unit;
+  min_prio : unit -> float;
+  min_seq : unit -> int;
+  min_value : unit -> 'a;
+  pop_min : unit -> 'a;
+  clear : unit -> unit;
+  sorted : keep:('a -> bool) -> (float * int * 'a) list;
+}
+
+module Pack (Q : S) : sig
+  val make : ?capacity:int -> unit -> 'a t
+end
+
+type kind = Binary_heap | Calendar
+
+val make : ?capacity:int -> kind -> 'a t
+val kind_name : kind -> string
+val kind_of_string : string -> (kind, string) result
+val all_kinds : kind list

@@ -6,6 +6,7 @@ let () =
       ("util.prng", Test_prng.suite);
       ("util.stats", Test_stats.suite);
       ("util.heap", Test_heap.suite);
+      ("util.scheduler", Test_scheduler.suite);
       ("util.pool", Test_pool.suite);
       ("util.table", Test_table.suite);
       ("util.csv", Test_csv.suite);
@@ -45,6 +46,7 @@ let () =
       ("core.parallel_run", Test_parallel_run.suite);
       ("core.faults", Test_faults.suite);
       ("core.golden", Test_golden.suite);
+      ("core.region_parallel", Test_region_parallel.suite);
       ("check", Test_check.suite);
       ("explore", Test_explore.suite);
       ("integration", Test_integration.suite);

@@ -1,0 +1,272 @@
+(* Byte-identity of conservative region-parallel execution.
+
+   The region-parallel engine is an execution strategy, not a semantics:
+   for every supported configuration and every domain count it must
+   reproduce the serial engine's results *bit for bit* — summaries,
+   samples, counters, and the full observation stream. These tests pin
+   that equivalence on the golden configs (every registered algorithm,
+   plus the faulted and Byzantine golden rows) and on randomized
+   faulted/Byzantine configurations, at several region counts.
+
+   Each parallel run asserts it actually executed with [regions > 1]
+   (via [Engine.regions]) so a silent serial fallback can never
+   masquerade as a passing identity check. *)
+
+module Topology = Gcs_graph.Topology
+module Drift = Gcs_clock.Drift
+module Spec = Gcs_core.Spec
+module Algorithm = Gcs_core.Algorithm
+module Runner = Gcs_core.Runner
+module Engine = Gcs_sim.Engine
+module Fault_plan = Gcs_sim.Fault_plan
+module Capture = Gcs_obs.Capture
+module Event_log = Gcs_obs.Event_log
+module Scheduler = Gcs_util.Scheduler
+
+let region_counts = [ 2; 3; 4 ]
+
+(* The golden config of test_golden.ml: ring:8, kappa 0.5, split extreme
+   drift, horizon 80, seed 7. *)
+let golden_cfg ?fault_plan ?obs ?(scheduler = Scheduler.Binary_heap)
+    ?(regions = 1) algo =
+  Runner.config
+    ~spec:(Spec.make ~kappa:0.5 ())
+    ~algo
+    ~drift_of_node:(fun v ->
+      if v < 4 then Drift.Extreme_high else Drift.Extreme_low)
+    ~horizon:80. ~seed:7 ?fault_plan ?obs ~scheduler ~regions
+    (Topology.ring 8)
+
+let plan_of_string s =
+  match Fault_plan.of_string s with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "plan did not parse: %s (%s)" s msg
+
+let faulted_plan () =
+  plan_of_string
+    "partition@20:cut=0; heal@40:cut=0; crash@50:node=5; \
+     recover@60:node=5:wipe; corrupt@30..45:p=0.3:mag=1"
+
+let byzantine_plan () =
+  plan_of_string "byz@20..60:node=5:equiv=3; byz@30..50:node=2:mag=2"
+
+(* Run a config and also report the engine's *effective* region count. *)
+let run_with cfg =
+  let live = Runner.prepare cfg in
+  let eff = Engine.regions live.Runner.engine in
+  (eff, Runner.complete live)
+
+(* Exact equality — no tolerance anywhere: identity means identical bits.
+   [Runner.outcome] flattens the summary, message/drop/jump counters, and
+   the fault report into a closure-free record, so structural equality
+   covers all of it; samples and event counts are checked on top. *)
+let check_identical label (serial : Runner.result) (par : Runner.result) =
+  Alcotest.(check bool)
+    (label ^ ": outcome identical")
+    true
+    (Runner.outcome serial = Runner.outcome par);
+  Alcotest.(check bool)
+    (label ^ ": samples identical")
+    true
+    (serial.Runner.samples = par.Runner.samples);
+  Alcotest.(check int) (label ^ ": events") serial.Runner.events
+    par.Runner.events;
+  Alcotest.(check int) (label ^ ": dispatches") serial.Runner.dispatches
+    par.Runner.dispatches
+
+let test_golden_rows_identical () =
+  let rows =
+    List.map (fun algo -> (Algorithm.kind_name algo, algo, None))
+      Algorithm.all_kinds
+    @ [
+        ("gradient+faults", Algorithm.Gradient_sync, Some (faulted_plan ()));
+        ( "ft-gradient+byz",
+          Algorithm.Ft_gradient_sync 1,
+          Some (byzantine_plan ()) );
+      ]
+  in
+  List.iter
+    (fun (name, algo, fault_plan) ->
+      let _, serial = run_with (golden_cfg ?fault_plan algo) in
+      List.iter
+        (fun regions ->
+          let label = Printf.sprintf "%s x%d" name regions in
+          let eff, par = run_with (golden_cfg ?fault_plan ~regions algo) in
+          Alcotest.(check int) (label ^ ": ran parallel") regions eff;
+          check_identical label serial par)
+        region_counts)
+    rows
+
+(* The full observation stream — rendered through the event log, the same
+   bytes the trace exporter and conformance monitors consume — must be
+   identical too: not just the same multiset of observations, but the same
+   serial order. *)
+let test_event_log_identical () =
+  let obs = { Capture.none with Capture.events = true } in
+  List.iter
+    (fun (name, plan) ->
+      let log_string r =
+        match r.Runner.obs.Capture.event_log with
+        | Some log -> Event_log.to_string log
+        | None -> Alcotest.fail "event log missing"
+      in
+      let _, serial =
+        run_with (golden_cfg ~fault_plan:(plan ()) ~obs Algorithm.Gradient_sync)
+      in
+      let sbytes = log_string serial in
+      Alcotest.(check bool) (name ^ ": serial log nonempty") true
+        (String.length sbytes > 0);
+      List.iter
+        (fun regions ->
+          let eff, par =
+            run_with
+              (golden_cfg ~fault_plan:(plan ()) ~obs ~regions
+                 Algorithm.Gradient_sync)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s x%d: ran parallel" name regions)
+            regions eff;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s x%d: event log byte-identical" name regions)
+            true
+            (String.equal sbytes (log_string par)))
+        region_counts)
+    [ ("faulted", faulted_plan); ("byzantine", byzantine_plan) ]
+
+(* The calendar queue must be just as invisible as the region partition:
+   same golden run, every (scheduler x regions) combination, same bits. *)
+let test_scheduler_kind_identical () =
+  let _, reference = run_with (golden_cfg Algorithm.Gradient_sync) in
+  List.iter
+    (fun regions ->
+      let label = Printf.sprintf "calendar x%d" regions in
+      let _, r =
+        run_with (golden_cfg ~scheduler:Scheduler.Calendar ~regions
+                    Algorithm.Gradient_sync)
+      in
+      check_identical label reference r)
+    (1 :: region_counts)
+
+(* Fallback gating: configurations the parallel engine cannot reproduce
+   bit-for-bit must resolve to one region; plain ones must not. *)
+let test_fallback_gates () =
+  let eff cfg = fst (run_with cfg) in
+  Alcotest.(check int) "plain config runs parallel" 4
+    (eff (golden_cfg ~regions:4 Algorithm.Gradient_sync));
+  Alcotest.(check int) "profiled run falls back to serial" 1
+    (eff
+       (golden_cfg ~regions:4
+          ~obs:{ Capture.none with Capture.profile = true }
+          Algorithm.Gradient_sync));
+  let controlled =
+    Runner.config
+      ~spec:(Spec.make ~kappa:0.5 ())
+      ~delay_kind:Runner.Controlled_delays ~horizon:20. ~seed:7 ~regions:4
+      (Topology.ring 8)
+  in
+  Alcotest.(check int) "controlled delays fall back to serial" 1
+    (eff controlled);
+  let byz_lossy =
+    Runner.config
+      ~spec:(Spec.make ~kappa:0.5 ())
+      ~algo:(Algorithm.Ft_gradient_sync 1)
+      ~loss:(Runner.Uniform_loss 0.1) ~horizon:20. ~seed:7 ~regions:4
+      ~fault_plan:(byzantine_plan ()) (Topology.ring 8)
+  in
+  Alcotest.(check int) "byzantine + loss falls back to serial" 1
+    (eff byz_lossy);
+  let byz_lossless =
+    Runner.config
+      ~spec:(Spec.make ~kappa:0.5 ())
+      ~algo:(Algorithm.Ft_gradient_sync 1)
+      ~horizon:20. ~seed:7 ~regions:4 ~fault_plan:(byzantine_plan ())
+      (Topology.ring 8)
+  in
+  Alcotest.(check int) "byzantine without loss runs parallel" 4
+    (eff byz_lossless)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized identity: arbitrary faulted and Byzantine configurations  *)
+(* across topologies, seeds, loss laws, and domain counts.              *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = {
+  topo : int; (* 0: ring, 1: grid, 2: line *)
+  nodes : int;
+  seed : int;
+  algo_ft : bool;
+  loss : bool;
+  plan : int; (* 0: none, 1: faulted battery, 2: byzantine *)
+  regions : int;
+}
+
+let scenario_gen =
+  QCheck.Gen.(
+    map
+      (fun (topo, nodes, seed, algo_ft, loss, plan, regions) ->
+        { topo; nodes; seed; algo_ft; loss; plan; regions })
+      (tup7 (int_range 0 2) (int_range 6 14) (int_range 0 10_000) bool bool
+         (int_range 0 2) (int_range 2 4)))
+
+let scenario_print s =
+  Printf.sprintf "{topo=%d; nodes=%d; seed=%d; ft=%b; loss=%b; plan=%d; x%d}"
+    s.topo s.nodes s.seed s.algo_ft s.loss s.plan s.regions
+
+let scenario_cfg s ~regions =
+  let graph =
+    match s.topo with
+    | 0 -> Topology.ring s.nodes
+    | 1 -> Topology.grid ~rows:2 ~cols:((s.nodes + 1) / 2)
+    | _ -> Topology.line s.nodes
+  in
+  let fault_plan =
+    match s.plan with
+    | 0 -> None
+    | 1 ->
+        Some
+          (plan_of_string
+             (Printf.sprintf
+                "partition@10:edges=0-1; heal@25:edges=0-1; crash@15:node=%d; \
+                 recover@30:node=%d:wipe; corrupt@5..20:p=0.25:mag=0.5; \
+                 dup@10..30:p=0.2; reorder@12..28:p=0.2:extra=0.7"
+                (s.nodes - 1) (s.nodes - 1)))
+    | _ ->
+        Some
+          (plan_of_string
+             (Printf.sprintf "byz@5..30:node=1:equiv=2; byz@10..25:node=%d:mag=1"
+                (s.nodes - 2)))
+  in
+  let loss =
+    if s.loss then Runner.Uniform_loss 0.15 else Runner.No_loss
+  in
+  Runner.config
+    ~spec:(Spec.make ~kappa:0.5 ())
+    ~algo:(if s.algo_ft then Algorithm.Ft_gradient_sync 1
+           else Algorithm.Gradient_sync)
+    ~drift_of_node:(fun v -> if v mod 2 = 0 then Drift.Extreme_high
+                             else Drift.Random_constant)
+    ~loss ~horizon:40. ~seed:s.seed ?fault_plan ~regions graph
+
+let prop_random_configs_identical =
+  QCheck.Test.make ~name:"random faulted/byzantine configs: parallel = serial"
+    ~count:40
+    (QCheck.make ~print:scenario_print scenario_gen)
+    (fun s ->
+      let _, serial = run_with (scenario_cfg s ~regions:1) in
+      let _, par = run_with (scenario_cfg s ~regions:s.regions) in
+      Runner.outcome serial = Runner.outcome par
+      && serial.Runner.samples = par.Runner.samples
+      && serial.Runner.events = par.Runner.events
+      && serial.Runner.dispatches = par.Runner.dispatches)
+
+let suite =
+  [
+    Alcotest.test_case "golden rows identical at 2/3/4 regions" `Quick
+      test_golden_rows_identical;
+    Alcotest.test_case "event log byte-identical (faulted, byzantine)" `Quick
+      test_event_log_identical;
+    Alcotest.test_case "calendar scheduler identical at every region count"
+      `Quick test_scheduler_kind_identical;
+    Alcotest.test_case "fallback gates" `Quick test_fallback_gates;
+    QCheck_alcotest.to_alcotest prop_random_configs_identical;
+  ]

@@ -1,0 +1,212 @@
+module Scheduler = Gcs_util.Scheduler
+
+(* Drain a packed scheduler into (prio, seq, value) pop order. *)
+let drain (q : _ Scheduler.t) =
+  let rec go acc =
+    if q.size () = 0 then List.rev acc
+    else
+      let p = q.min_prio () and s = q.min_seq () in
+      let v = q.pop_min () in
+      go ((p, s, v) :: acc)
+  in
+  go []
+
+let test_empty_sentinels () =
+  List.iter
+    (fun kind ->
+      let q = Scheduler.make kind in
+      Alcotest.(check bool)
+        (Scheduler.kind_name kind ^ " empty min_prio")
+        true
+        (q.Scheduler.min_prio () = infinity);
+      Alcotest.(check int)
+        (Scheduler.kind_name kind ^ " empty min_seq")
+        max_int (q.Scheduler.min_seq ()))
+    Scheduler.all_kinds
+
+let test_basic_order () =
+  List.iter
+    (fun kind ->
+      let q = Scheduler.make kind in
+      List.iteri
+        (fun seq p -> q.Scheduler.push ~prio:p ~seq seq)
+        [ 3.; 1.; 2.; 1.; 0.5 ];
+      let popped = List.map (fun (p, _, _) -> p) (drain q) in
+      Alcotest.(check (list (float 0.)))
+        (Scheduler.kind_name kind ^ " sorted")
+        [ 0.5; 1.; 1.; 2.; 3. ]
+        popped)
+    Scheduler.all_kinds
+
+let test_tie_by_seq () =
+  List.iter
+    (fun kind ->
+      let q = Scheduler.make kind in
+      q.Scheduler.push ~prio:1. ~seq:2 "b";
+      q.Scheduler.push ~prio:1. ~seq:0 "a";
+      q.Scheduler.push ~prio:1. ~seq:7 "c";
+      let vals = List.map (fun (_, _, v) -> v) (drain q) in
+      Alcotest.(check (list string))
+        (Scheduler.kind_name kind ^ " seq ties")
+        [ "a"; "b"; "c" ] vals)
+    Scheduler.all_kinds
+
+let test_sorted_keep () =
+  List.iter
+    (fun kind ->
+      let q = Scheduler.make kind in
+      List.iteri (fun seq v -> q.Scheduler.push ~prio:(float_of_int v) ~seq v)
+        [ 4; 1; 3; 2 ];
+      let kept = q.Scheduler.sorted ~keep:(fun v -> v mod 2 = 0) in
+      Alcotest.(check (list int))
+        (Scheduler.kind_name kind ^ " keep filters, order preserved")
+        [ 2; 4 ]
+        (List.map (fun (_, _, v) -> v) kept);
+      Alcotest.(check int)
+        (Scheduler.kind_name kind ^ " sorted is pure")
+        4 (q.Scheduler.size ()))
+    Scheduler.all_kinds
+
+let test_clear () =
+  List.iter
+    (fun kind ->
+      let q = Scheduler.make kind in
+      for i = 0 to 99 do
+        q.Scheduler.push ~prio:(float_of_int (i mod 7)) ~seq:i i
+      done;
+      q.Scheduler.clear ();
+      Alcotest.(check int)
+        (Scheduler.kind_name kind ^ " cleared")
+        0 (q.Scheduler.size ());
+      (* Usable after clear. *)
+      q.Scheduler.push ~prio:5. ~seq:0 0;
+      Alcotest.(check bool)
+        (Scheduler.kind_name kind ^ " usable after clear")
+        true
+        (q.Scheduler.min_prio () = 5.))
+    Scheduler.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Model test: the calendar queue must pop in exactly the binary        *)
+(* heap's order under random interleavings of pushes, pops, and         *)
+(* re-keys. A re-key is what the engine does when a timer's fire time   *)
+(* moves: it pushes the same payload again under a new (prio, seq) and  *)
+(* leaves the old entry as a ghost — so ghosts and duplicates are part  *)
+(* of the workload, not an edge case.                                   *)
+(* ------------------------------------------------------------------ *)
+
+type op = Push of float | Pop | Rekey of float
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* Mix clustered priorities (typical simulation: short horizon ahead
+           of now) with occasional far outliers to stress calendar resize
+           and year-wrap. *)
+        ( 4,
+          map (fun p -> Push p) (float_range 0. 50.) );
+        (1, map (fun p -> Push (p *. 1000.)) (float_range 0. 10.));
+        (2, return Pop);
+        (1, map (fun p -> Rekey p) (float_range 0. 80.));
+      ])
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat " "
+        (List.map
+           (function
+             | Push p -> Printf.sprintf "push %g" p
+             | Pop -> "pop"
+             | Rekey p -> Printf.sprintf "rekey %g" p)
+           ops))
+    QCheck.Gen.(list_size (int_range 0 200) op_gen)
+
+let prop_calendar_matches_heap =
+  QCheck.Test.make
+    ~name:"calendar pop order = binary heap pop order (push/pop/rekey)"
+    ~count:400 ops_arb (fun ops ->
+      let heap = Scheduler.make Scheduler.Binary_heap in
+      let cal = Scheduler.make Scheduler.Calendar in
+      let next_seq = ref 0 in
+      let last_value = ref (-1) in
+      let ok = ref true in
+      let push p v =
+        heap.Scheduler.push ~prio:p ~seq:!next_seq v;
+        cal.Scheduler.push ~prio:p ~seq:!next_seq v;
+        incr next_seq
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Push p ->
+              push p !next_seq;
+              last_value := !next_seq - 1
+          | Rekey p -> if !last_value >= 0 then push p !last_value
+          | Pop ->
+              if heap.Scheduler.size () > 0 then begin
+                let hp = heap.Scheduler.min_prio ()
+                and hs = heap.Scheduler.min_seq () in
+                let cp = cal.Scheduler.min_prio ()
+                and cs = cal.Scheduler.min_seq () in
+                let hv = heap.Scheduler.pop_min () in
+                let cv = cal.Scheduler.pop_min () in
+                if hp <> cp || hs <> cs || hv <> cv then ok := false
+              end
+              else if cal.Scheduler.size () <> 0 then ok := false);
+          if heap.Scheduler.size () <> cal.Scheduler.size () then ok := false)
+        ops;
+      (* The sorted renderings must agree before draining... *)
+      let keep = fun _ -> true in
+      if heap.Scheduler.sorted ~keep <> cal.Scheduler.sorted ~keep then
+        ok := false;
+      (* ...and the remaining contents must drain identically. *)
+      let rec tail () =
+        match (heap.Scheduler.size (), cal.Scheduler.size ()) with
+        | 0, 0 -> ()
+        | 0, _ | _, 0 -> ok := false
+        | _ ->
+            let hp = heap.Scheduler.min_prio ()
+            and hs = heap.Scheduler.min_seq () in
+            let cp = cal.Scheduler.min_prio ()
+            and cs = cal.Scheduler.min_seq () in
+            let hv = heap.Scheduler.pop_min () in
+            let cv = cal.Scheduler.pop_min () in
+            if hp <> cp || hs <> cs || hv <> cv then ok := false else tail ()
+      in
+      tail ();
+      !ok)
+
+let prop_calendar_sorts =
+  QCheck.Test.make ~name:"calendar drains any multiset in (prio, seq) order"
+    ~count:300
+    QCheck.(list (float_range (-100.) 100.))
+    (fun xs ->
+      let q = Scheduler.make Scheduler.Calendar in
+      List.iteri (fun seq p -> q.Scheduler.push ~prio:p ~seq seq) xs;
+      let keys = List.map (fun (p, s, _) -> (p, s)) (drain q) in
+      keys = List.sort compare keys && List.length keys = List.length xs)
+
+let test_kind_of_string () =
+  Alcotest.(check bool)
+    "heap parses" true
+    (Scheduler.kind_of_string "heap" = Ok Scheduler.Binary_heap);
+  Alcotest.(check bool)
+    "calendar parses" true
+    (Scheduler.kind_of_string "calendar" = Ok Scheduler.Calendar);
+  Alcotest.(check bool)
+    "junk rejected" true
+    (match Scheduler.kind_of_string "splay" with Error _ -> true | Ok _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "empty sentinels" `Quick test_empty_sentinels;
+    Alcotest.test_case "basic order" `Quick test_basic_order;
+    Alcotest.test_case "seq ties" `Quick test_tie_by_seq;
+    Alcotest.test_case "sorted ?keep" `Quick test_sorted_keep;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "kind_of_string" `Quick test_kind_of_string;
+    QCheck_alcotest.to_alcotest prop_calendar_matches_heap;
+    QCheck_alcotest.to_alcotest prop_calendar_sorts;
+  ]
