@@ -1777,6 +1777,86 @@ let e26 () =
         end)
       soaked
 
+(* E27: the live transport subsystem. One topology and spec executed twice
+   — as four real UDP processes on loopback (wall clock, real sockets,
+   real scheduling jitter) and as a simulation — with both results flowing
+   through the same Report.result_row schema and the same summary
+   comparison against the predicted gradient bound. The two executions
+   share the plan semantics and the spec but not randomness or timing, so
+   the claim is not bit-identity (that is the sim-shim property in
+   test/test_net.ml); it is that a real execution of the very same
+   algorithm code lands inside the same predicted envelope the simulation
+   does. Wall clock: the live leg takes ~horizon seconds of real time. *)
+let e27 () =
+  header "E27" "Live UDP vs simulated: same spec, one report path";
+  let module Live_run = Gcs_net.Live_run in
+  let spec_e27 = Spec.make ~d_min:0.005 ~d_max:0.02 ~beacon_period:0.25 () in
+  let horizon = 6. and sample_period = 0.25 and seed = 7 in
+  let lcfg =
+    Live_run.config ~topology:(Topology.Ring 4) ~algo:Algorithm.Gradient_sync
+      ~spec:spec_e27 ~horizon ~sample_period ~seed
+      ~base_port:(21000 + (Unix.getpid () mod 20000))
+      ()
+  in
+  let graph = Live_run.build_graph lcfg in
+  let pattern =
+    match Drift.pattern_of_string "random" with
+    | Ok p -> p
+    | Error msg -> failwith ("E27 drift: " ^ msg)
+  in
+  let scfg =
+    Runner.config ~spec:spec_e27 ~algo:Algorithm.Gradient_sync
+      ~drift_of_node:(fun _ -> pattern)
+      ~horizon ~sample_period ~warmup:lcfg.Live_run.warmup ~seed graph
+  in
+  let r_sim = Runner.run scfg in
+  let r_live = Live_run.run lcfg in
+  let bound =
+    Bounds.gradient_local_upper spec_e27
+      ~diameter:(Shortest_path.diameter graph)
+  in
+  let module Report = Gcs_core.Report in
+  Printf.printf "\n%s\n"
+    (Gcs_util.Csv.render_row (Report.result_header ()));
+  Printf.printf "%s\n"
+    (Gcs_util.Csv.render_row (Report.result_row ~label:"sim:ring:4" scfg r_sim));
+  Printf.printf "%s\n"
+    (Gcs_util.Csv.render_row
+       (Report.result_row ~label:"live:ring:4" scfg r_live));
+  let row label (r : Runner.result) =
+    [
+      label;
+      fmt r.Runner.summary.Metrics.max_local;
+      fmt r.Runner.summary.Metrics.max_global;
+      fmt bound;
+      string_of_int r.Runner.messages;
+      string_of_int r.Runner.dispatches;
+      (if r.Runner.summary.Metrics.max_local <= bound then "within"
+       else "EXCEEDED");
+    ]
+  in
+  print_table ~name:"e27_live_vs_sim"
+    ~title:
+      (Printf.sprintf
+         "ring:4, beacon period %gs, delay %g..%gs, horizon %gs, seed %d"
+         spec_e27.Spec.beacon_period (Spec.d_min spec_e27)
+         (Spec.d_max spec_e27) horizon seed)
+    ~columns:
+      [
+        Table.column ~align:Table.Left "execution";
+        Table.column "max local";
+        Table.column "max global";
+        Table.column "predicted bound";
+        Table.column "messages";
+        Table.column "dispatches";
+        Table.column ~align:Table.Left "verdict";
+      ]
+    ~rows:[ row "simulated" r_sim; row "live UDP x4" r_live ];
+  if r_live.Runner.summary.Metrics.max_local > bound then begin
+    Printf.eprintf "E27: live execution exceeded the predicted bound\n";
+    exit 1
+  end
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4);
@@ -1784,7 +1864,7 @@ let experiments =
     ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
     ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
     ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
-    ("e23", e23); ("e24", e24); ("e25", e25); ("e26", e26);
+    ("e23", e23); ("e24", e24); ("e25", e25); ("e26", e26); ("e27", e27);
     ("e8", e8);
   ]
 

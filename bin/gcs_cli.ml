@@ -15,8 +15,12 @@
                 series of one or more runs; byte-identical across --jobs
      report   - summary table, skew sparklines, fault episodes, and
                 profiler totals for a batch of runs
+     live     - run the algorithm as real UDP processes (one per node) on
+                loopback/LAN, record the execution, and report it through
+                the same pipeline as simulations
      check    - conformance harness: monitored runs, shrinking, .repro
-                replay, and the conformance battery
+                replay, and the conformance battery; also re-checks
+                recorded live runs offline
      explore  - exhaustive small-scope model checking: enumerate every
                 execution of a tiny instance, prove monitors or emit a
                 shrunk .repro counterexample *)
@@ -46,6 +50,7 @@ module Series = Gcs_obs.Series
 module Profiler = Gcs_obs.Profiler
 module Report = Gcs_core.Report
 module Parallel_run = Gcs_core.Parallel_run
+module Live_run = Gcs_net.Live_run
 
 (* Shared argument converters *)
 
@@ -895,8 +900,95 @@ let trace_cmd =
       & info [ "tail" ] ~docv:"N"
           ~doc:"Print the last N events of the first run (0 disables).")
   in
+  let input_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input" ] ~docv:"PATH"
+          ~doc:
+            "Read the event log from a recorded run (a directory written by \
+             'gcs-cli live --record', or an events.jsonl file) instead of \
+             simulating. Simulation arguments are ignored.")
+  in
+  (* Recorded mode: the log already exists; apply the same export /
+     schema-check / tail machinery to it without running anything. *)
+  let trace_input path events check_schema tail =
+    let file =
+      if Sys.file_exists path && Sys.is_directory path then
+        Filename.concat path "events.jsonl"
+      else path
+    in
+    if not (Sys.file_exists file) then
+      or_die (Error (file ^ ": no such event log"));
+    let lines =
+      let ic = open_in file in
+      let rec go acc =
+        match input_line ic with
+        | "" -> go acc
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+    in
+    (match events with
+    | None -> ()
+    | Some dest ->
+        if dest = "-" then List.iter print_endline lines
+        else begin
+          let oc = open_out dest in
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            lines;
+          close_out oc;
+          Printf.eprintf "wrote %d event lines to %s\n" (List.length lines)
+            dest
+        end);
+    if check_schema then begin
+      List.iteri
+        (fun i line ->
+          match Event_log.validate_line line with
+          | Ok _ -> ()
+          | Error msg ->
+              or_die
+                (Error
+                   (Printf.sprintf "schema violation on line %d: %s" (i + 1)
+                      msg)))
+        lines;
+      Printf.eprintf "schema: %d lines OK\n" (List.length lines)
+    end;
+    if events = None then begin
+      Printf.printf "recorded log %s: %d events\n" file (List.length lines);
+      if tail > 0 then begin
+        let total = List.length lines in
+        let last =
+          if total <= tail then lines
+          else List.filteri (fun i _ -> i >= total - tail) lines
+        in
+        Printf.printf "\nlast %d events:\n" (List.length last);
+        List.iter
+          (fun line ->
+            match Event_log.parse_line line with
+            | Ok { Event_log.entry; _ } ->
+                print_endline
+                  (Gcs_sim.Trace.entry_to_string
+                     {
+                       Gcs_sim.Trace.time = entry.Event_log.time;
+                       obs = entry.Event_log.obs;
+                     })
+            | Error msg -> or_die (Error msg))
+          last
+      end
+    end
+  in
   let action spec_result topo algo horizon seed seeds jobs fault_plan events
-      format series series_period check_schema tail scheduler regions =
+      format series series_period check_schema tail scheduler regions input =
+    match input with
+    | Some path -> trace_input path events check_schema tail
+    | None ->
     let spec = or_die spec_result in
     let obs =
       {
@@ -1052,19 +1144,109 @@ let trace_cmd =
       const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
       $ seed_arg $ seeds_repl_arg $ jobs_repl_arg $ plan_repl_arg $ events_arg
       $ format_arg $ series_arg $ series_period_arg $ check_schema_flag
-      $ tail_arg $ scheduler_arg $ regions_arg)
+      $ tail_arg $ scheduler_arg $ regions_arg $ input_arg)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run simulations and export their structured event log (JSONL or \
-          CSV) and skew time series. Exports are deterministic: byte-identical \
-          for every --jobs value.")
+          CSV) and skew time series — or, with --input, apply the same \
+          export and schema checks to a recorded live run. Exports are \
+          deterministic: byte-identical for every --jobs value.")
     term
 
+(* The event-volume line lives in the profiler section so a live report
+   and a sim report expose comparable totals even when no profiler ran
+   (live runs never have one — there is no engine to hook). *)
+let print_profiler_section ?profile (results : Runner.result array) =
+  let dispatches =
+    Array.fold_left (fun a (r : Runner.result) -> a + r.Runner.dispatches) 0
+      results
+  in
+  Printf.printf "\nprofiler (all runs):\n";
+  Printf.printf "  dispatches           %d\n" dispatches;
+  match profile with
+  | None -> ()
+  | Some rep -> List.iter (fun l -> Printf.printf "  %s\n" l) (Profiler.lines rep)
+
+let report_columns =
+  [
+    Table.column ~align:Table.Left "run";
+    Table.column "seed";
+    Table.column "max local";
+    Table.column "mean local";
+    Table.column "max global";
+    Table.column "final local";
+    Table.column "final global";
+    Table.column "messages";
+    Table.column "events";
+  ]
+
+let report_row ~label ~seed (r : Runner.result) =
+  let s = r.Runner.summary in
+  [
+    label;
+    string_of_int seed;
+    Table.fmt_float ~digits:4 s.Metrics.max_local;
+    Table.fmt_float ~digits:4 s.Metrics.mean_local;
+    Table.fmt_float ~digits:4 s.Metrics.max_global;
+    Table.fmt_float ~digits:4 s.Metrics.final_local;
+    Table.fmt_float ~digits:4 s.Metrics.final_global;
+    string_of_int r.Runner.messages;
+    string_of_int r.Runner.events;
+  ]
+
+let print_series_sparklines ~label (r : Runner.result) =
+  match r.Runner.obs.Capture.series with
+  | None -> ()
+  | Some s ->
+      let pts = Series.points s in
+      let g = Array.map (fun p -> p.Series.global_skew) pts in
+      let l = Array.map (fun p -> p.Series.local_skew) pts in
+      let glo, ghi = Gcs_util.Stats.minmax g in
+      let llo, lhi = Gcs_util.Stats.minmax l in
+      Printf.printf "%s global %s [%.3f .. %.3f]\n" label (Report.sparkline g)
+        glo ghi;
+      Printf.printf "%s local  %s [%.3f .. %.3f]\n" label (Report.sparkline l)
+        llo lhi
+
+let report_recorded dir =
+  let info, r = or_die (Live_run.load dir) in
+  Table.print
+    ~title:
+      (Printf.sprintf "recorded live run: %s on %s, horizon %gs (wall)"
+         (Algorithm.kind_name info.Live_run.algo)
+         (Topology.spec_name info.Live_run.topology)
+         info.Live_run.horizon)
+    ~columns:report_columns
+    ~rows:[ report_row ~label:"live" ~seed:info.Live_run.seed r ];
+  print_newline ();
+  print_series_sparklines ~label:"live " r;
+  (match (info.Live_run.fault_plan, r.Runner.fault_report) with
+  | Some plan, Some rep ->
+      Printf.printf "\nfault plan: %s\n" (Fault_plan.to_string plan);
+      List.iter
+        (fun e -> Printf.printf "  %s\n" (Fault_metrics.episode_to_string e))
+        rep.Fault_metrics.episodes
+  | _ -> ());
+  print_profiler_section [| r |]
+
 let report_cmd =
+  let recorded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "recorded" ] ~docv:"DIR"
+          ~doc:
+            "Report a recorded live run (a directory written by 'gcs-cli \
+             live --record') instead of simulating. Simulation arguments \
+             are ignored.")
+  in
   let action spec_result topo algo horizon seed seeds jobs fault_plan
-      series_period =
+      series_period recorded =
+    match recorded with
+    | Some dir -> report_recorded dir
+    | None ->
     let spec = or_die spec_result in
     let obs = Capture.full ~series_period () in
     let results =
@@ -1076,51 +1258,21 @@ let report_cmd =
       ~title:
         (Printf.sprintf "%s on %s, horizon %g" (Algorithm.kind_name algo)
            (Topology.spec_name topo) horizon)
-      ~columns:
-        [
-          Table.column ~align:Table.Left "run";
-          Table.column "seed";
-          Table.column "max local";
-          Table.column "mean local";
-          Table.column "max global";
-          Table.column "final local";
-          Table.column "final global";
-          Table.column "messages";
-          Table.column "events";
-        ]
+      ~columns:report_columns
       ~rows:
         (Array.to_list
            (Array.mapi
               (fun i (r : Runner.result) ->
-                let s = r.Runner.summary in
-                [
-                  string_of_int i;
-                  string_of_int (Gcs_core.Replicate.seeds ~base:seed seeds
-                                 |> fun l -> List.nth l i);
-                  Table.fmt_float ~digits:4 s.Metrics.max_local;
-                  Table.fmt_float ~digits:4 s.Metrics.mean_local;
-                  Table.fmt_float ~digits:4 s.Metrics.max_global;
-                  Table.fmt_float ~digits:4 s.Metrics.final_local;
-                  Table.fmt_float ~digits:4 s.Metrics.final_global;
-                  string_of_int r.Runner.messages;
-                  string_of_int r.Runner.events;
-                ])
+                report_row ~label:(string_of_int i)
+                  ~seed:
+                    (Gcs_core.Replicate.seeds ~base:seed seeds |> fun l ->
+                     List.nth l i)
+                  r)
               results));
     print_newline ();
     Array.iteri
-      (fun i (r : Runner.result) ->
-        match r.Runner.obs.Capture.series with
-        | None -> ()
-        | Some s ->
-            let pts = Series.points s in
-            let g = Array.map (fun p -> p.Series.global_skew) pts in
-            let l = Array.map (fun p -> p.Series.local_skew) pts in
-            let glo, ghi = Gcs_util.Stats.minmax g in
-            let llo, lhi = Gcs_util.Stats.minmax l in
-            Printf.printf "run %d global %s [%.3f .. %.3f]\n" i
-              (Report.sparkline g) glo ghi;
-            Printf.printf "run %d local  %s [%.3f .. %.3f]\n" i
-              (Report.sparkline l) llo lhi)
+      (fun i r ->
+        print_series_sparklines ~label:(Printf.sprintf "run %d" i) r)
       results;
     (match fault_plan with
     | None -> ()
@@ -1137,23 +1289,128 @@ let report_cmd =
                     Printf.printf "  %s\n" (Fault_metrics.episode_to_string e))
                   rep.Fault_metrics.episodes)
           results);
-    match merged.Parallel_run.profile with
-    | None -> ()
-    | Some rep ->
-        Printf.printf "\nprofiler (all runs):\n";
-        List.iter (fun l -> Printf.printf "  %s\n" l) (Profiler.lines rep)
+    print_profiler_section ?profile:merged.Parallel_run.profile results
   in
   let term =
     Term.(
       const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
       $ seed_arg $ seeds_repl_arg $ jobs_repl_arg $ plan_repl_arg
-      $ series_period_arg)
+      $ series_period_arg $ recorded_arg)
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Run simulations with full capture and print a summary table, skew \
-          sparklines, fault episodes, and profiler totals.")
+         "Run simulations with full capture — or load a recorded live run \
+          — and print a summary table, skew sparklines, fault episodes, \
+          and profiler totals.")
+    term
+
+(* gcs-cli live: the algorithm as real UDP processes. *)
+
+let live_cmd =
+  let horizon_arg =
+    Arg.(
+      value & opt float 6.
+      & info [ "horizon" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock run length after the start barrier.")
+  in
+  let sample_period_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "sample-period" ] ~docv:"T"
+          ~doc:"Seconds between logical-clock samples on each node.")
+  in
+  let base_port_arg =
+    Arg.(
+      value & opt int 9200
+      & info [ "base-port" ] ~docv:"PORT"
+          ~doc:"Node i binds UDP port PORT+i.")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address the node sockets bind to.")
+  in
+  let drift_arg =
+    Arg.(
+      value & opt string "random"
+      & info [ "drift" ] ~docv:"PATTERN"
+          ~doc:
+            "Simulated per-node drift pattern (same spellings as the run \
+             subcommand), applied on top of the wall clock.")
+  in
+  let startup_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "startup" ] ~docv:"T"
+          ~doc:"Barrier lead time for spawning the processes, in seconds.")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some fault_plan_conv) None
+      & info [ "plan"; "fault-plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan to inject deterministically (faults subcommand \
+             syntax); times are wall seconds after the barrier.")
+  in
+  let record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"DIR"
+          ~doc:
+            "Record the execution (events.jsonl, samples.csv, meta) to DIR \
+             for later 'report --recorded', 'trace --input' and 'check run \
+             --recorded'.")
+  in
+  let action spec_result topo algo horizon sample_period seed base_port host
+      drift startup plan record =
+    let spec = or_die spec_result in
+    let cfg =
+      try
+        Live_run.config ~topology:topo ~algo ~spec ~drift ~horizon
+          ~sample_period ~seed ~base_port ~host ?fault_plan:plan ~startup ()
+      with Invalid_argument msg -> or_die (Error msg)
+    in
+    let graph = Live_run.build_graph cfg in
+    Printf.printf "live: %s on %s — %d UDP processes on %s:%d+, horizon %gs \
+                   (wall)\n%!"
+      (Algorithm.kind_name algo) (Topology.spec_name topo) (Graph.n graph)
+      host base_port horizon;
+    let r =
+      try Live_run.run cfg
+      with Failure msg | Invalid_argument msg -> or_die (Error msg)
+    in
+    print_summary ~graph ~spec r;
+    Printf.printf "dispatches        : %d\n" r.Runner.dispatches;
+    Printf.printf "dropped (wire)    : %d, dropped (faults) : %d\n"
+      r.Runner.dropped r.Runner.dropped_faults;
+    print_series_sparklines ~label:"live " r;
+    (match r.Runner.fault_report with
+    | None -> ()
+    | Some rep ->
+        List.iter
+          (fun e -> Printf.printf "  %s\n" (Fault_metrics.episode_to_string e))
+          rep.Fault_metrics.episodes);
+    match record with
+    | None -> ()
+    | Some dir ->
+        Live_run.save cfg r ~dir;
+        Printf.printf "recorded to %s\n" dir
+  in
+  let term =
+    Term.(
+      const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
+      $ sample_period_arg $ seed_arg $ base_port_arg $ host_arg $ drift_arg
+      $ startup_arg $ plan_arg $ record_arg)
+  in
+  Cmd.v
+    (Cmd.info "live"
+       ~doc:
+         "Run the algorithm as one real UDP process per node (loopback by \
+          default), record the execution through the standard event-log \
+          schema, and print the same summary a simulation gets.")
     term
 
 (* gcs-cli check ... : conformance harness (online monitors, shrinking,
@@ -1221,8 +1478,70 @@ let check_run_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Write a .repro artifact of the (minimized) violation to FILE.")
   in
+  let recorded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "recorded" ] ~docv:"DIR"
+          ~doc:
+            "Check a recorded live run (a directory written by 'gcs-cli \
+             live --record') offline: replay its sampled trajectory \
+             through the same monitor checks. Simulation arguments are \
+             ignored. Exits 1 on violation, 2 on non-finite measured skew.")
+  in
+  (* Recorded live runs go through [Monitor.check_samples] — the identical
+     per-node checks, at sample granularity, with no engine involved. *)
+  let check_recorded dir skew =
+    let info, r = or_die (Live_run.load dir) in
+    let spec = r.Runner.spec in
+    let algo = info.Live_run.algo in
+    let skew_bound =
+      if not skew then None
+      else
+        Some
+          (Bounds.gradient_local_upper spec
+             ~diameter:(Shortest_path.diameter r.Runner.graph))
+    in
+    let byzantine =
+      match info.Live_run.fault_plan with
+      | Some p -> Fault_plan.byzantine_nodes p
+      | None -> []
+    in
+    let monitor =
+      Check_run.default_spec ~mode:`Record ?skew_bound
+        ~after:info.Live_run.warmup ~byzantine spec algo
+    in
+    let violation, checked =
+      Monitor.check_samples monitor ~graph:r.Runner.graph
+        ~samples:r.Runner.samples
+    in
+    Printf.printf "checked recorded %s on %s: %d sample checks\n"
+      (Algorithm.kind_name algo)
+      (Topology.spec_name info.Live_run.topology)
+      checked;
+    let s = r.Runner.summary in
+    Printf.printf "measured skew: max local %.4f, max global %.4f\n"
+      s.Metrics.max_local s.Metrics.max_global;
+    if
+      not
+        (Float.is_finite s.Metrics.max_local
+        && Float.is_finite s.Metrics.max_global)
+    then begin
+      Printf.printf "verdict: NON-FINITE SKEW\n";
+      exit 2
+    end;
+    match violation with
+    | None -> Printf.printf "verdict: CONFORMS\n"
+    | Some v ->
+        Printf.printf "verdict: VIOLATION\n  %s\n"
+          (Monitor.violation_to_string v);
+        exit 1
+  in
   let action spec_result topo algo horizon seed loss plan moves segment_len
-      skew abort shrink out =
+      skew abort shrink out recorded =
+    match recorded with
+    | Some dir -> check_recorded dir skew
+    | None ->
     let spec = or_die spec_result in
     let loss = if loss <= 0. then 0. else loss in
     let key =
@@ -1290,12 +1609,13 @@ let check_run_cmd =
     Term.(
       const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
       $ seed_arg $ loss_arg $ plan_arg $ moves_arg $ segment_len_arg
-      $ skew_flag $ abort_flag $ shrink_flag $ out_arg)
+      $ skew_flag $ abort_flag $ shrink_flag $ out_arg $ recorded_arg)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Run one simulation under an online invariant monitor; on \
+         "Run one simulation under an online invariant monitor — or \
+          re-check a recorded live run offline with --recorded; on \
           violation, optionally shrink it and write a .repro artifact. \
           Exits 1 on violation.")
     term
@@ -1950,5 +2270,5 @@ let () =
           [
             run_cmd; compare_cmd; attack_cmd; bounds_cmd; external_cmd;
             trace_cmd; report_cmd; faults_cmd; sweep_cmd; store_cmd;
-            check_cmd; explore_cmd;
+            live_cmd; check_cmd; explore_cmd;
           ]))

@@ -60,10 +60,16 @@ let violation_to_string v =
   Printf.sprintf "%s violation [t=%.6f, %s] %s%s" (kind_name v.kind) v.time
     where v.detail ctx
 
+(* The monitor core is execution-agnostic: it reads node clocks through
+   [read] and learns time through [now_fn], so the same checking code rides
+   a running engine ([attach]) or replays a recorded sample trajectory
+   ([check_samples]) — live-mode recordings are checked by the exact logic
+   that checks simulations. *)
 type t = {
   spec : spec;
-  engine : Gcs_core.Message.t Engine.t;
-  logical : Logical_clock.t array;
+  stop : unit -> unit;  (** cooperative abort; no-op offline *)
+  read : int -> now:float -> float;  (** node's logical value at [now] *)
+  now_fn : unit -> float;  (** current time, for the final flush *)
   adj : int array array;  (** neighbor node ids, own copy (hot path) *)
   byz : bool array;  (** nodes excluded from containment pairs *)
   mono_v : float array;  (** last seen value per node (every event) *)
@@ -80,9 +86,7 @@ let first_violation t = t.violation
 let record t v =
   if t.violation = None then begin
     t.violation <- Some v;
-    match t.spec.mode with
-    | `Abort -> Engine.request_stop t.engine
-    | `Record -> ()
+    match t.spec.mode with `Abort -> t.stop () | `Record -> ()
   end
 
 (* Run every enabled check for [node] at time [now]. [context] renders the
@@ -94,7 +98,7 @@ let record t v =
    discontinuity introduced by event k is therefore detected at the
    node's next event, or by [finalize]. *)
 let check_node t ~now ~context node =
-  let cur = Logical_clock.value t.logical.(node) ~now in
+  let cur = t.read node ~now in
   (if t.spec.check_monotonic && cur < t.mono_v.(node) -. eps then
      record t
        {
@@ -139,7 +143,7 @@ let check_node t ~now ~context node =
       let nbrs = t.adj.(node) in
       for i = 0 to Array.length nbrs - 1 do
         let u = nbrs.(i) in
-        let d = Float.abs (cur -. Logical_clock.value t.logical.(u) ~now) in
+        let d = Float.abs (cur -. t.read u ~now) in
         if d > bound +. eps then
           record t
             {
@@ -164,7 +168,7 @@ let check_node t ~now ~context node =
       for i = 0 to Array.length nbrs - 1 do
         let u = nbrs.(i) in
         if not t.byz.(u) then begin
-          let d = Float.abs (cur -. Logical_clock.value t.logical.(u) ~now) in
+          let d = Float.abs (cur -. t.read u ~now) in
           if d > bound +. eps then
             record t
               {
@@ -199,32 +203,38 @@ let on_observation t time obs =
           node
     | _ -> ()
 
+let byz_mask spec n =
+  let b = Array.make n false in
+  List.iter (fun v -> if v >= 0 && v < n then b.(v) <- true) spec.byzantine;
+  b
+
+let create spec ~graph ~stop ~read ~now_fn =
+  let n = Graph.n graph in
+  let now = now_fn () in
+  let values = Array.init n (fun v -> read v ~now) in
+  {
+    spec;
+    stop;
+    read;
+    now_fn;
+    adj = Array.init n (fun v -> Array.map fst (Graph.neighbors graph v));
+    byz = byz_mask spec n;
+    mono_v = Array.copy values;
+    rate_t = Array.make n now;
+    rate_v = values;
+    events_checked = 0;
+    violation = None;
+    finalized = false;
+  }
+
 let attach spec (live : Runner.live) =
   let engine = live.Runner.engine in
-  let g = live.Runner.cfg.Runner.graph in
-  let n = Graph.n g in
-  let now = Engine.now engine in
-  let values =
-    Array.init n (fun v -> Logical_clock.value live.Runner.logical.(v) ~now)
-  in
+  let logical = live.Runner.logical in
   let t =
-    {
-      spec;
-      engine;
-      logical = live.Runner.logical;
-      adj = Array.init n (fun v -> Array.map fst (Graph.neighbors g v));
-      byz =
-        (let b = Array.make n false in
-         List.iter (fun v -> if v >= 0 && v < n then b.(v) <- true)
-           spec.byzantine;
-         b);
-      mono_v = Array.copy values;
-      rate_t = Array.make n now;
-      rate_v = values;
-      events_checked = 0;
-      violation = None;
-      finalized = false;
-    }
+    create spec ~graph:live.Runner.cfg.Runner.graph
+      ~stop:(fun () -> Engine.request_stop engine)
+      ~read:(fun v ~now -> Logical_clock.value logical.(v) ~now)
+      ~now_fn:(fun () -> Engine.now engine)
   in
   Engine.add_observer engine (fun time obs -> on_observation t time obs);
   t
@@ -237,7 +247,7 @@ let finalize t =
        a control-scheduled fault after it) is caught here, at the final
        clock reading. *)
     if t.violation = None then begin
-      let now = Engine.now t.engine in
+      let now = t.now_fn () in
       let n = Array.length t.mono_v in
       let v = ref 0 in
       while t.violation = None && !v < n do
@@ -247,3 +257,37 @@ let finalize t =
     end
   end;
   t.violation
+
+(* Offline replay of a recorded (or simulated) sample trajectory through
+   the same per-node checks the online monitor runs. The first row seeds
+   the anchors; each later row is "the current state" for every node, so
+   neighbor reads are sample-consistent. *)
+let check_samples spec ~graph ~samples =
+  let n = Graph.n graph in
+  if Array.length samples = 0 then (None, 0)
+  else begin
+    let current = ref samples.(0) in
+    let t =
+      create spec ~graph
+        ~stop:(fun () -> ())
+        ~read:(fun v ~now:_ -> (!current).Gcs_core.Metrics.values.(v))
+        ~now_fn:(fun () -> (!current).Gcs_core.Metrics.time)
+    in
+    let rows = Array.length samples in
+    let i = ref 1 in
+    while t.violation = None && !i < rows do
+      current := samples.(!i);
+      let now = (!current).Gcs_core.Metrics.time in
+      let row = !i in
+      let v = ref 0 in
+      while t.violation = None && !v < n do
+        t.events_checked <- t.events_checked + 1;
+        check_node t ~now
+          ~context:(fun () -> Printf.sprintf "sample row %d" row)
+          !v;
+        incr v
+      done;
+      incr i
+    done;
+    (t.violation, t.events_checked)
+  end

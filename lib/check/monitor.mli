@@ -73,3 +73,14 @@ val first_violation : t -> violation option
 
 val events_checked : t -> int
 (** Delivery/timer events the monitor has checked. *)
+
+val check_samples :
+  spec ->
+  graph:Gcs_graph.Graph.t ->
+  samples:Gcs_core.Metrics.sample array ->
+  violation option * int
+(** Replay a sampled trajectory — e.g. one recorded from a live UDP run —
+    through the same per-node checks the online monitor applies, at
+    sample granularity: the first row seeds the monotonic and rate
+    anchors, every later row re-checks every node. Returns the first
+    violation (if any) and the number of node-checks performed. *)

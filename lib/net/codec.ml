@@ -1,0 +1,119 @@
+module Message = Gcs_core.Message
+
+type error = Truncated | Bad_magic | Bad_version | Bad_tag | Length_mismatch
+
+let error_to_string = function
+  | Truncated -> "truncated frame"
+  | Bad_magic -> "bad magic"
+  | Bad_version -> "unsupported version"
+  | Bad_tag -> "unknown message tag"
+  | Length_mismatch -> "length prefix disagrees with payload"
+
+let version = 1
+
+(* Fixed header after the 2-byte length prefix: magic(2) version(1)
+   src(2) seq(4) tag(1). *)
+let header_len = 10
+let prefix_len = 2
+
+(* Largest payload: Probe_reply / Report at 4 + 8 + 8 bytes. *)
+let max_frame = prefix_len + header_len + 20
+
+let tag_of_msg = function
+  | Message.Beacon _ -> 0
+  | Message.Probe _ -> 1
+  | Message.Probe_reply _ -> 2
+  | Message.Flood _ -> 3
+  | Message.Report _ -> 4
+  | Message.Reset _ -> 5
+
+let payload_len = function
+  | 0 -> 8 (* value *)
+  | 1 -> 12 (* seq, h_send *)
+  | 2 -> 20 (* seq, h_send, remote_value *)
+  | 3 -> 12 (* round, payload *)
+  | 4 -> 20 (* round, lo, hi *)
+  | 5 -> 12 (* round, payload *)
+  | _ -> invalid_arg "Codec.payload_len"
+
+let set_f64 b off x = Bytes.set_int64_be b off (Int64.bits_of_float x)
+let get_f64 b off = Int64.float_of_bits (Bytes.get_int64_be b off)
+let set_i32 b off x = Bytes.set_int32_be b off (Int32.of_int x)
+let get_i32 b off = Int32.to_int (Bytes.get_int32_be b off)
+
+let encode ~src ~seq msg =
+  let tag = tag_of_msg msg in
+  let plen = payload_len tag in
+  let b = Bytes.create (prefix_len + header_len + plen) in
+  Bytes.set_int16_be b 0 (header_len + plen);
+  Bytes.set b 2 'G';
+  Bytes.set b 3 'B';
+  Bytes.set_uint8 b 4 version;
+  Bytes.set_int16_be b 5 (src land 0xffff);
+  Bytes.set_int32_be b 7 (Int32.of_int seq);
+  Bytes.set_uint8 b 11 tag;
+  let p = prefix_len + header_len in
+  (match msg with
+  | Message.Beacon { value } -> set_f64 b p value
+  | Message.Probe { seq; h_send } ->
+      set_i32 b p seq;
+      set_f64 b (p + 4) h_send
+  | Message.Probe_reply { seq; h_send; remote_value } ->
+      set_i32 b p seq;
+      set_f64 b (p + 4) h_send;
+      set_f64 b (p + 12) remote_value
+  | Message.Flood { round; payload } ->
+      set_i32 b p round;
+      set_f64 b (p + 4) payload
+  | Message.Report { round; lo; hi } ->
+      set_i32 b p round;
+      set_f64 b (p + 4) lo;
+      set_f64 b (p + 12) hi
+  | Message.Reset { round; payload } ->
+      set_i32 b p round;
+      set_f64 b (p + 4) payload);
+  b
+
+let decode buf ~len =
+  if len < prefix_len + header_len then Error Truncated
+  else
+    let n = Bytes.get_uint16_be buf 0 in
+    if len <> prefix_len + n then Error Length_mismatch
+    else if not (Bytes.get buf 2 = 'G' && Bytes.get buf 3 = 'B') then
+      Error Bad_magic
+    else if Bytes.get_uint8 buf 4 <> version then Error Bad_version
+    else
+      let tag = Bytes.get_uint8 buf 11 in
+      if tag > 5 then Error Bad_tag
+      else if n <> header_len + payload_len tag then Error Length_mismatch
+      else begin
+        let src = Bytes.get_uint16_be buf 5 in
+        let seq = Int32.to_int (Bytes.get_int32_be buf 7) in
+        let p = prefix_len + header_len in
+        let msg =
+          match tag with
+          | 0 -> Message.Beacon { value = get_f64 buf p }
+          | 1 -> Message.Probe { seq = get_i32 buf p; h_send = get_f64 buf (p + 4) }
+          | 2 ->
+              Message.Probe_reply
+                {
+                  seq = get_i32 buf p;
+                  h_send = get_f64 buf (p + 4);
+                  remote_value = get_f64 buf (p + 12);
+                }
+          | 3 ->
+              Message.Flood
+                { round = get_i32 buf p; payload = get_f64 buf (p + 4) }
+          | 4 ->
+              Message.Report
+                {
+                  round = get_i32 buf p;
+                  lo = get_f64 buf (p + 4);
+                  hi = get_f64 buf (p + 12);
+                }
+          | _ ->
+              Message.Reset
+                { round = get_i32 buf p; payload = get_f64 buf (p + 4) }
+        in
+        Ok (src, seq, msg)
+      end

@@ -1,0 +1,45 @@
+(** Length-prefixed, versioned wire format for beacon frames.
+
+    One frame carries one {!Gcs_core.Message.t} plus the routing header a
+    receiver needs to account for it: the sender's node id (mapped back to
+    a local port via the topology) and a per-peer sequence number (gaps
+    reveal loss, regressions reveal reordering — the accounting
+    {!Udp.stats} reports).
+
+    Layout, all integers big-endian:
+
+    {v
+    offset  size  field
+    0       2     payload length N (bytes after this prefix)
+    2       2     magic "GB"
+    4       1     version (currently 1)
+    5       2     sender node id
+    7       4     per-peer sequence number
+    11      1     message tag (0..5)
+    12      N-10  message payload (float64 bits / int32 fields per tag)
+    v}
+
+    The length prefix is redundant over UDP (datagram boundaries frame for
+    free) but makes the codec transport-agnostic — the same frames stream
+    over TCP unchanged — and gives the decoder a cheap structural check:
+    a frame whose prefix disagrees with the bytes on the wire is rejected
+    as {!Length_mismatch} rather than trusted. Decoding validates
+    everything; no malformed frame reaches an algorithm. *)
+
+type error = Truncated | Bad_magic | Bad_version | Bad_tag | Length_mismatch
+
+val error_to_string : error -> string
+
+val version : int
+
+val max_frame : int
+(** Upper bound on an encoded frame's size, for sizing receive buffers. *)
+
+val encode : src:int -> seq:int -> Gcs_core.Message.t -> Bytes.t
+(** The full frame, length prefix included. [src] must fit 16 bits and
+    [seq] 32 bits (both are masked). *)
+
+val decode : Bytes.t -> len:int -> (int * int * Gcs_core.Message.t, error) result
+(** [decode buf ~len] parses the first [len] bytes of [buf] as one frame
+    and returns [(src, seq, message)]. Every structural defect is a typed
+    [Error]; decode never raises on wire input. *)

@@ -1,0 +1,65 @@
+(** Deterministic fault injection for one live node.
+
+    A {!Gcs_sim.Fault_plan.t} compiles, per node, into (a) a time-sorted
+    list of control actions to apply to the local runtime and (b)
+    send-side tampering: Byzantine lies, value corruption, extra delay
+    and duplication, drawn from per-edge PRNG streams derived from the
+    run seed. Every process compiles the same plan against the same
+    graph and seed, so the fleet agrees on what happens when without any
+    coordination traffic. Draws are deterministic per (seed, edge) but
+    not bit-compatible with the simulator's streams — live runs share
+    the plan's {e semantics} with simulated ones, not their exact
+    randomness.
+
+    Delivery-side faults (duplication, extra delay) are applied at the
+    sender in live mode — the receiving process cannot tamper with a
+    datagram it has not yet seen — which is observationally equivalent
+    for the receiver. *)
+
+type control =
+  | Crash
+  | Recover of bool  (** [wipe]: rebuild algorithm state from scratch *)
+  | Jump of float  (** logical-clock jump by delta *)
+  | Rate of float  (** hardware-clock rate forced out of band *)
+  | Edge_down of int
+  | Edge_up of int
+      (** Edge status changes are reported only to the edge's minimum
+          endpoint, for single-writer observation recording; use
+          {!edge_up} for the actual send/receive gating on both ends. *)
+
+type verdict = {
+  fault_drop : bool;  (** the edge is partitioned: send nothing *)
+  sends : (float * Gcs_core.Message.t) list;
+      (** [(extra_delay, msg)] copies to transmit; the duplicate copy, if
+          any, draws its own delay *)
+  duplicated : bool;
+  corrupted : bool;
+  lied : bool;
+}
+
+type t
+
+val create :
+  graph:Gcs_graph.Graph.t -> node:int -> seed:int -> Gcs_sim.Fault_plan.t -> t
+(** Compile the plan's view from [node]. Raises [Invalid_argument] on a
+    plan that fails {!Gcs_sim.Fault_plan.validate}. *)
+
+val due : t -> now:float -> control list
+(** Control actions that have come due since the last call, in schedule
+    order. Call with non-decreasing [now]. *)
+
+val next_control : t -> float option
+(** Time of the next pending control action, for wake-up scheduling. *)
+
+val edge_up : t -> edge:int -> now:float -> bool
+(** Partition status of an incident edge at [now]. *)
+
+val outgoing :
+  t ->
+  now:float ->
+  edge:int ->
+  dst:int ->
+  Gcs_core.Message.t ->
+  verdict
+(** Run one outgoing message through the node's send-side fault pipe:
+    Byzantine lie, then corruption, then extra delay and duplication. *)

@@ -1,0 +1,56 @@
+(** One real process running one node of a synchronization algorithm.
+
+    A live node rebuilds the {e entire} fleet's hardware-clock schedules
+    from the shared run seed — drift streams are consumed in node order
+    during setup, exactly as in {!Gcs_core.Runner.prepare} — so its own
+    simulated drift matches what the same seed produces in the simulator
+    bit-for-bit, while it reads only its own clock at runtime. Real time
+    for the run is the wall clock relative to the shared barrier instant
+    [t0]: every process sleeps until [t0] and then counts from zero, so
+    recorded event times across processes share one origin (up to OS
+    scheduling noise, which is part of what live mode measures).
+
+    The node drives its algorithm's stock engine handlers through a
+    {!Transport.Driver} over a {!Udp} transport, applies its slice of
+    the fault plan via {!Inject}, samples its own logical clock on the
+    configured period (recording {e actual} sample instants — the
+    coordinator realigns them onto the grid), and records every event
+    through the standard {!Gcs_obs.Event_log} schema so the recorded
+    execution is checkable by the stock observability pipeline. *)
+
+type config = {
+  node : int;
+  graph : Gcs_graph.Graph.t;
+  spec : Gcs_core.Spec.t;
+  algo : Gcs_core.Algorithm.kind;
+  drift_of_node : int -> Gcs_clock.Drift.pattern;
+  seed : int;
+  t0 : float;  (** absolute wall-clock barrier; run time 0 *)
+  horizon : float;  (** run duration in wall seconds *)
+  sample_period : float;
+  base_port : int;
+  host : string;
+  fault_plan : Gcs_sim.Fault_plan.t option;
+}
+
+type outcome = {
+  node : int;
+  events : Gcs_obs.Event_log.t;
+  samples : (float * float) list;
+      (** [(run_time, logical_value)] at actual sample instants,
+          time-ascending *)
+  udp : Udp.stats;
+  timers : int;  (** timer callbacks fired *)
+  deliveries : int;  (** messages handed to the algorithm *)
+  drops_fault : int;  (** messages dropped by partition or crash *)
+  duplicates : int;
+  corruptions : int;
+  lies : int;
+  jumps : Gcs_clock.Logical_clock.jump_stats;
+}
+
+val run : config -> outcome
+(** Bind the socket, sleep to the barrier, run the algorithm for
+    [horizon] wall seconds, and return the recorded execution. Raises
+    [Unix.Unix_error] if the socket cannot be bound and
+    [Invalid_argument] on an invalid spec or fault plan. *)

@@ -1,0 +1,20 @@
+(** The simulator as a transport: proof the abstraction is lossless.
+
+    [wrap] reroutes an algorithm's callbacks through a {!Transport.t}
+    built from the engine's own node API — sends, timers, clock reads and
+    RNG pass straight through, and deliveries take the transport's
+    receive path (a one-slot inbox popped by the driver). Because every
+    side effect reaches the engine through the same closures in the same
+    order, a shim-run is {e byte-identical} to the direct run: equal
+    {!Gcs_core.Runner.result} values and equal exported event-log bytes.
+    The qcheck property in [test/test_net.ml] asserts exactly this over
+    random topology x algorithm x seed x fault-plan configurations —
+    which is what licenses reading live-transport executions of the same
+    driver as executions of the stock algorithms. *)
+
+val wrap : Gcs_core.Algorithm.t -> Gcs_core.Algorithm.t
+(** Same name, same observable behaviour; every callback routed through
+    a transport driver. *)
+
+val run : Gcs_core.Runner.config -> Gcs_core.Runner.result
+(** [Runner.run] with the config's algorithm (or override) wrapped. *)

@@ -1,0 +1,125 @@
+module Graph = Gcs_graph.Graph
+
+type stats = {
+  sent : int;
+  received : int;
+  lost : int;
+  reordered : int;
+  decode_errors : int;
+}
+
+type t = {
+  node : int;
+  socket : Unix.file_descr;
+  peers : Unix.sockaddr array;  (** indexed by port *)
+  port_of_src : (int, int) Hashtbl.t;  (** sender node id -> local port *)
+  tx_seq : int array;  (** next sequence number per port *)
+  rx_last : int array;  (** highest sequence seen per port, -1 initially *)
+  buf : Bytes.t;
+  mutable sent : int;
+  mutable received : int;
+  mutable lost : int;
+  mutable reordered : int;
+  mutable decode_errors : int;
+}
+
+let addr host port = Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let create ~node ~graph ~base_port ?(host = "127.0.0.1") () =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  (try
+     Unix.setsockopt socket Unix.SO_REUSEADDR true;
+     Unix.bind socket (addr host (base_port + node));
+     Unix.set_nonblock socket
+   with e ->
+     Unix.close socket;
+     raise e);
+  let nbrs = Graph.neighbors graph node in
+  let ports = Array.length nbrs in
+  let peers = Array.map (fun (w, _) -> addr host (base_port + w)) nbrs in
+  let port_of_src = Hashtbl.create ports in
+  Array.iteri (fun p (w, _) -> Hashtbl.replace port_of_src w p) nbrs;
+  {
+    node;
+    socket;
+    peers;
+    port_of_src;
+    tx_seq = Array.make ports 0;
+    rx_last = Array.make ports (-1);
+    buf = Bytes.create Codec.max_frame;
+    sent = 0;
+    received = 0;
+    lost = 0;
+    reordered = 0;
+    decode_errors = 0;
+  }
+
+let close t = try Unix.close t.socket with Unix.Unix_error _ -> ()
+let fd t = t.socket
+
+let send t ~port msg =
+  let seq = t.tx_seq.(port) in
+  t.tx_seq.(port) <- seq + 1;
+  let frame = Codec.encode ~src:t.node ~seq msg in
+  t.sent <- t.sent + 1;
+  try
+    ignore
+      (Unix.sendto t.socket frame 0 (Bytes.length frame) [] t.peers.(port))
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ENOBUFS), _, _) ->
+      (* Fire-and-forget: a full buffer is indistinguishable from wire
+         loss to the peer, so account it as such locally too. *)
+      ()
+  | Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+      (* Linux surfaces a peer's closed socket as a refusal on a
+         connected-path datagram; the peer simply isn't up (yet). *)
+      ()
+
+let account t port seq =
+  let last = t.rx_last.(port) in
+  if seq > last then begin
+    if last >= 0 && seq > last + 1 then t.lost <- t.lost + (seq - last - 1);
+    t.rx_last.(port) <- seq
+  end
+  else t.reordered <- t.reordered + 1
+
+let rec wait_readable t timeout =
+  match Unix.select [ t.socket ] [] [] timeout with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* Imprecise re-wait is fine: the caller owns the deadline math. *)
+      wait_readable t timeout
+
+let recv t ~timeout =
+  let timeout = Float.max 0. timeout in
+  if not (wait_readable t timeout) then None
+  else
+    match Unix.recvfrom t.socket t.buf 0 (Bytes.length t.buf) [] with
+    | exception
+        Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNREFUSED), _, _) ->
+        None
+    | len, _from -> (
+        match Codec.decode t.buf ~len with
+        | Error _ ->
+            t.decode_errors <- t.decode_errors + 1;
+            None
+        | Ok (src, seq, msg) -> (
+            match Hashtbl.find_opt t.port_of_src src with
+            | None ->
+                t.decode_errors <- t.decode_errors + 1;
+                None
+            | Some port ->
+                account t port seq;
+                t.received <- t.received + 1;
+                Some (port, msg)))
+
+let stats t =
+  {
+    sent = t.sent;
+    received = t.received;
+    lost = t.lost;
+    reordered = t.reordered;
+    decode_errors = t.decode_errors;
+  }

@@ -1,0 +1,50 @@
+(** Nonblocking UDP sockets as a transport substrate.
+
+    One socket per node, bound to [base_port + node] on the given host
+    (loopback by default; any shared LAN base works the same way). Peers
+    are addressed by {e port} in the graph sense — position in the node's
+    adjacency list — and resolved to socket addresses from the topology,
+    so the algorithm layer stays inside the model's
+    neighbors-by-local-port knowledge restriction.
+
+    Every outgoing frame carries a per-peer sequence number
+    ({!Codec.encode}); the receive path accounts gaps as loss and
+    regressions as reordering without dropping anything — UDP loses and
+    reorders for real, and {!stats} is how a live run quantifies it. *)
+
+type stats = {
+  sent : int;  (** frames handed to [sendto] *)
+  received : int;  (** frames decoded and delivered upward *)
+  lost : int;  (** sequence gaps summed over peers *)
+  reordered : int;  (** frames arriving with a non-advancing sequence *)
+  decode_errors : int;  (** frames rejected by the codec *)
+}
+
+type t
+
+val create :
+  node:int ->
+  graph:Gcs_graph.Graph.t ->
+  base_port:int ->
+  ?host:string ->
+  unit ->
+  t
+(** Bind this node's socket ([host] defaults to ["127.0.0.1"]) and
+    precompute the peer address table. Raises [Unix.Unix_error] if the
+    port is taken — live coordinators pick base ports per run. *)
+
+val close : t -> unit
+
+val send : t -> port:int -> Gcs_core.Message.t -> unit
+(** Encode and transmit to the neighbor behind [port], advancing that
+    peer's sequence counter. A full socket buffer ([EAGAIN]) counts the
+    frame as sent-and-lost, matching UDP's fire-and-forget contract. *)
+
+val recv : t -> timeout:float -> (int * Gcs_core.Message.t) option
+(** Wait up to [timeout] seconds (0 = poll) for one frame; decode it,
+    account its sequence number, and return [(port, message)]. [None] on
+    timeout; frames from unknown senders or failing the codec are
+    counted and skipped (the wait is not restarted — callers loop). *)
+
+val fd : t -> Unix.file_descr
+val stats : t -> stats

@@ -1,0 +1,23 @@
+(* Non-decreasing clamp over gettimeofday. The mutable high-water mark is
+   per-process; live nodes are one process each, so there is no sharing to
+   worry about. *)
+
+let high_water = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !high_water then high_water := t;
+  !high_water
+
+let sleep_until target =
+  let rec loop () =
+    let t = now () in
+    if t < target then begin
+      (* Bounded slices: if the wall clock steps forward mid-sleep we
+         re-evaluate within 50ms instead of sleeping out the old delta. *)
+      (try Unix.sleepf (Float.min 0.05 (target -. t))
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()

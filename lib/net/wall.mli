@@ -1,0 +1,21 @@
+(** Monotonic wall clock for live runs.
+
+    The container's toolchain has no [clock_gettime] binding, so the live
+    subsystem builds its run clock from [Unix.gettimeofday] wrapped in a
+    per-process non-decreasing clamp: a backwards NTP step can stall the
+    clock briefly but can never make it run backwards, which is all the
+    timer and logical-clock layers require (both trap on time reversal).
+
+    All live-run timestamps are expressed on the {e run clock} — seconds
+    since the run's barrier instant — so recorded event logs from
+    different processes merge on a common axis and look exactly like
+    simulated time starting at [t0 = 0]. *)
+
+val now : unit -> float
+(** Current wall time in seconds, clamped non-decreasing within this
+    process. *)
+
+val sleep_until : float -> unit
+(** Block until {!now} reaches the given wall time (no-op if already
+    past). Sleeps in bounded slices so a clock step cannot oversleep by
+    more than one slice. *)

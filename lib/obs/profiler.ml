@@ -43,9 +43,9 @@ let create ?(sample_every = 64) () =
 
 let sample_every t = t.sample_every
 
-(* The engine's sampling gate (set_dispatch_hook ~every) already skips
-   unsampled dispatches and keeps exact per-kind counts, so these hooks
-   only ever run for dispatches that are being timed. *)
+(* The engine's sampling gate ([Engine.config]'s [?hook_every]) already
+   skips unsampled dispatches and keeps exact per-kind counts, so these
+   hooks only ever run for dispatches that are being timed. *)
 let hooks t =
   let before _kind = t.t0 <- Unix.gettimeofday () in
   let after kind =
@@ -55,9 +55,6 @@ let hooks t =
     t.sampled_wall.(i) <- t.sampled_wall.(i) +. Float.max 0. dt
   in
   { Engine.before; after }
-
-let attach t engine =
-  Engine.set_dispatch_hook ~every:t.sample_every engine (hooks t)
 
 let phase t name f =
   let start = Unix.gettimeofday () in

@@ -21,14 +21,10 @@ val create : ?sample_every:int -> unit -> t
 val sample_every : t -> int
 
 val hooks : t -> Gcs_sim.Engine.dispatch_hook
-(** Install with {!Gcs_sim.Engine.set_dispatch_hook} [~every:(sample_every
-    t)] — or just call {!attach}. The engine's sampling gate skips the
-    hook calls on unsampled dispatches and keeps the exact per-kind
-    counts, so the hooks themselves only start and stop the sample
-    timer. *)
-
-val attach : t -> 'msg Gcs_sim.Engine.t -> unit
-(** [set_dispatch_hook ~every:(sample_every t) engine (hooks t)]. *)
+(** Install by passing [~hook:(hooks t) ~hook_every:(sample_every t)] to
+    {!Gcs_sim.Engine.config}. The engine's sampling gate skips the hook
+    calls on unsampled dispatches and keeps the exact per-kind counts, so
+    the hooks themselves only start and stop the sample timer. *)
 
 val phase : t -> string -> (unit -> 'a) -> 'a
 (** [phase t name f] runs [f] and records its wall time under [name]

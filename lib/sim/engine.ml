@@ -1211,29 +1211,9 @@ let request_stop t = t.stop_requested <- true
 let stop_requested t = t.stop_requested
 let node_is_up t node = t.node_up.(node)
 let edge_is_up t edge = t.edge_up.(edge)
-let set_tamper t tamper = t.tamper <- Some tamper
-let clear_tamper t = t.tamper <- None
-let set_lie t lie = t.lie <- Some lie
-let clear_lie t = t.lie <- None
-let set_observer t f = t.observers <- [| f |]
 let add_observer t f = t.observers <- Array.append t.observers [| f |]
 let clear_observer t = t.observers <- [||]
 let observer_count t = Array.length t.observers
-
-let set_dispatch_hook ?(every = 1) t h =
-  if every <= 0 then invalid_arg "Engine.set_dispatch_hook: every must be > 0";
-  if t.nregions > 1 then
-    invalid_arg
-      "Engine.set_dispatch_hook: not available on a region-parallel engine \
-       (pass the hook in Engine.config, which selects the serial engine)";
-  t.hook_every <- every;
-  t.hook_left <- every;
-  t.hook_armed <- false;
-  t.dispatch_hook <- Some h
-
-let clear_dispatch_hook t =
-  t.dispatch_hook <- None;
-  t.hook_armed <- false
 
 let dispatch_count t = function
   | Dispatch_deliver -> t.messages_delivered

@@ -105,10 +105,13 @@ type 'msg lie =
     needs (topology, clocks, delays, observers, instrumentation, fault
     hooks, scheduler, parallelism) in one value, built once and handed to
     {!of_config}. The historical mutate-after-create entry points
-    ({!set_observer}, {!set_dispatch_hook}, {!set_tamper}, {!set_lie})
-    remain as thin compatibility wrappers, but new code should pass the
-    corresponding config fields instead: a fully-described construction is
-    what lets [of_config] choose the parallel execution strategy safely. *)
+    ([set_observer], [set_dispatch_hook], [set_tamper], [set_lie]) are gone:
+    pass the corresponding config fields instead — a fully-described
+    construction is what lets [of_config] choose the parallel execution
+    strategy safely. Observer sinks may still be appended to a built engine
+    with {!add_observer} (observation is invisible to the run, so late
+    attachment is safe); everything that can perturb execution is
+    config-only. *)
 
 type 'msg config
 
@@ -137,9 +140,14 @@ val config :
     implementation; see {!Gcs_util.Scheduler}. [regions] (default 1) asks
     for conservative region-parallel execution on that many domains; see
     {!regions} for when the request degrades to serial. [observers] are
-    installed in list order. [hook]/[hook_every] install a dispatch hook as
-    {!set_dispatch_hook} would — a hooked engine always runs serially.
-    [tamper]/[lie] install fault hooks as {!set_tamper}/{!set_lie} would. *)
+    installed in list order. [hook]/[hook_every] install the (single)
+    dispatch hook — the attachment point of {!Gcs_obs.Profiler}.
+    [hook_every] (default 1, must be positive) makes only every
+    [hook_every]-th dispatch call [before]/[after]; the engine still keeps
+    exact per-kind counts (see {!dispatch_count}), so a sampling profiler
+    pays two indirect calls only on sampled dispatches. A hooked engine
+    always runs serially. [tamper]/[lie] install the delivery-side and
+    source-side fault hooks. *)
 
 val of_config : 'msg config -> 'msg t
 (** Build the engine. The region request is resolved here: the engine runs
@@ -197,10 +205,6 @@ val request_stop : _ t -> unit
 val stop_requested : _ t -> bool
 (** Whether [request_stop] has been called on this engine. *)
 
-val set_observer : 'msg t -> (float -> observation -> unit) -> unit
-(** Replace every installed observer with this one; it receives the current
-    simulation time with each observation. *)
-
 val add_observer : 'msg t -> (float -> observation -> unit) -> unit
 (** Append one more observer sink. The engine multiplexes each observation
     to every installed observer, in installation order — this is how the
@@ -211,17 +215,6 @@ val clear_observer : 'msg t -> unit
 (** Remove every observer. *)
 
 val observer_count : _ t -> int
-
-val set_dispatch_hook : ?every:int -> 'msg t -> dispatch_hook -> unit
-(** Install the (single) dispatch hook — the attachment point of
-    {!Gcs_obs.Profiler}. [every] (default 1, must be positive) makes only
-    every [every]-th dispatch call [before]/[after]; the engine still keeps
-    exact per-kind counts (see {!dispatch_count}), so a sampling profiler
-    pays two indirect calls only on sampled dispatches. Raises on a
-    region-parallel engine — pass the hook through {!config} instead, which
-    resolves the conflict by selecting the serial engine. *)
-
-val clear_dispatch_hook : _ t -> unit
 
 val dispatch_count : _ t -> dispatch_kind -> int
 (** Exact dispatches of a kind over the engine's lifetime (messages
@@ -258,12 +251,6 @@ val set_edge_up : _ t -> edge:int -> up:bool -> unit
 
 val node_is_up : _ t -> int -> bool
 val edge_is_up : _ t -> int -> bool
-
-val set_tamper : 'msg t -> 'msg tamper -> unit
-val clear_tamper : _ t -> unit
-
-val set_lie : 'msg t -> 'msg lie -> unit
-val clear_lie : _ t -> unit
 
 val hardware_clock : _ t -> int -> Gcs_clock.Hardware_clock.t
 (** Observer access to a node's hardware clock. *)

@@ -316,7 +316,7 @@ let test_observer_cleared () =
               if h < 5. then api.Engine.set_timer ~h:(h +. 1.) ~tag:0);
         })
   in
-  Engine.set_observer engine (fun _ _ -> incr count);
+  Engine.add_observer engine (fun _ _ -> incr count);
   Engine.run_until engine 2.5;
   let seen = !count in
   Alcotest.(check bool) "observer saw events" true (seen > 0);

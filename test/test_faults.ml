@@ -99,7 +99,7 @@ let test_crash_wipe_rejoins () =
   in
   let live = Runner.prepare cfg in
   let timers_while_down = ref 0 and timers_after = ref 0 in
-  Engine.set_observer live.Runner.engine (fun t obs ->
+  Engine.add_observer live.Runner.engine (fun t obs ->
       match obs with
       | Engine.Obs_timer { node = 12; _ } ->
           if t > 150.5 && t < 300. then incr timers_while_down

@@ -51,4 +51,5 @@ let () =
       ("explore", Test_explore.suite);
       ("integration", Test_integration.suite);
       ("adversarial.random", Test_adversarial_random.suite);
+      ("net", Test_net.suite);
     ]
