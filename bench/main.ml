@@ -1857,6 +1857,206 @@ let e27 () =
     exit 1
   end
 
+(* E28: dynamic networks — the skew on a freshly formed edge must decay
+   from (at most) the fresh allowance down to the static gradient bound
+   within the predicted stabilization time allow0 / tighten_rate (the
+   dynamic-GCS shape of Kuhn-Lenzen-Locher-Oshman), and the edge-age
+   conformance monitor separates the algorithms under the very same churn
+   plan. Setup: a line in three sections at three drift rates — fast,
+   a two-node mid pair, slow; both section-boundary edges go down
+   mid-run, the sections drift apart while disconnected, and the edges
+   re-form with skews just inside the fresh bound. The dynamic gradient
+   discounts every fresh edge by its decaying allowance: nothing chases,
+   settled sections stay settled, and the fresh-edge skews track the
+   allowance down to the static bound. The static gradient has no notion
+   of edge age: the mid pair's left node chases the fast section at full
+   speed while its right node is *anchored* — the level-set trigger
+   blocks a node whose other neighbor trails by more than any separating
+   level — and because the tear opens faster than the slow section can
+   catch up, the long-settled mid edge is torn open past the static
+   bound, and the monitor catches it. *)
+let e28 () =
+  header "E28" "Dynamic networks: fresh-edge skew decay, edge-age conformance";
+  let module Check_run = Gcs_check.Check_run in
+  let module Monitor = Gcs_check.Monitor in
+  let module Churn_plan = Gcs_sim.Churn_plan in
+  let module Fault_plan = Gcs_sim.Fault_plan in
+  let module Fault_metrics = Gcs_core.Fault_metrics in
+  let module Dynamic_gradient = Gcs_core.Dynamic_gradient in
+  let spec28 = Check_run.attack_spec () in
+  let n = 24 in
+  let graph = Topology.line n in
+  let diameter = Shortest_path.diameter graph in
+  (* Fast section [0..17], mid pair [18,19], slow section [20..23]. The
+     slow section is kept short on purpose: it is the only side that has
+     to cascade upward when its boundary edge re-forms (the fast side is
+     ahead, nobody there chases), and the chase-chain lag it leaks onto
+     the mid pair grows with its length — long enough to anchor, short
+     enough that the dynamic gradient's settled edges stay clear of the
+     static bound. *)
+  let mid_lo = 18 in
+  let mid_hi = 19 in
+  let cuts = [ (mid_lo - 1, mid_lo); (mid_hi, mid_hi + 1) ] in
+  let allow0 = Dynamic_gradient.fresh_allowance spec28 ~diameter in
+  let rate = Dynamic_gradient.tighten_rate spec28 in
+  let settled = Bounds.gradient_local_upper spec28 ~diameter in
+  let stabilization = allow0 /. rate in
+  (* Startup edges are born settled (see {!Dynamic_gradient}), so the cut
+     can start mid-run with every surviving edge already held to the
+     settled bound. The mid pair drifts at rho/2, so both boundary gaps
+     open at rho/2 while disconnected; the down window is sized so they
+     re-form well inside the fresh bound allow0 + settled but deep
+     enough that the anchored tear on the settled mid edge — which opens
+     at ~mu while the slow section only closes its gap at ~mu - rho/2 —
+     peaks past the settled bound before the anchor releases. *)
+  let down = 60. in
+  let form = down +. 560. in
+  let horizon = form +. stabilization +. 100. in
+  let churn =
+    Churn_plan.of_processes
+      [
+        Churn_plan.Edge_down { at = down; edges = Fault_plan.Edges cuts };
+        Churn_plan.Edge_up { at = form; edges = Fault_plan.Edges cuts };
+      ]
+  in
+  let plan =
+    match Churn_plan.compile churn ~graph ~seed:1 ~horizon with
+    | Some p -> p
+    | None -> failwith "E28: churn plan compiled to nothing"
+  in
+  let ea =
+    {
+      (Check_run.edge_age_bounds spec28 ~diameter) with
+      Monitor.windows = Churn_plan.up_windows plan ~graph ~horizon;
+    }
+  in
+  let run_one algo =
+    let cfg =
+      Runner.config ~spec:spec28 ~algo ~horizon ~seed:1 ~fault_plan:plan
+        ~drift_of_node:(fun v ->
+          if v < mid_lo then Drift.Extreme_high
+          else if v <= mid_hi then
+            Drift.Constant (1. +. (spec28.Spec.rho /. 2.))
+          else Drift.Extreme_low)
+        graph
+    in
+    let monitor = Check_run.default_spec ~edge_age:ea spec28 algo in
+    let checked = Check_run.run ~monitor cfg in
+    let report =
+      Fault_metrics.evaluate ~spec:spec28 ~graph
+        ~samples:checked.Check_run.result.Runner.samples
+        ~episodes:(Fault_plan.episodes plan graph)
+        ~dropped_faults:0 ~duplicated:0 ~corrupted:0 ()
+    in
+    (* One partition episode per cut edge, all healing at [form]: merge
+       their post-heal curves pointwise (same sample grid) into the skew
+       of the worst fresh edge at each age. *)
+    let decay =
+      match report.Fault_metrics.episodes with
+      | [] -> failwith "E28: no churn episodes"
+      | ep :: rest ->
+          List.fold_left
+            (fun acc (e : Fault_metrics.episode_report) ->
+              if Array.length e.Fault_metrics.decay <> Array.length acc then
+                failwith "E28: episode decay grids differ";
+              Array.mapi
+                (fun i (a, s) ->
+                  (a, Float.max s (snd e.Fault_metrics.decay.(i))))
+                acc)
+            ep.Fault_metrics.decay rest
+    in
+    (checked, decay)
+  in
+  let at_age decay age =
+    Array.fold_left
+      (fun acc (a, s) ->
+        match acc with
+        | Some _ when fst (Option.get acc) >= age -> acc
+        | _ when a >= age -> Some (a, s)
+        | _ -> acc)
+      None decay
+  in
+  let results =
+    List.map
+      (fun algo -> (algo, run_one algo))
+      [ Algorithm.Dynamic_gradient_sync; Algorithm.Gradient_sync ]
+  in
+  let rows =
+    List.map
+      (fun (algo, ((checked : Check_run.checked), decay)) ->
+        let skew0 = if Array.length decay = 0 then nan else snd decay.(0) in
+        let skew_stab =
+          match at_age decay stabilization with
+          | Some (_, s) -> s
+          | None -> nan
+        in
+        [
+          Algorithm.kind_name algo;
+          fmt skew0;
+          fmt skew_stab;
+          fmt settled;
+          fmt allow0;
+          (match checked.Check_run.violation with
+          | None -> "conforms"
+          | Some v -> "VIOLATES " ^ Monitor.kind_name v.Monitor.kind);
+        ])
+      results
+  in
+  print_table ~name:"e28_dynamic_networks"
+    ~title:
+      (Printf.sprintf
+         "line:%d, sections at drift 1+rho / 1+rho/2 / 1 (rho %g), section \
+          boundaries re-form at t=%g, stabilization %g"
+         n spec28.Spec.rho form stabilization)
+    ~columns:
+      [
+        Table.column ~align:Table.Left "algorithm";
+        Table.column "skew at formation";
+        Table.column "skew at +stab";
+        Table.column "settled bound";
+        Table.column "fresh allowance";
+        Table.column ~align:Table.Left "edge-age verdict";
+      ]
+    ~rows;
+  (* The three claims, hard-asserted. *)
+  (match results with
+  | [ (_, (dyn, decay)); (_, (grad, _)) ] ->
+      (match dyn.Check_run.violation with
+      | Some v ->
+          Printf.eprintf "E28: dynamic-gradient violated its monitor: %s\n"
+            (Monitor.violation_to_string v);
+          exit 1
+      | None -> ());
+      (match grad.Check_run.violation with
+      | Some { Monitor.kind = Monitor.Edge_age; _ } -> ()
+      | Some v ->
+          Printf.eprintf
+            "E28: static gradient violated %s, expected the edge-age bound\n"
+            (Monitor.kind_name v.Monitor.kind);
+          exit 1
+      | None ->
+          Printf.eprintf
+            "E28: static gradient conformed; expected an edge-age violation\n";
+          exit 1);
+      let late_bad =
+        Array.exists
+          (fun (a, s) -> a >= stabilization && s > settled)
+          decay
+      in
+      if late_bad then begin
+        Printf.eprintf
+          "E28: fresh-edge skew still above the static bound after the \
+           stabilization time\n";
+        exit 1
+      end;
+      if Array.length decay = 0 || snd decay.(0) <= spec28.Spec.kappa then begin
+        Printf.eprintf
+          "E28: formation skew too small to demonstrate decay (%.3f)\n"
+          (if Array.length decay = 0 then nan else snd decay.(0));
+        exit 1
+      end
+  | _ -> assert false)
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4);
@@ -1865,6 +2065,7 @@ let experiments =
     ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
     ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
     ("e23", e23); ("e24", e24); ("e25", e25); ("e26", e26); ("e27", e27);
+    ("e28", e28);
     ("e8", e8);
   ]
 

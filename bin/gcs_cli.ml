@@ -43,6 +43,7 @@ module Table = Gcs_util.Table
 module Prng = Gcs_util.Prng
 module Scheduler = Gcs_util.Scheduler
 module Fault_plan = Gcs_sim.Fault_plan
+module Churn_plan = Gcs_sim.Churn_plan
 module Fault_metrics = Gcs_core.Fault_metrics
 module Capture = Gcs_obs.Capture
 module Event_log = Gcs_obs.Event_log
@@ -74,6 +75,23 @@ let fault_plan_conv =
   let print ppf p = Format.pp_print_string ppf (Fault_plan.to_string p) in
   Arg.conv (parse, print)
 
+let churn_conv =
+  let parse s = Churn_plan.of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf p = Format.pp_print_string ppf (Churn_plan.to_string p) in
+  Arg.conv (parse, print)
+
+let churn_arg =
+  let doc =
+    "Topology churn plan: ';'-separated processes edge-up@T:EDGES, \
+     edge-down@T:EDGES, flap@T1..T2:up=U:down=D[:EDGES], grow@T1..T2:EDGES, \
+     shrink@T1..T2:EDGES, with EDGES = all, edges=U-V,... or cut=V,.... \
+     Compiled seed-deterministically into partition/heal events and \
+     composed with any fault plan; a plan that keeps every edge up is \
+     bit-identical to no plan at all."
+  in
+  Arg.(
+    value & opt (some churn_conv) None & info [ "churn" ] ~docv:"PLAN" ~doc)
+
 let scheduler_conv =
   let parse s = Scheduler.kind_of_string s |> Result.map_error (fun e -> `Msg e) in
   let print ppf k = Format.pp_print_string ppf (Scheduler.kind_name k) in
@@ -93,8 +111,9 @@ let topology_arg =
 
 let algo_arg =
   let doc =
-    "Algorithm: gradient, ft-gradient-F (fault-containing, F Byzantine \
-     neighbors tolerated), tree, max, free-run."
+    "Algorithm: gradient, dynamic-gradient (fresh edges tighten gradually \
+     under churn), ft-gradient-F (fault-containing, F Byzantine neighbors \
+     tolerated), tree, max, free-run."
   in
   Arg.(
     value
@@ -218,6 +237,20 @@ let or_die = function
       prerr_endline ("error: " ^ msg);
       exit 2
 
+(* Expand a churn plan against one run's graph/seed/horizon and fold it
+   into the run's fault plan. *)
+let apply_churn ?churn ~graph ~seed ~horizon fault_plan =
+  match churn with
+  | None -> fault_plan
+  | Some c -> (
+      let compiled =
+        try Churn_plan.compile c ~graph ~seed ~horizon
+        with Invalid_argument msg -> or_die (Error msg)
+      in
+      match (fault_plan, compiled) with
+      | p, None | None, p -> p
+      | Some a, Some b -> Some (Fault_plan.compose a b))
+
 let print_summary ~graph ~spec (r : Runner.result) =
   let d = Shortest_path.diameter graph in
   let s = r.Runner.summary in
@@ -239,9 +272,10 @@ let print_summary ~graph ~spec (r : Runner.result) =
 
 let run_cmd =
   let action spec_result topo algo drift horizon seed profile loss stabilize
-      fault check scheduler regions =
+      fault check scheduler regions churn =
     let spec = or_die spec_result in
     let graph = build_graph topo seed in
+    let fault_plan = apply_churn ?churn ~graph ~seed ~horizon None in
     let loss_law =
       if loss <= 0. then Runner.No_loss else Runner.Uniform_loss loss
     in
@@ -259,13 +293,16 @@ let run_cmd =
     in
     let cfg =
       Runner.config ~spec ~algo ~drift_of_node:(fun _ -> drift) ~horizon ~seed
-        ~loss:loss_law ?override ~initial_value_of_node ~scheduler ~regions
-        graph
+        ~loss:loss_law ?override ?fault_plan ~initial_value_of_node ~scheduler
+        ~regions graph
     in
     let r = Runner.run cfg in
     Printf.printf "algorithm: %s%s on %s\n" (Algorithm.kind_name algo)
       (if stabilize then " (stabilized)" else "")
       (Topology.spec_name topo);
+    (match churn with
+    | Some c -> Printf.printf "churn: %s\n" (Churn_plan.to_string c)
+    | None -> ());
     print_summary ~graph ~spec r;
     if r.Runner.dropped > 0 then
       Printf.printf "messages dropped  : %d\n" r.Runner.dropped;
@@ -306,7 +343,7 @@ let run_cmd =
     Term.(
       const action $ spec_term $ topology_arg $ algo_arg $ drift_arg
       $ horizon_arg $ seed_arg $ profile_flag $ loss_arg $ stabilize_flag
-      $ fault_arg $ check_flag $ scheduler_arg $ regions_arg)
+      $ fault_arg $ check_flag $ scheduler_arg $ regions_arg $ churn_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one synchronization simulation.") term
 
@@ -581,21 +618,28 @@ let faults_cmd =
       & opt (some fault_plan_conv) None
       & info [ "plan" ] ~docv:"PLAN" ~doc)
   in
-  let action spec_result topo algo drift horizon seed plan =
+  let action spec_result topo algo drift horizon seed plan churn =
     let spec = or_die spec_result in
     let graph = build_graph topo seed in
     let plan =
-      match plan with
-      | Some p -> p
-      | None ->
+      match (plan, churn) with
+      | Some p, _ -> Some p
+      | None, Some _ -> None (* churn alone is the plan *)
+      | None, None ->
           (* Standard smoke battery: cut node 0 off for the middle quarter. *)
-          Fault_plan.of_events
-            [
-              Fault_plan.Link_partition
-                { at = 0.375 *. horizon; edges = Fault_plan.Cut [ 0 ] };
-              Fault_plan.Link_heal
-                { at = 0.625 *. horizon; edges = Fault_plan.Cut [ 0 ] };
-            ]
+          Some
+            (Fault_plan.of_events
+               [
+                 Fault_plan.Link_partition
+                   { at = 0.375 *. horizon; edges = Fault_plan.Cut [ 0 ] };
+                 Fault_plan.Link_heal
+                   { at = 0.625 *. horizon; edges = Fault_plan.Cut [ 0 ] };
+               ])
+    in
+    let plan =
+      match apply_churn ?churn ~graph ~seed ~horizon plan with
+      | Some p -> p
+      | None -> or_die (Error "churn plan is inert and no fault plan given")
     in
     (match Fault_plan.validate plan graph with
     | Ok () -> ()
@@ -607,6 +651,9 @@ let faults_cmd =
     let r = Runner.run cfg in
     Printf.printf "algorithm: %s on %s\n" (Algorithm.kind_name algo)
       (Topology.spec_name topo);
+    (match churn with
+    | Some c -> Printf.printf "churn: %s\n" (Churn_plan.to_string c)
+    | None -> ());
     Printf.printf "fault plan: %s\n" (Fault_plan.to_string plan);
     print_summary ~graph ~spec r;
     if r.Runner.dropped > 0 then
@@ -636,7 +683,21 @@ let faults_cmd =
           c.Metrics.max_local c.Metrics.max_global);
     Printf.printf "fault episodes    :\n";
     List.iter
-      (fun e -> Printf.printf "  %s\n" (Fault_metrics.episode_to_string e))
+      (fun e ->
+        Printf.printf "  %s\n" (Fault_metrics.episode_to_string e);
+        (* Post-heal decay curve, subsampled: the dynamic-network skew
+           decay on a (re)formed edge as a function of its age. *)
+        let d = e.Fault_metrics.decay in
+        let n = Array.length d in
+        if n > 1 then begin
+          let picks = min 8 n in
+          let pts =
+            List.init picks (fun i ->
+                let age, skew = d.(i * (n - 1) / (picks - 1)) in
+                Printf.sprintf "t+%g %.3f" age skew)
+          in
+          Printf.printf "    decay: %s\n" (String.concat "  " pts)
+        end)
       report.Fault_metrics.episodes;
     Printf.printf "worst transient   : %.4f\n"
       (Fault_metrics.worst_transient report);
@@ -652,7 +713,7 @@ let faults_cmd =
   let term =
     Term.(
       const action $ spec_term $ topology_arg $ algo_arg $ drift_arg
-      $ horizon_arg $ seed_arg $ plan_arg)
+      $ horizon_arg $ seed_arg $ plan_arg $ churn_arg)
   in
   Cmd.v
     (Cmd.info "faults"
@@ -814,8 +875,8 @@ let sweep_cmd =
 (* Shared by trace and report: run --seeds replicate configs (seed,
    seed+7919, ...) through the parallel runner with the given capture
    request. Row/byte order is independent of --jobs. *)
-let run_batch ?(scheduler = Scheduler.Binary_heap) ?(regions = 1) ~spec ~topo
-    ~algo ~horizon ~seed ~seeds ~jobs ~fault_plan ~obs () =
+let run_batch ?(scheduler = Scheduler.Binary_heap) ?(regions = 1) ?churn ~spec
+    ~topo ~algo ~horizon ~seed ~seeds ~jobs ~fault_plan ~obs () =
   if seeds <= 0 then or_die (Error "seeds must be > 0");
   let jobs = if jobs = 0 then Gcs_util.Pool.default_jobs () else jobs in
   if jobs < 0 then or_die (Error "jobs must be >= 0");
@@ -831,6 +892,14 @@ let run_batch ?(scheduler = Scheduler.Binary_heap) ?(regions = 1) ~spec ~topo
                | Ok () -> ()
                | Error msg -> or_die (Error ("fault plan: " ^ msg)))
            | None -> ());
+           List.iter
+             (fun (u, v) ->
+               if u < 0 || v < 0 || u >= Graph.n graph || v >= Graph.n graph
+               then
+                 or_die
+                   (Error (Printf.sprintf "watch pair %d-%d out of range" u v)))
+             obs.Capture.series_watch;
+           let fault_plan = apply_churn ?churn ~graph ~seed ~horizon fault_plan in
            Runner.config ~spec ~algo ~horizon ~seed ?fault_plan ~obs ~scheduler
              ~regions graph)
          seed_list)
@@ -862,6 +931,28 @@ let series_period_arg =
   Arg.(
     value & opt float 1.
     & info [ "series-period" ] ~docv:"P" ~doc:"Time-series sampling period.")
+
+let watch_pair_conv =
+  let parse s =
+    match String.split_on_char '-' s with
+    | [ u; v ] -> (
+        match (int_of_string_opt u, int_of_string_opt v) with
+        | Some u, Some v -> Ok (u, v)
+        | _ -> Error (`Msg (Printf.sprintf "bad node pair %S" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad node pair %S" s))
+  in
+  let print ppf (u, v) = Format.fprintf ppf "%d-%d" u v in
+  Arg.conv (parse, print)
+
+let watch_arg =
+  Arg.(
+    value
+    & opt (list watch_pair_conv) []
+    & info [ "watch" ] ~docv:"U-V,..."
+        ~doc:
+          "Record each listed node pair's absolute skew as a dedicated \
+           series column (watch0, watch1, ...) — e.g. the endpoints of a \
+           churned edge, to plot its decay curve.")
 
 let trace_cmd =
   let events_arg =
@@ -985,7 +1076,8 @@ let trace_cmd =
     end
   in
   let action spec_result topo algo horizon seed seeds jobs fault_plan events
-      format series series_period check_schema tail scheduler regions input =
+      format series series_period check_schema tail scheduler regions input
+      churn watch =
     match input with
     | Some path -> trace_input path events check_schema tail
     | None ->
@@ -996,11 +1088,12 @@ let trace_cmd =
         Capture.events = true;
         events_format = format;
         series_period = (if series = None then None else Some series_period);
+        series_watch = watch;
       }
     in
     let results =
-      run_batch ~scheduler ~regions ~spec ~topo ~algo ~horizon ~seed ~seeds
-        ~jobs ~fault_plan ~obs ()
+      run_batch ~scheduler ~regions ?churn ~spec ~topo ~algo ~horizon ~seed
+        ~seeds ~jobs ~fault_plan ~obs ()
     in
     let logs =
       Array.map
@@ -1064,16 +1157,17 @@ let trace_cmd =
     | Some dest ->
         let merged = Parallel_run.merge results in
         let widths =
-          if Array.length merged.Parallel_run.series = 0 then (0, 0, 0)
+          if Array.length merged.Parallel_run.series = 0 then (0, 0, 0, 0)
           else
             let _, p = merged.Parallel_run.series.(0) in
             ( Array.length p.Series.values,
               Array.length p.Series.rates,
-              Array.length p.Series.profile )
+              Array.length p.Series.profile,
+              Array.length p.Series.watched )
         in
-        let values, rates, hops = widths in
+        let values, rates, hops, watched = widths in
         let header =
-          "run" :: Series.csv_header ~values ~rates ~hops ()
+          "run" :: Series.csv_header ~values ~rates ~hops ~watched ()
         in
         let rows =
           Array.to_list
@@ -1144,7 +1238,8 @@ let trace_cmd =
       const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
       $ seed_arg $ seeds_repl_arg $ jobs_repl_arg $ plan_repl_arg $ events_arg
       $ format_arg $ series_arg $ series_period_arg $ check_schema_flag
-      $ tail_arg $ scheduler_arg $ regions_arg $ input_arg)
+      $ tail_arg $ scheduler_arg $ regions_arg $ input_arg $ churn_arg
+      $ watch_arg)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -1427,6 +1522,17 @@ let moves_conv =
   let print ppf m = Format.pp_print_string ppf (Repro.moves_to_string m) in
   Arg.conv (parse, print)
 
+let edge_age_conv =
+  let parse s =
+    match String.split_on_char ',' s |> List.map float_of_string_opt with
+    | [ Some f; Some st; Some r ] -> Ok (f, st, r)
+    | _ ->
+        Error
+          (`Msg (Printf.sprintf "expected FRESH,SETTLED,RATE floats, got %S" s))
+  in
+  let print ppf (f, s, r) = Format.fprintf ppf "%g,%g,%g" f s r in
+  Arg.conv (parse, print)
+
 let check_run_cmd =
   let plan_arg =
     Arg.(
@@ -1434,6 +1540,18 @@ let check_run_cmd =
       & opt (some fault_plan_conv) None
       & info [ "plan"; "fault-plan" ] ~docv:"PLAN"
           ~doc:"Fault plan to run under (faults subcommand syntax).")
+  in
+  let edge_age_arg =
+    Arg.(
+      value
+      & opt (some edge_age_conv) None
+      & info [ "edge-age" ] ~docv:"FRESH,SETTLED,RATE"
+          ~doc:
+            "Override the edge-age conformance bounds: a pair formed at \
+             age 0 is allowed FRESH skew, decaying at RATE per time unit \
+             down to SETTLED. Default (armed automatically with --churn): \
+             bounds derived from the spec, matching dynamic-gradient's own \
+             allowance. Formation windows come from the compiled plan.")
   in
   let moves_arg =
     Arg.(
@@ -1538,12 +1656,14 @@ let check_run_cmd =
         exit 1
   in
   let action spec_result topo algo horizon seed loss plan moves segment_len
-      skew abort shrink out recorded =
+      skew abort shrink out recorded churn edge_age =
     match recorded with
     | Some dir -> check_recorded dir skew
     | None ->
     let spec = or_die spec_result in
     let loss = if loss <= 0. then 0. else loss in
+    let graph = build_graph topo seed in
+    let plan = apply_churn ?churn ~graph ~seed ~horizon plan in
     let key =
       Runner.store_key ~loss ?fault_plan:plan ~spec ~topology:topo ~algo
         ~horizon ~seed ()
@@ -1552,13 +1672,39 @@ let check_run_cmd =
     let skew_bound =
       if not skew then None
       else
-        let graph = build_graph topo seed in
         Some (Bounds.gradient_local_upper spec ~diameter:(Shortest_path.diameter graph))
+    in
+    (* Armed whenever the run is churned (or bounds were given explicitly):
+       the conformance bound each up-pair must satisfy is parameterized by
+       the edge's age, from the formation windows of the compiled plan. *)
+    let edge_age_spec =
+      match (edge_age, churn) with
+      | None, None -> None
+      | _ ->
+          let diameter = Shortest_path.diameter graph in
+          let base = Check_run.edge_age_bounds spec ~diameter in
+          let base =
+            match edge_age with
+            | None -> base
+            | Some (fresh, settled, rate) ->
+                {
+                  base with
+                  Monitor.fresh_bound = fresh;
+                  settled_bound = settled;
+                  tighten_rate = rate;
+                }
+          in
+          let windows =
+            match plan with
+            | None -> []
+            | Some p -> Churn_plan.up_windows p ~graph ~horizon
+          in
+          Some { base with Monitor.windows }
     in
     let monitor =
       Check_run.default_spec
         ~mode:(if abort then `Abort else `Record)
-        ?skew_bound ~after:(horizon /. 4.) spec algo
+        ?skew_bound ?edge_age:edge_age_spec ~after:(horizon /. 4.) spec algo
     in
     let checked =
       try Check_run.run ~monitor ~moves ~segment_len cfg
@@ -1609,7 +1755,8 @@ let check_run_cmd =
     Term.(
       const action $ spec_term $ topology_arg $ algo_arg $ horizon_arg
       $ seed_arg $ loss_arg $ plan_arg $ moves_arg $ segment_len_arg
-      $ skew_flag $ abort_flag $ shrink_flag $ out_arg $ recorded_arg)
+      $ skew_flag $ abort_flag $ shrink_flag $ out_arg $ recorded_arg
+      $ churn_arg $ edge_age_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -1711,10 +1858,12 @@ let check_battery_cmd =
           ~doc:"Write a .repro artifact per violating cell into DIR.")
   in
   let action spec_result topologies algos seeds base_seed no_faults horizon
-      jobs repro_dir byz =
+      jobs repro_dir byz churn =
     let spec = or_die spec_result in
     let jobs = if jobs = 0 then Gcs_util.Pool.default_jobs () else jobs in
     if jobs < 0 then or_die (Error "jobs must be >= 0");
+    if byz <> None && churn <> None then
+      or_die (Error "--byzantine and --churn cannot be combined");
     let algos =
       match (algos, byz) with
       | Some a, _ -> a
@@ -1728,8 +1877,9 @@ let check_battery_cmd =
             Check_run.containment_battery ~jobs ~spec ~algos ~f ~base_seed
               ~topologies ~seeds ~horizon ()
         | None ->
-            Check_run.battery ~jobs ~spec ~algos ~faults:(not no_faults)
-              ~base_seed ~topologies ~seeds ~horizon ()
+            Check_run.battery ~jobs ~spec ~algos ?churn
+              ~faults:(not no_faults) ~base_seed ~topologies ~seeds ~horizon
+              ()
       with Invalid_argument msg -> or_die (Error msg)
     in
     let events =
@@ -1773,7 +1923,7 @@ let check_battery_cmd =
     Term.(
       const action $ spec_term $ topologies_arg $ algos_arg $ seeds_arg
       $ base_seed_arg $ no_faults_flag $ horizon_arg $ jobs_repl_arg
-      $ repro_dir_arg $ byz_arg)
+      $ repro_dir_arg $ byz_arg $ churn_arg)
   in
   Cmd.v
     (Cmd.info "battery"

@@ -3,7 +3,11 @@ module Prng = Gcs_util.Prng
 module Graph = Gcs_graph.Graph
 module Topology = Gcs_graph.Topology
 module Fault_plan = Gcs_sim.Fault_plan
+module Churn_plan = Gcs_sim.Churn_plan
 module Spec = Gcs_core.Spec
+module Bounds = Gcs_core.Bounds
+module Shortest_path = Gcs_graph.Shortest_path
+module Dynamic_gradient = Gcs_core.Dynamic_gradient
 module Algorithm = Gcs_core.Algorithm
 module Invariant = Gcs_core.Invariant
 module Runner = Gcs_core.Runner
@@ -17,7 +21,7 @@ type checked = {
 }
 
 let default_spec ?(mode = `Record) ?skew_bound ?(after = 0.)
-    ?(byzantine = []) ?containment_bound spec algo =
+    ?(byzantine = []) ?containment_bound ?edge_age spec algo =
   let env = Invariant.expected_envelope spec algo in
   {
     Monitor.rate_lo = env.Invariant.rate_lo;
@@ -29,6 +33,26 @@ let default_spec ?(mode = `Record) ?skew_bound ?(after = 0.)
     mode;
     byzantine;
     containment_bound;
+    edge_age;
+  }
+
+(* The age-parameterized bounds the dynamic gradient is checked against,
+   derived from the same helpers the algorithm itself plans with: the
+   settled floor is the static gradient bound, a fresh edge gets the
+   algorithm's full formation allowance on top of it, and both decay at
+   the algorithm's own tightening rate — so a conforming dynamic-gradient
+   run passes by construction while any algorithm that chases fresh
+   neighbors at face value rips through the settled floor on its old
+   edges. Windows come back empty; callers fill them from the run's
+   compiled churn plan ({!Gcs_sim.Churn_plan.up_windows}). *)
+let edge_age_bounds (spec : Spec.t) ~diameter =
+  let settled = Bounds.gradient_local_upper spec ~diameter in
+  {
+    Monitor.fresh_bound =
+      Dynamic_gradient.fresh_allowance spec ~diameter +. settled;
+    settled_bound = settled;
+    tighten_rate = Dynamic_gradient.tighten_rate spec;
+    windows = [];
   }
 
 let run ?monitor ?(moves = []) ?(segment_len = 0.) (cfg : Runner.config) =
@@ -148,7 +172,7 @@ let containment_bound (spec : Spec.t) ~f =
 let seed_stride = 7919
 
 let battery ?jobs ?(spec = Spec.make ()) ?(algos = Algorithm.all_kinds)
-    ?(faults = true) ?(base_seed = 1) ~topologies ~seeds ~horizon () =
+    ?(faults = true) ?(base_seed = 1) ?churn ~topologies ~seeds ~horizon () =
   if seeds < 1 then invalid_arg "Check_run.battery: seeds must be >= 1";
   let cells =
     List.concat_map
@@ -162,10 +186,28 @@ let battery ?jobs ?(spec = Spec.make ()) ?(algos = Algorithm.all_kinds)
           (fun algo ->
             List.init seeds (fun i ->
                 let seed = base_seed + (i * seed_stride) in
-                let fault_plan =
+                let base =
                   if faults && i land 1 = 1 then
                     Some (benign_plan ~seed ~horizon ~nodes)
                   else None
+                in
+                let churned =
+                  match churn with
+                  | None -> None
+                  | Some c ->
+                      (* Compile against the cell's own graph: random
+                         topologies rebuild per seed inside
+                         [config_of_key], and the expansion must match. *)
+                      let graph =
+                        Topology.build topology
+                          ~rng:(Prng.create ~seed:(seed lxor 0x5eed))
+                      in
+                      Churn_plan.compile c ~graph ~seed ~horizon
+                in
+                let fault_plan =
+                  match (base, churned) with
+                  | None, p | p, None -> p
+                  | Some a, Some b -> Some (Fault_plan.compose a b)
                 in
                 let key =
                   Runner.store_key ?fault_plan ~spec ~topology ~algo ~horizon
@@ -176,10 +218,28 @@ let battery ?jobs ?(spec = Spec.make ()) ?(algos = Algorithm.all_kinds)
       topologies
   in
   let run_cell (key, algo) =
-    let monitor = default_spec spec algo in
     match Runner.config_of_key key with
     | Error msg -> invalid_arg ("Check_run.battery: " ^ msg)
     | Ok cfg ->
+        let monitor =
+          match churn with
+          | None -> default_spec spec algo
+          | Some _ ->
+              (* Churned cells are additionally held to the edge-age
+                 conformance bound, with formation times read off the
+                 cell's own compiled plan. *)
+              let diameter = Shortest_path.diameter cfg.Runner.graph in
+              let windows =
+                match cfg.Runner.fault_plan with
+                | None -> []
+                | Some p ->
+                    Churn_plan.up_windows p ~graph:cfg.Runner.graph ~horizon
+              in
+              let edge_age =
+                { (edge_age_bounds spec ~diameter) with Monitor.windows }
+              in
+              default_spec ~edge_age spec algo
+        in
         let checked = run ~monitor cfg in
         {
           key;

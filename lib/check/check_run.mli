@@ -20,6 +20,7 @@ val default_spec :
   ?after:float ->
   ?byzantine:int list ->
   ?containment_bound:float ->
+  ?edge_age:Monitor.edge_age ->
   Gcs_core.Spec.t ->
   Gcs_core.Algorithm.kind ->
   Monitor.spec
@@ -27,7 +28,18 @@ val default_spec :
     implies: its rate envelope (disabled when the envelope allows jumps),
     monotonicity always, and an optional adjacent-pair skew bound checked
     from [after] on. [byzantine] and [containment_bound] (defaults: none)
-    arm the correct-correct containment check. Default mode [`Record]. *)
+    arm the correct-correct containment check; [edge_age] (default: none)
+    arms the dynamic-network age-parameterized check. Default mode
+    [`Record]. *)
+
+val edge_age_bounds : Gcs_core.Spec.t -> diameter:int -> Monitor.edge_age
+(** The edge-age bounds implied by the spec, derived from the same helpers
+    {!Gcs_core.Dynamic_gradient} plans with: settled floor
+    {!Gcs_core.Bounds.gradient_local_upper}, fresh bound = settled +
+    {!Gcs_core.Dynamic_gradient.fresh_allowance}, decaying at
+    {!Gcs_core.Dynamic_gradient.tighten_rate}. [windows] comes back empty
+    — fill it from the run's compiled churn plan
+    ({!Gcs_sim.Churn_plan.up_windows}). *)
 
 val run :
   ?monitor:Monitor.spec ->
@@ -62,6 +74,7 @@ val battery :
   ?algos:Gcs_core.Algorithm.kind list ->
   ?faults:bool ->
   ?base_seed:int ->
+  ?churn:Gcs_sim.Churn_plan.t ->
   topologies:Gcs_graph.Topology.spec list ->
   seeds:int ->
   horizon:float ->
@@ -71,7 +84,12 @@ val battery :
     grid order regardless of [jobs] (default: all registered algorithms,
     [faults] on — every odd seed index gets a {!benign_plan}). Cells are
     built through [Runner.store_key] / [Runner.config_of_key], so any
-    failing cell's key can be written straight into a [.repro]. *)
+    failing cell's key can be written straight into a [.repro]. With
+    [churn], each cell's plan is compiled against that cell's graph and
+    seed, composed into its fault plan, and the monitor is additionally
+    armed with {!edge_age_bounds} over the compiled plan's up-windows —
+    so churned cells are held to the dynamic-network conformance claim
+    (and a static algorithm that mishandles fresh edges fails here). *)
 
 val violations : cell list -> cell list
 (** The cells whose monitor recorded a violation. *)

@@ -12,20 +12,29 @@ let eps = 1e-6
    enough to make the estimate trustworthy to well under [eps]. *)
 let rate_dt_min = 1e-3
 
-type kind = Rate | Monotonic | Skew | Containment
+type kind = Rate | Monotonic | Skew | Containment | Edge_age
 
 let kind_name = function
   | Rate -> "rate"
   | Monotonic -> "monotonic"
   | Skew -> "skew"
   | Containment -> "containment"
+  | Edge_age -> "edge-age"
 
 let kind_of_string = function
   | "rate" -> Ok Rate
   | "monotonic" -> Ok Monotonic
   | "skew" -> Ok Skew
   | "containment" -> Ok Containment
+  | "edge-age" -> Ok Edge_age
   | s -> Error (Printf.sprintf "unknown violation kind %S" s)
+
+type edge_age = {
+  fresh_bound : float;
+  settled_bound : float;
+  tighten_rate : float;
+  windows : ((int * int) * (float * float) list) list;
+}
 
 type spec = {
   rate_lo : float;
@@ -37,6 +46,7 @@ type spec = {
   mode : [ `Record | `Abort ];
   byzantine : int list;
   containment_bound : float option;
+  edge_age : edge_age option;
 }
 
 type violation = {
@@ -71,6 +81,12 @@ type t = {
   read : int -> now:float -> float;  (** node's logical value at [now] *)
   now_fn : unit -> float;  (** current time, for the final flush *)
   adj : int array array;  (** neighbor node ids, own copy (hot path) *)
+  ea_windows : (float * float) array option array array;
+      (** per-node per-port up-intervals, parallel to [adj]: [None] means
+          the pair was never touched by churn (up since the monitor's
+          [ea_t0]); [Some [||]] means it was touched but never up. Empty
+          outer array when the edge-age check is off. *)
+  ea_t0 : float;  (** formation time assumed for untouched pairs *)
   byz : bool array;  (** nodes excluded from containment pairs *)
   mono_v : float array;  (** last seen value per node (every event) *)
   rate_t : float array;  (** rate-anchor time per node *)
@@ -159,7 +175,7 @@ let check_node t ~now ~context node =
             }
       done
   | Some _ | None -> ());
-  match t.spec.containment_bound with
+  (match t.spec.containment_bound with
   | Some bound when now >= t.spec.after && not t.byz.(node) ->
       (* The fault-containment claim: Byzantine senders may wreck their own
          incident edges, but skew between *correct* adjacent nodes stays
@@ -185,6 +201,59 @@ let check_node t ~now ~context node =
                 context = context ();
               }
         end
+      done
+  | Some _ | None -> ());
+  match t.spec.edge_age with
+  | Some ea when now >= t.spec.after && Array.length t.ea_windows > 0 ->
+      (* The dynamic-network conformance claim: each adjacent pair's skew
+         stays within the age-parameterized bound — the weak [fresh_bound]
+         at edge formation, tightening linearly at [tighten_rate] down to
+         [settled_bound]. A pair's age restarts at every up-interval start;
+         while the pair is down it is unconstrained. *)
+      let nbrs = t.adj.(node) in
+      let wins = t.ea_windows.(node) in
+      for i = 0 to Array.length nbrs - 1 do
+        let u = nbrs.(i) in
+        (* A pair no event ever touches is up for the whole run; a window
+           starting at (or before) the monitor's birth is the same edge —
+           both are born settled, because every clock starts synchronized.
+           Only a formation strictly after [ea_t0] earns the fresh
+           allowance. While a pair is down it is unconstrained. *)
+        let formed =
+          match wins.(i) with
+          | None -> Some t.ea_t0
+          | Some ivs ->
+              let found = ref None in
+              Array.iter
+                (fun (s, e) -> if s <= now && now <= e then found := Some s)
+                ivs;
+              !found
+        in
+        match formed with
+        | None -> ()
+        | Some since ->
+            let age = if since <= t.ea_t0 then infinity else now -. since in
+            let bound =
+              if age = infinity then ea.settled_bound
+              else
+                Float.max ea.settled_bound
+                  (ea.fresh_bound -. (ea.tighten_rate *. age))
+            in
+            let d = Float.abs (cur -. t.read u ~now) in
+            if d > bound +. eps then
+              record t
+                {
+                  time = now;
+                  kind = Edge_age;
+                  node = min node u;
+                  peer = Some (max node u);
+                  observed = d;
+                  bound;
+                  detail =
+                    Printf.sprintf
+                      "skew %.17g exceeds age-%.17g bound %.17g" d age bound;
+                  context = context ();
+                }
       done
   | Some _ | None -> ()
 
@@ -212,12 +281,33 @@ let create spec ~graph ~stop ~read ~now_fn =
   let n = Graph.n graph in
   let now = now_fn () in
   let values = Array.init n (fun v -> read v ~now) in
+  let adj = Array.init n (fun v -> Array.map fst (Graph.neighbors graph v)) in
+  let ea_windows =
+    match spec.edge_age with
+    | None -> [||]
+    | Some ea ->
+        (* Window entries naming non-adjacent pairs are ignored on purpose:
+           the shrinker removes edges while keeping the monitor spec fixed,
+           and a window for an edge that no longer exists must not arm (or
+           crash) the check. *)
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun ((u, v), ivs) ->
+            Hashtbl.replace tbl (min u v, max u v) (Array.of_list ivs))
+          ea.windows;
+        Array.init n (fun v ->
+            Array.map
+              (fun u -> Hashtbl.find_opt tbl (min v u, max v u))
+              adj.(v))
+  in
   {
     spec;
     stop;
     read;
     now_fn;
-    adj = Array.init n (fun v -> Array.map fst (Graph.neighbors graph v));
+    adj;
+    ea_windows;
+    ea_t0 = now;
     byz = byz_mask spec n;
     mono_v = Array.copy values;
     rate_t = Array.make n now;

@@ -14,10 +14,32 @@
     any PRNG stream, so an attached monitor changes no run summary — the
     property bench E23 asserts, along with the <10% overhead budget. *)
 
-type kind = Rate | Monotonic | Skew | Containment
+type kind = Rate | Monotonic | Skew | Containment | Edge_age
 
 val kind_name : kind -> string
 val kind_of_string : string -> (kind, string) result
+
+(** Parameters of the dynamic-network edge-age conformance check: each
+    adjacent pair's skew must stay within an age-parameterized bound
+    [max settled_bound (fresh_bound - tighten_rate * age)], where the
+    pair's age restarts at each of its up-interval starts (from
+    {!Gcs_sim.Churn_plan.up_windows}). A pair absent from [windows] is up
+    from the monitor's start; a pair listed with an interval set is only
+    checked while inside one of its intervals. Window entries naming
+    non-adjacent pairs are ignored (the shrinker removes edges under a
+    fixed monitor spec). *)
+type edge_age = {
+  fresh_bound : float;  (** bound granted at formation (age 0) *)
+  settled_bound : float;  (** static gradient bound, the floor *)
+  tighten_rate : float;  (** linear decay, bound units per unit time *)
+  windows : ((int * int) * (float * float) list) list;
+      (** per-pair up-intervals: [((u, v), [(up, down); ...])]. A pair
+          with no entry is up (and settled) for the whole run; a window
+          starting at or before the monitor's birth is settled too —
+          clocks start synchronized, so only a formation strictly after
+          t0 earns the fresh allowance. While a pair is between windows
+          (down) it is unconstrained. *)
+}
 
 type spec = {
   rate_lo : float;  (** minimum discrete logical rate *)
@@ -38,6 +60,9 @@ type spec = {
       (** when set, skew between *adjacent correct* nodes must stay within
           this weakened bound from [after] on — the fault-containment
           property of {!Gcs_core.Ft_gradient} under up to [f] liars *)
+  edge_age : edge_age option;
+      (** when set, adjacent-pair skew must stay within the
+          age-parameterized dynamic-network bound from [after] on *)
 }
 
 type violation = {

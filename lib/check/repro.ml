@@ -94,6 +94,27 @@ let to_string t =
   (match t.monitor.Monitor.containment_bound with
   | None -> ()
   | Some cb -> line "containment_bound" (fl cb));
+  (* Edge-age fields, same deal: only churned repros carry them. *)
+  (match t.monitor.Monitor.edge_age with
+  | None -> ()
+  | Some ea ->
+      line "edge_age"
+        (Printf.sprintf "%s,%s,%s"
+           (fl ea.Monitor.fresh_bound)
+           (fl ea.Monitor.settled_bound)
+           (fl ea.Monitor.tighten_rate));
+      if ea.Monitor.windows <> [] then
+        line "edge_age_windows"
+          (String.concat ";"
+             (List.map
+                (fun ((u, v), ivs) ->
+                  Printf.sprintf "%d-%d@%s" u v
+                    (String.concat ","
+                       (List.map
+                          (fun (a, b) ->
+                            Printf.sprintf "%s..%s" (fl a) (fl b))
+                          ivs)))
+                ea.Monitor.windows)));
   Buffer.add_string b "key:\n";
   Buffer.add_string b (Key.encode t.key);
   Buffer.contents b
@@ -200,6 +221,100 @@ let of_string s =
                 | None ->
                     Error (Printf.sprintf "repro: bad containment_bound %S" s))
           in
+          let ea_s, rest = opt_line "edge_age" rest in
+          let eaw_s, rest = opt_line "edge_age_windows" rest in
+          let* edge_age =
+            match ea_s with
+            | None -> Ok None
+            | Some s -> (
+                match
+                  String.split_on_char ',' s |> List.map float_of_string_opt
+                with
+                | [ Some fresh_bound; Some settled_bound; Some tighten_rate ]
+                  ->
+                    let parse_interval piece =
+                      (* a..b: the separator is the first double dot. *)
+                      let n = String.length piece in
+                      let rec dots i =
+                        if i + 1 >= n then None
+                        else if piece.[i] = '.' && piece.[i + 1] = '.' then
+                          Some i
+                        else dots (i + 1)
+                      in
+                      match dots 0 with
+                      | None ->
+                          Error
+                            (Printf.sprintf "repro: bad interval %S" piece)
+                      | Some i -> (
+                          match
+                            ( float_of_string_opt (String.sub piece 0 i),
+                              float_of_string_opt
+                                (String.sub piece (i + 2) (n - i - 2)) )
+                          with
+                          | Some a, Some b -> Ok (a, b)
+                          | _ ->
+                              Error
+                                (Printf.sprintf "repro: bad interval %S"
+                                   piece))
+                    in
+                    let parse_pair piece =
+                      match String.index_opt piece '@' with
+                      | None ->
+                          Error
+                            (Printf.sprintf "repro: bad edge windows %S" piece)
+                      | Some at -> (
+                          let pair = String.sub piece 0 at in
+                          let ivs =
+                            String.sub piece (at + 1)
+                              (String.length piece - at - 1)
+                          in
+                          match String.split_on_char '-' pair with
+                          | [ u; v ] -> (
+                              match
+                                (int_of_string_opt u, int_of_string_opt v)
+                              with
+                              | Some u, Some v ->
+                                  let* ivs =
+                                    List.fold_left
+                                      (fun acc p ->
+                                        let* acc = acc in
+                                        let* iv = parse_interval p in
+                                        Ok (acc @ [ iv ]))
+                                      (Ok [])
+                                      (String.split_on_char ',' ivs)
+                                  in
+                                  Ok ((u, v), ivs)
+                              | _ ->
+                                  Error
+                                    (Printf.sprintf "repro: bad edge pair %S"
+                                       pair))
+                          | _ ->
+                              Error
+                                (Printf.sprintf "repro: bad edge pair %S" pair)
+                          )
+                    in
+                    let* windows =
+                      match eaw_s with
+                      | None -> Ok []
+                      | Some s ->
+                          List.fold_left
+                            (fun acc piece ->
+                              let* acc = acc in
+                              let* w = parse_pair piece in
+                              Ok (acc @ [ w ]))
+                            (Ok [])
+                            (String.split_on_char ';' s)
+                    in
+                    Ok
+                      (Some
+                         {
+                           Monitor.fresh_bound;
+                           settled_bound;
+                           tighten_rate;
+                           windows;
+                         })
+                | _ -> Error (Printf.sprintf "repro: bad edge_age %S" s))
+          in
           let* key_lines =
             match rest with
             | key_marker :: key_lines when key_marker = "key:" -> Ok key_lines
@@ -219,6 +334,7 @@ let of_string s =
                   mode = `Record;
                   byzantine;
                   containment_bound;
+                  edge_age;
                 };
               expected =
                 {

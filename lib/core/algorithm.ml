@@ -16,6 +16,7 @@ type kind =
   | Max_slew_sync
   | Tree_sync
   | Gradient_sync
+  | Dynamic_gradient_sync
   | Ft_gradient_sync of int
 
 let kind_name = function
@@ -24,6 +25,7 @@ let kind_name = function
   | Max_slew_sync -> "max-slew"
   | Tree_sync -> "tree"
   | Gradient_sync -> "gradient"
+  | Dynamic_gradient_sync -> "dynamic-gradient"
   | Ft_gradient_sync f -> Printf.sprintf "ft-gradient-%d" f
 
 let kind_of_string = function
@@ -32,6 +34,7 @@ let kind_of_string = function
   | "max-slew" | "maxslew" -> Ok Max_slew_sync
   | "tree" | "ntp" -> Ok Tree_sync
   | "gradient" | "gcs" -> Ok Gradient_sync
+  | "dynamic-gradient" | "dynamic" | "dgcs" -> Ok Dynamic_gradient_sync
   | "ft-gradient" | "ft" -> Ok (Ft_gradient_sync 1)
   | s -> (
       let prefix = "ft-gradient-" in
@@ -45,7 +48,7 @@ let kind_of_string = function
 
 let all_kinds =
   [ Free_run; Max_sync; Max_slew_sync; Tree_sync; Gradient_sync;
-    Ft_gradient_sync 1 ]
+    Dynamic_gradient_sync; Ft_gradient_sync 1 ]
 
 let timer_beacon = 0
 let timer_recheck = 1

@@ -27,7 +27,9 @@ type t = {
           reuses the closure for every node. *)
 }
 
-(** Which of the built-in algorithms to run. [Ft_gradient_sync f] is the
+(** Which of the built-in algorithms to run. [Dynamic_gradient_sync] is
+    the dynamic-network gradient variant whose fresh edges tighten
+    gradually (see {!Dynamic_gradient}); [Ft_gradient_sync f] is the
     fault-containing gradient variant tolerating up to [f] Byzantine
     neighbors per node (see {!Ft_gradient}). *)
 type kind =
@@ -36,6 +38,7 @@ type kind =
   | Max_slew_sync
   | Tree_sync
   | Gradient_sync
+  | Dynamic_gradient_sync
   | Ft_gradient_sync of int
 
 val kind_name : kind -> string

@@ -8,6 +8,7 @@ type episode_report = {
   band : float;
   worst_transient : float;
   time_to_resync : float option;
+  decay : (float * float) array;
 }
 
 type report = {
@@ -67,8 +68,22 @@ let eval_episode ~kappa ~graph ~samples (ep : Fault_plan.episode) =
         in
         Option.map (fun t -> t -. heal) tau
   in
+  (* The post-heal convergence curve: skew on the episode's edges as a
+     function of time since the heal. For a dynamic-network edge formation
+     this is the decay the paper predicts — from (up to) the global bound
+     at age 0 down below the static gradient bound within the
+     stabilization time (E28 plots and asserts it). *)
+  let decay =
+    match ep.stop with
+    | None -> [||]
+    | Some heal ->
+        samples
+        |> List.filter (fun s -> s.Metrics.time >= heal)
+        |> List.map (fun s -> (s.Metrics.time -. heal, skew graph ep s))
+        |> Array.of_list
+  in
   { label = ep.label; start = ep.start; stop = ep.stop; band; worst_transient;
-    time_to_resync }
+    time_to_resync; decay }
 
 let evaluate ?(byzantine = []) ?(lied = 0) ?(after = neg_infinity) ~spec
     ~graph ~samples ~episodes ~dropped_faults ~duplicated ~corrupted () =

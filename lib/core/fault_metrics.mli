@@ -26,6 +26,11 @@ type episode_report = {
           [<= band] from [tau] through the end of the run, minus [stop];
           [None] if the run never (or never durably) re-entered the band,
           or the fault never healed *)
+  decay : (float * float) array;
+      (** post-heal convergence curve: [(age, skew on the episode's
+          edges)] per sample, age measured from the heal instant — for a
+          churned edge this is the dynamic-network skew-decay curve;
+          [[||]] when the episode never healed *)
 }
 
 type report = {

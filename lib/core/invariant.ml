@@ -116,8 +116,8 @@ type envelope = { rate_lo : float; rate_hi : float; jumps_allowed : bool }
 let expected_envelope (spec : Spec.t) = function
   | Algorithm.Free_run ->
       { rate_lo = 1.; rate_hi = Spec.vartheta spec; jumps_allowed = false }
-  | Algorithm.Gradient_sync | Algorithm.Ft_gradient_sync _
-  | Algorithm.Max_slew_sync ->
+  | Algorithm.Gradient_sync | Algorithm.Dynamic_gradient_sync
+  | Algorithm.Ft_gradient_sync _ | Algorithm.Max_slew_sync ->
       {
         rate_lo = 1.;
         rate_hi = (1. +. spec.Spec.mu) *. Spec.vartheta spec;
@@ -156,9 +156,12 @@ let check_result (r : Runner.result) ~algo =
           ~bound:(Bounds.gradient_local_upper r.Runner.spec ~diameter:d)
           `Local
     | Algorithm.Free_run | Algorithm.Max_sync | Algorithm.Max_slew_sync
-    | Algorithm.Tree_sync | Algorithm.Ft_gradient_sync _ ->
+    | Algorithm.Tree_sync | Algorithm.Ft_gradient_sync _
+    | Algorithm.Dynamic_gradient_sync ->
         (* The ft variant's clamp weakens the faultless bound even in benign
-           runs, so it is checked by the containment monitor instead. *)
+           runs, so it is checked by the containment monitor instead; the
+           dynamic variant's fresh-edge allowance is checked by the
+           age-parameterized edge-age monitor. *)
         []
   in
   monotonic @ rates @ skew

@@ -4,6 +4,7 @@ let get = function
   | Algorithm.Max_slew_sync -> Max_slew.algorithm
   | Algorithm.Tree_sync -> Tree_sync.algorithm
   | Algorithm.Gradient_sync -> Gradient_sync.algorithm
+  | Algorithm.Dynamic_gradient_sync -> Dynamic_gradient.algorithm
   | Algorithm.Ft_gradient_sync f -> Ft_gradient.algorithm f
 
 let all = List.map (fun k -> (k, get k)) Algorithm.all_kinds

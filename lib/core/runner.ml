@@ -434,6 +434,15 @@ let prepare (cfg : config) =
             (if cfg.obs.Capture.series_rates then
                Array.map (fun c -> Hardware_clock.rate_at c ~now) clocks
              else [||]);
+          watched =
+            (match cfg.obs.Capture.series_watch with
+            | [] -> [||]
+            | pairs ->
+                Array.of_list
+                  (List.map
+                     (fun (u, v) ->
+                       Float.abs (values.(u) -. values.(v)))
+                     pairs));
         }
       in
       let rec sprobe at =

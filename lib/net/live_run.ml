@@ -248,6 +248,7 @@ let build_result ~graph ~spec ~warmup ~fault_plan ~samples ~counters ~log =
           profile = [||];
           values = Array.copy s.Metrics.values;
           rates = [||];
+          watched = [||];
         })
     samples;
   let fault_report =

@@ -7,6 +7,7 @@ type request = {
   series_values : bool;
   series_rates : bool;
   series_profile : bool;
+  series_watch : (int * int) list;
   profile : bool;
 }
 
@@ -20,6 +21,7 @@ let none =
     series_values = false;
     series_rates = false;
     series_profile = true;
+    series_watch = [];
     profile = false;
   }
 

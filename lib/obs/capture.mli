@@ -21,6 +21,10 @@ type request = {
   series_values : bool;  (** include per-node logical clock values *)
   series_rates : bool;  (** include per-node hardware rates *)
   series_profile : bool;  (** include the per-hop gradient profile *)
+  series_watch : (int * int) list;
+      (** node pairs whose absolute skew is recorded as a dedicated series
+          column — e.g. a churned edge whose decay curve an experiment
+          plots; [[]] = none *)
   profile : bool;  (** run the sampled profiler *)
 }
 

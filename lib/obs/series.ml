@@ -7,6 +7,7 @@ type point = {
   profile : (int * float) array;
   values : float array;
   rates : float array;
+  watched : float array;
 }
 
 type t = { mutable rev : point list; mutable length : int }
@@ -22,33 +23,39 @@ let points t = Array.of_list (List.rev t.rev)
 
 let fnum x = Printf.sprintf "%.17g" x
 
-let csv_header ?(values = 0) ?(rates = 0) ?(hops = 0) () =
+let csv_header ?(values = 0) ?(rates = 0) ?(hops = 0) ?(watched = 0) () =
   [ "time"; "global_skew"; "local_skew" ]
   @ List.init hops (fun h -> Printf.sprintf "skew_hop%d" (h + 1))
   @ List.init values (fun i -> Printf.sprintf "value%d" i)
   @ List.init rates (fun i -> Printf.sprintf "rate%d" i)
+  @ List.init watched (fun i -> Printf.sprintf "watch%d" i)
 
 let csv_row p =
   [ fnum p.time; fnum p.global_skew; fnum p.local_skew ]
   @ List.map (fun (_, s) -> fnum s) (Array.to_list p.profile)
   @ List.map fnum (Array.to_list p.values)
   @ List.map fnum (Array.to_list p.rates)
+  @ List.map fnum (Array.to_list p.watched)
 
 let csv_rows t = List.map csv_row (List.rev t.rev)
 
 let write_csv t ~path =
   let pts = points t in
-  let values, rates, hops =
-    if Array.length pts = 0 then (0, 0, 0)
+  let values, rates, hops, watched =
+    if Array.length pts = 0 then (0, 0, 0, 0)
     else
       let p = pts.(0) in
-      (Array.length p.values, Array.length p.rates, Array.length p.profile)
+      ( Array.length p.values,
+        Array.length p.rates,
+        Array.length p.profile,
+        Array.length p.watched )
   in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (Csv.render_row (csv_header ~values ~rates ~hops ()));
+      output_string oc
+        (Csv.render_row (csv_header ~values ~rates ~hops ~watched ()));
       output_char oc '\n';
       Array.iter
         (fun p ->

@@ -18,6 +18,9 @@ type point = {
       (** per-node logical clock values; empty when not captured *)
   rates : float array;
       (** per-node hardware rates; empty when not captured *)
+  watched : float array;
+      (** absolute skew of each watched node pair, in the order of the
+          capture request's [series_watch]; empty when none *)
 }
 
 type t
@@ -29,7 +32,8 @@ val length : t -> int
 val points : t -> point array
 (** Chronological order. *)
 
-val csv_header : ?values:int -> ?rates:int -> ?hops:int -> unit -> string list
+val csv_header :
+  ?values:int -> ?rates:int -> ?hops:int -> ?watched:int -> unit -> string list
 (** Column names for a series whose points carry the given array widths. *)
 
 val csv_row : point -> string list

@@ -193,6 +193,8 @@ let parse_edge_spec field =
             Ok (Cut (List.rev nodes))
         | k -> err "unknown edge set kind %S" k)
 
+let edge_spec_of_string = parse_edge_spec
+
 (* Fields are the ':'-separated chunks after "kind@time". Look a key=value
    field up, or detect a bare flag. *)
 let find_kv fields key =

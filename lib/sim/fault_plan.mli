@@ -139,6 +139,13 @@ val resolve_edges : Gcs_graph.Graph.t -> edge_spec -> int list
     [Invalid_argument] on a pair that is not an edge (use {!validate}
     first). *)
 
+val edge_spec_to_string : edge_spec -> string
+(** Render an edge set in the textual syntax ([all] | [edges=U-V,...] |
+    [cut=V,...]) — shared with {!Churn_plan}'s grammar. *)
+
+val edge_spec_of_string : string -> (edge_spec, string) result
+(** Parse {!edge_spec_to_string}'s output. *)
+
 (** One contiguous fault exposure, extracted from a plan for recovery
     metrics: the real-time window during which a set of edges was affected
     by one fault. *)

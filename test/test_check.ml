@@ -403,6 +403,7 @@ let check_fixture name =
 let test_golden_monotonic () = check_fixture "monotonic-jump"
 let test_golden_rate () = check_fixture "rate-fault"
 let test_golden_byzantine () = check_fixture "byzantine-containment"
+let test_golden_dynamic_edge () = check_fixture "dynamic-edge"
 
 (* The conformance battery as a tier-1 gate: every registered algorithm,
    over a randomized topology mix, deterministic seeds, and benign fault
@@ -476,6 +477,8 @@ let suite =
     Alcotest.test_case "golden fixture: rate fault" `Quick test_golden_rate;
     Alcotest.test_case "golden fixture: byzantine containment" `Quick
       test_golden_byzantine;
+    Alcotest.test_case "golden fixture: dynamic edge age" `Quick
+      test_golden_dynamic_edge;
     Alcotest.test_case "conformance battery passes" `Quick
       test_battery_conforms;
     Alcotest.test_case "battery is jobs-invariant" `Quick

@@ -19,6 +19,7 @@ let () =
       ("clock.logical", Test_logical_clock.suite);
       ("sim.delay_model", Test_delay_model.suite);
       ("sim.fault_plan", Test_fault_plan.suite);
+      ("sim.churn_plan", Test_churn_plan.suite);
       ("sim.engine", Test_engine.suite);
       ("sim.trace", Test_trace.suite);
       ("obs.sinks", Test_obs.suite);

@@ -92,6 +92,23 @@ let golden : (Algorithm.kind * Metrics.summary * int) list =
         samples_used = 61;
       },
       1288 );
+    (* Also identical to the Gradient_sync row by design: edges present at
+       startup are born settled (see Dynamic_gradient), so on a static
+       network the fresh-edge discount never engages and the dynamic
+       variant must reproduce the static gradient bit for bit. A
+       divergence here means the edge-age machinery perturbs unchurned
+       runs. *)
+    ( Algorithm.Dynamic_gradient_sync,
+      {
+        Metrics.max_global = 0x1.50c48e1dda6p-2;
+        max_local = 0x1.08d71a5a1e8p-2;
+        mean_local = 0x1.7d55a1e437de9p-3;
+        p99_local = 0x1.05e86cb205db3p-2;
+        final_global = 0x1.50c48e1dda6p-2;
+        final_local = 0x1.08d71a5a1e8p-2;
+        samples_used = 61;
+      },
+      1288 );
   ]
 
 let run_one algo =
@@ -252,6 +269,77 @@ let test_byzantine_run_pinned () =
               f (label ^ " transient") transient e.Fm.worst_transient)
         expected
 
+(* The same config under declarative topology churn, run through the
+   dynamic gradient: an explicit down/up pair plus a flap window, compiled
+   to a fault plan with the config's own seed. Pins the churn compilation
+   path (flap PRNG streams included) and the dynamic algorithm's fresh-edge
+   behaviour bit-for-bit, and requires region-parallel execution to
+   reproduce the serial event log byte for byte. *)
+let churned_plan () =
+  let churn =
+    match
+      Gcs_sim.Churn_plan.of_string
+        "edge-down@20:edges=2-3; edge-up@50:edges=2-3; \
+         flap@10..60:up=8:down=4:edges=6-7"
+    with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "golden churn plan did not parse: %s" msg
+  in
+  match
+    Gcs_sim.Churn_plan.compile churn ~graph:(Topology.ring 8) ~seed:7
+      ~horizon:80.
+  with
+  | Some p -> p
+  | None -> Alcotest.fail "golden churn plan compiled to nothing"
+
+let test_churned_run_pinned () =
+  let module Capture = Gcs_obs.Capture in
+  let module Event_log = Gcs_obs.Event_log in
+  let cfg ?obs ?(regions = 1) () =
+    Runner.config
+      ~spec:(Spec.make ~kappa:0.5 ())
+      ~algo:Algorithm.Dynamic_gradient_sync
+      ~drift_of_node:(fun v ->
+        if v < 4 then Drift.Extreme_high else Drift.Extreme_low)
+      ~horizon:80. ~seed:7 ~fault_plan:(churned_plan ()) ?obs ~regions
+      (Topology.ring 8)
+  in
+  let r = Runner.run (cfg ()) in
+  let s = r.Runner.summary in
+  let f = Alcotest.(check (float 1e-9)) in
+  f "max_global" 0x1.0c68dbfd7a7p-1 s.Metrics.max_global;
+  f "max_local" 0x1.b502cbf9605p-2 s.Metrics.max_local;
+  f "mean_local" 0x1.08a76b750a5c8p-2 s.Metrics.mean_local;
+  f "p99_local" 0x1.b502cbf9605p-2 s.Metrics.p99_local;
+  f "final_global" 0x1.84f9941f34dp-2 s.Metrics.final_global;
+  f "final_local" 0x1.12d45ea862dp-2 s.Metrics.final_local;
+  Alcotest.(check int) "samples_used" 61 s.Metrics.samples_used;
+  Alcotest.(check int) "messages" 1288 r.Runner.messages;
+  Alcotest.(check int) "dropped_faults" 115 r.Runner.dropped_faults;
+  (* Event-log byte identity across region counts, under churn. *)
+  let obs = { Capture.none with Capture.events = true } in
+  let log_string (res : Runner.result) =
+    match res.Runner.obs.Capture.event_log with
+    | Some log -> Event_log.to_string log
+    | None -> Alcotest.fail "event log missing"
+  in
+  let serial_log = log_string (Runner.run (cfg ~obs ())) in
+  Alcotest.(check bool) "serial log nonempty" true
+    (String.length serial_log > 0);
+  List.iter
+    (fun regions ->
+      let live = Runner.prepare (cfg ~obs ~regions ()) in
+      let eff = Gcs_sim.Engine.regions live.Runner.engine in
+      let par = Runner.complete live in
+      Alcotest.(check int)
+        (Printf.sprintf "x%d: ran parallel" regions)
+        regions eff;
+      Alcotest.(check bool)
+        (Printf.sprintf "x%d: event log byte-identical" regions)
+        true
+        (String.equal serial_log (log_string par)))
+    [ 2; 4 ]
+
 let test_covers_registry () =
   (* A newly registered algorithm must get a golden row. *)
   Alcotest.(check int) "every registered algorithm is pinned"
@@ -272,6 +360,8 @@ let suite =
        test_faulted_run_pinned
   :: Alcotest.test_case "byzantine run pinned: ft-gradient" `Quick
        test_byzantine_run_pinned
+  :: Alcotest.test_case "churned run pinned: dynamic-gradient" `Quick
+       test_churned_run_pinned
   :: List.map
        (fun ((algo, _, _) as row) ->
          Alcotest.test_case

@@ -211,6 +211,7 @@ let test_series_recorder () =
       profile = [| (1, 0.5); (2, 1.5) |];
       values = [| 0.; 1.; 2. |];
       rates = [| 1.01; 0.99; 1.0 |];
+      watched = [| 0.5 |];
     }
   in
   for i = 0 to 2 do
@@ -220,7 +221,7 @@ let test_series_recorder () =
   let pts = Series.points s in
   Alcotest.(check (float 0.)) "order" 0. pts.(0).Series.time;
   Alcotest.(check (float 0.)) "order last" 2. pts.(2).Series.time;
-  let header = Series.csv_header ~values:3 ~rates:3 ~hops:2 () in
+  let header = Series.csv_header ~values:3 ~rates:3 ~hops:2 ~watched:1 () in
   Array.iter
     (fun p ->
       Alcotest.(check int) "row width" (List.length header)
